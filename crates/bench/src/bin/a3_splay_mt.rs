@@ -1,0 +1,136 @@
+//! A3 (ablation, §3.5): the splay-tree object map's locality advantage and
+//! its multithreaded degradation.
+//!
+//! The paper: *"KGCC currently stores the address map of allocated objects
+//! in a splay tree, which brings the most recently accessed node to the top
+//! during each operation. This results in nearly optimal performance when
+//! there is reference locality. However, when multiple threads make use of
+//! the same splay tree, the splay tree is no longer as efficient, because
+//! different threads have less locality."*
+//!
+//! Measured here as splay-node touches per lookup (the tree's own work
+//! counter) under: a hot single-thread pattern, a Zipf-ish skewed pattern,
+//! a uniform pattern, and 2/4/8-way round-robin interleaving of per-thread
+//! hot streams — plus a `BTreeMap` reference, which does the same work
+//! regardless of locality.
+
+use bench::{banner, Report};
+use kucode::kgcc::SplayTree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const OBJECTS: u64 = 4_096;
+const LOOKUPS: usize = 40_000;
+
+fn build() -> SplayTree<u64> {
+    let mut t = SplayTree::new();
+    for k in 0..OBJECTS {
+        t.insert(k * 64, k);
+    }
+    t
+}
+
+fn touches_per_lookup(keys: &[u64]) -> f64 {
+    let mut t = build();
+    // Warm: run the stream once.
+    for &k in keys.iter().take(1_000) {
+        t.get(k);
+    }
+    let t0 = t.touches;
+    for &k in keys {
+        t.get(k);
+    }
+    (t.touches - t0) as f64 / keys.len() as f64
+}
+
+pub fn run(report: &mut Report) {
+    banner("A3", "splay-tree object map: locality vs interleaving");
+
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    // Single hot object (perfect locality).
+    let hot: Vec<u64> = vec![1_024 * 64; LOOKUPS];
+    // Skewed: 90% of lookups to 10 objects (typical check locality).
+    let skewed: Vec<u64> = (0..LOOKUPS)
+        .map(|_| {
+            if rng.gen_bool(0.9) {
+                (rng.gen_range(0..10u64) * 401 % OBJECTS) * 64
+            } else {
+                rng.gen_range(0..OBJECTS) * 64
+            }
+        })
+        .collect();
+    // Uniform random (no locality).
+    let uniform: Vec<u64> = (0..LOOKUPS).map(|_| rng.gen_range(0..OBJECTS) * 64).collect();
+
+    // N-way interleave of per-thread hot streams.
+    let interleave = |ways: u64| -> Vec<u64> {
+        (0..LOOKUPS)
+            .map(|i| {
+                let thread = (i as u64) % ways;
+                let hot = (thread * OBJECTS / ways + thread * 17) % OBJECTS;
+                hot * 64
+            })
+            .collect()
+    };
+
+    let rows = [
+        ("single hot key", touches_per_lookup(&hot)),
+        ("skewed 90/10", touches_per_lookup(&skewed)),
+        ("uniform random", touches_per_lookup(&uniform)),
+        ("2-way interleave", touches_per_lookup(&interleave(2))),
+        ("4-way interleave", touches_per_lookup(&interleave(4))),
+        ("8-way interleave", touches_per_lookup(&interleave(8))),
+    ];
+    println!("{:<20} {:>18}", "access pattern", "touches/lookup");
+    for (name, t) in &rows {
+        println!("{:<20} {:>18.2}", name, t);
+    }
+
+    // BTreeMap reference: identical cost regardless of pattern (log n).
+    use std::collections::BTreeMap;
+    let mut bt: BTreeMap<u64, u64> = BTreeMap::new();
+    for k in 0..OBJECTS {
+        bt.insert(k * 64, k);
+    }
+    println!("(BTreeMap does ~log2({OBJECTS}) = {:.0} comparisons for every pattern)", (OBJECTS as f64).log2());
+
+    let hot_cost = rows[0].1;
+    let skew_cost = rows[1].1;
+    let il8 = rows[5].1;
+    report.add(
+        "A3",
+        "hot-key lookups are ~O(1)",
+        "nearly optimal with locality",
+        format!("{hot_cost:.2} touches"),
+        hot_cost < 2.0,
+    );
+    report.add(
+        "A3",
+        "skewed beats uniform",
+        "locality pays",
+        format!("{skew_cost:.2} vs {:.2}", rows[2].1),
+        skew_cost < rows[2].1,
+    );
+    report.add(
+        "A3",
+        "interleaving degrades the tree",
+        "\"no longer as efficient\"",
+        format!("{hot_cost:.2} → {il8:.2} (8-way)"),
+        il8 > 1.5 * hot_cost,
+    );
+    let monotone = rows[3].1 <= rows[4].1 + 0.5 && rows[4].1 <= rows[5].1 + 0.5;
+    report.add(
+        "A3",
+        "degradation grows with thread count",
+        "more threads, less locality",
+        format!("{:.2} / {:.2} / {:.2}", rows[3].1, rows[4].1, rows[5].1),
+        monotone,
+    );
+}
+
+fn main() {
+    let mut r = Report::new();
+    run(&mut r);
+    r.print();
+}

@@ -1,0 +1,65 @@
+//! Run every experiment and ablation, print the paper-vs-simulated
+//! summary, and write `bench_report.json`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin all
+//! ```
+
+#![allow(dead_code)] // each included module carries its own unused main()
+
+use bench::Report;
+
+// The per-experiment binaries expose their logic as `run(&mut Report)`;
+// include them as modules so `all` stays a single process (one build, one
+// pass, one consolidated report).
+#[path = "e1_readdirplus.rs"]
+mod e1;
+#[path = "e2_interactive.rs"]
+mod e2;
+#[path = "e3_cosy_micro.rs"]
+mod e3;
+#[path = "e4_cosy_db.rs"]
+mod e4;
+#[path = "e5_kefence.rs"]
+mod e5;
+#[path = "e6_monitor.rs"]
+mod e6;
+#[path = "e7_kgcc.rs"]
+mod e7;
+#[path = "a1_cosy_isolation.rs"]
+mod a1;
+#[path = "a2_kgcc_ablate.rs"]
+mod a2;
+#[path = "a3_splay_mt.rs"]
+mod a3;
+#[path = "a4_vfree_hash.rs"]
+mod a4;
+#[path = "a5_kefence_sampling.rs"]
+mod a5;
+#[path = "a6_webserver.rs"]
+mod a6;
+
+fn main() {
+    let mut report = Report::new();
+    e1::run(&mut report);
+    e2::run(&mut report);
+    e3::run(&mut report);
+    e4::run(&mut report);
+    e5::run(&mut report);
+    e6::run(&mut report);
+    e7::run(&mut report);
+    a1::run(&mut report);
+    a2::run(&mut report);
+    a3::run(&mut report);
+    a4::run(&mut report);
+    a5::run(&mut report);
+    a6::run(&mut report);
+
+    report.print();
+    let holds = report.all_shapes_hold();
+    std::fs::write("bench_report.json", report.to_json()).expect("write bench_report.json");
+    println!(
+        "\n{} findings, shapes hold: {holds}; JSON written to bench_report.json",
+        report.findings.len()
+    );
+}

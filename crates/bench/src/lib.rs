@@ -1,0 +1,123 @@
+//! Shared reporting helpers for the experiment-reproduction binaries.
+//!
+//! Every `e*`/`a*` binary regenerates one of the paper's evaluation results
+//! and prints it as a table with the paper's reported value alongside the
+//! simulated measurement, so EXPERIMENTS.md can be refreshed by running
+//! `cargo run --release -p bench --bin all`.
+
+use std::fmt::Display;
+
+use serde::Serialize;
+
+/// One measured quantity with the paper's reported counterpart.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    pub experiment: String,
+    pub metric: String,
+    pub paper: String,
+    pub measured: String,
+    /// Does the simulated result preserve the paper's qualitative shape?
+    pub shape_holds: bool,
+}
+
+/// Collects findings for the JSON summary `all` emits.
+#[derive(Debug, Default, Serialize)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(
+        &mut self,
+        experiment: &str,
+        metric: &str,
+        paper: impl Display,
+        measured: impl Display,
+        shape_holds: bool,
+    ) {
+        self.findings.push(Finding {
+            experiment: experiment.to_string(),
+            metric: metric.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            shape_holds,
+        });
+    }
+
+    /// Render the collected findings as an aligned table.
+    pub fn print(&self) {
+        println!(
+            "\n{:<6} {:<38} {:>22} {:>22} {:>6}",
+            "exp", "metric", "paper", "simulated", "shape"
+        );
+        println!("{}", "-".repeat(100));
+        for f in &self.findings {
+            println!(
+                "{:<6} {:<38} {:>22} {:>22} {:>6}",
+                f.experiment,
+                f.metric,
+                f.paper,
+                f.measured,
+                if f.shape_holds { "OK" } else { "DIFF" }
+            );
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// True iff every finding preserved the paper's shape.
+    pub fn all_shapes_hold(&self) -> bool {
+        self.findings.iter().all(|f| f.shape_holds)
+    }
+}
+
+/// Print a section banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n===============================================================");
+    println!("{id}: {title}");
+    println!("===============================================================");
+}
+
+/// Format cycles as engineering notation.
+pub fn fmt_cycles(c: u64) -> String {
+    if c >= 1_000_000_000 {
+        format!("{:.2}G", c as f64 / 1e9)
+    } else if c >= 1_000_000 {
+        format!("{:.2}M", c as f64 / 1e6)
+    } else if c >= 1_000 {
+        format!("{:.1}k", c as f64 / 1e3)
+    } else {
+        c.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_serialises() {
+        let mut r = Report::new();
+        r.add("E1", "elapsed improvement", "60.6-63.8%", "72.1%", true);
+        r.add("E9", "made up", 1, 2, false);
+        assert_eq!(r.findings.len(), 2);
+        assert!(!r.all_shapes_hold());
+        let json = r.to_json();
+        assert!(json.contains("E1"));
+        assert!(json.contains("72.1%"));
+    }
+
+    #[test]
+    fn cycle_formatting() {
+        assert_eq!(fmt_cycles(999), "999");
+        assert_eq!(fmt_cycles(1_500), "1.5k");
+        assert_eq!(fmt_cycles(2_500_000), "2.50M");
+        assert_eq!(fmt_cycles(3_000_000_000), "3.00G");
+    }
+}

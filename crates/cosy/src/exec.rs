@@ -1,0 +1,864 @@
+//! The Cosy kernel extension: decode and execute compounds in the kernel.
+//!
+//! §2.3: *"The final component is the Cosy kernel extension, which is the
+//! heart of the Cosy framework. It decodes each operation within a compound
+//! and then executes each operation in turn."*
+//!
+//! Safety, as in the paper:
+//! * **Static checks** — the compound is validated before execution
+//!   (backward-only result references, argument arity, buffer references
+//!   bounds-checked against the shared region).
+//! * **Preemption watchdog** — between operations (and inside user
+//!   functions, via the interpreter tick), the kernel checks how long the
+//!   process has run in kernel mode and kills it past its budget.
+//! * **Segmentation** — user-supplied functions run with their data in an
+//!   isolated segment: [`IsolationMode::A`] also isolates code (a far call
+//!   is charged per entry/exit); [`IsolationMode::B`] isolates data only
+//!   (free calls, weaker containment).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use kclang::{
+    parse_program, typecheck, ExecConfig, Interp, InterpError, ParseError, Program, SegMode,
+    TypeError, TypeInfo,
+};
+use ksim::{Pid, PteFlags, SegKind, Segment, SimError, PAGE_SIZE};
+use ksyscall::{OpenFlags, SyscallLayer};
+use kvfs::VfsError;
+
+use crate::buffers::SharedRegion;
+use crate::compound::{Compound, CosyArg, CosyCall, CosyOp, DecodeError};
+
+/// Identifier of a kernel-loaded KC program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramId(pub u32);
+
+/// How user-supplied functions are contained (§2.3's two approaches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// No containment (ablation baseline only — the unsafe configuration
+    /// the paper warns about).
+    None,
+    /// Code *and* data in isolated segments: maximum security, a segment
+    /// switch charged on every function entry and exit.
+    A,
+    /// Data-only segment, code stays in the kernel segment: no call
+    /// overhead, but self-modifying/hand-crafted code is not contained.
+    B,
+}
+
+/// Per-submission execution options.
+#[derive(Debug, Clone)]
+pub struct CosyOptions {
+    pub isolation: IsolationMode,
+    /// Kernel-cycle budget enforced by the preemption watchdog.
+    pub watchdog_budget: Option<u64>,
+    /// Arena pages for user-function execution.
+    pub arena_pages: usize,
+    /// Step budget for user functions (defence in depth under the
+    /// watchdog).
+    pub max_steps: Option<u64>,
+}
+
+impl Default for CosyOptions {
+    fn default() -> Self {
+        CosyOptions {
+            isolation: IsolationMode::A,
+            watchdog_budget: Some(50_000_000), // ~29 ms of kernel time
+            arena_pages: 16,
+            max_steps: Some(10_000_000),
+        }
+    }
+}
+
+/// Errors from compound submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CosyError {
+    Decode(DecodeError),
+    Parse(ParseError),
+    Type(TypeError),
+    Sim(SimError),
+    Interp(InterpError),
+    Vfs(VfsError),
+    /// The watchdog killed the process mid-compound.
+    WatchdogKilled { op_index: usize },
+    BadProgram(u32),
+    BadArg(&'static str),
+}
+
+impl std::fmt::Display for CosyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CosyError::Decode(e) => write!(f, "{e}"),
+            CosyError::Parse(e) => write!(f, "{e}"),
+            CosyError::Type(e) => write!(f, "{e}"),
+            CosyError::Sim(e) => write!(f, "{e}"),
+            CosyError::Interp(e) => write!(f, "{e}"),
+            CosyError::Vfs(e) => write!(f, "{e}"),
+            CosyError::WatchdogKilled { op_index } => {
+                write!(f, "watchdog killed compound at op {op_index}")
+            }
+            CosyError::BadProgram(id) => write!(f, "no loaded program {id}"),
+            CosyError::BadArg(m) => write!(f, "bad compound argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CosyError {}
+
+impl From<SimError> for CosyError {
+    fn from(e: SimError) -> Self {
+        CosyError::Sim(e)
+    }
+}
+
+impl From<DecodeError> for CosyError {
+    fn from(e: DecodeError) -> Self {
+        CosyError::Decode(e)
+    }
+}
+
+/// Cycles to decode one compound operation (the paper notes decode overhead
+/// grows with language complexity; this is the per-op constant).
+const DECODE_OP_CYCLES: u64 = 90;
+/// In-kernel data movement between the page cache and the shared buffer,
+/// per 16-byte block (no access_ok setup, no double copy).
+const KCOPY_BLOCK16_CYCLES: u64 = 16;
+
+/// The kernel extension.
+pub struct CosyExtension {
+    sys: Arc<SyscallLayer>,
+    programs: RwLock<Vec<(Program, TypeInfo)>>,
+    arena_cursor: AtomicU64,
+}
+
+impl CosyExtension {
+    pub fn new(sys: Arc<SyscallLayer>) -> Self {
+        CosyExtension {
+            sys,
+            programs: RwLock::new(Vec::new()),
+            arena_cursor: AtomicU64::new(0xffff_f000_0000_0000),
+        }
+    }
+
+    pub fn syscalls(&self) -> &Arc<SyscallLayer> {
+        &self.sys
+    }
+
+    /// Load a KC program into the kernel (parse + typecheck happen here:
+    /// code that does not compile is never executed).
+    pub fn load_program(&self, src: &str) -> Result<ProgramId, CosyError> {
+        let prog = parse_program(src).map_err(CosyError::Parse)?;
+        let info = typecheck(&prog).map_err(CosyError::Type)?;
+        let mut programs = self.programs.write();
+        programs.push((prog, info));
+        Ok(ProgramId(programs.len() as u32 - 1))
+    }
+
+    /// Submit the compound encoded in `compound_buf` for execution, with
+    /// `data_buf` as the shared data buffer. One boundary crossing total.
+    /// Returns each operation's result.
+    pub fn submit(
+        &self,
+        pid: Pid,
+        compound_buf: &SharedRegion,
+        data_buf: &SharedRegion,
+        opts: &CosyOptions,
+    ) -> Result<Vec<i64>, CosyError> {
+        let machine = self.sys.machine().clone();
+        let token = machine.enter_kernel(pid)?;
+        machine.stats.compounds.fetch_add(1, Relaxed);
+        if let Some(b) = opts.watchdog_budget {
+            machine.set_kernel_budget(pid, Some(b))?;
+        }
+
+        let result = self.run_compound(pid, compound_buf, data_buf, opts);
+
+        machine.set_kernel_budget(pid, None).ok();
+        machine.exit_kernel(token);
+        result
+    }
+
+    fn run_compound(
+        &self,
+        pid: Pid,
+        compound_buf: &SharedRegion,
+        data_buf: &SharedRegion,
+        opts: &CosyOptions,
+    ) -> Result<Vec<i64>, CosyError> {
+        let machine = self.sys.machine().clone();
+
+        // Decode directly from the shared compound buffer: zero copies.
+        let mut bytes = vec![0u8; compound_buf.len()];
+        compound_buf.kern_read(0, &mut bytes)?;
+        let compound = Compound::decode(&bytes)?;
+        compound.validate()?;
+        machine.charge_sys(DECODE_OP_CYCLES * compound.len() as u64);
+
+        let mut results: Vec<i64> = Vec::with_capacity(compound.len());
+        for (i, op) in compound.ops.iter().enumerate() {
+            // Preemption point between operations: the watchdog check.
+            if let Err(SimError::WatchdogKilled { .. }) = machine.preempt_tick(pid) {
+                return Err(CosyError::WatchdogKilled { op_index: i });
+            }
+            machine.stats.compound_ops.fetch_add(1, Relaxed);
+            let ret = match op {
+                CosyOp::Syscall { call, args } => {
+                    self.exec_syscall(pid, *call, args, &results, data_buf)?
+                }
+                CosyOp::CallUser { prog, func, args } => {
+                    let scalars = args
+                        .iter()
+                        .map(|a| resolve_scalar(a, &results))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    self.exec_user_func(pid, *prog, func, &scalars, opts).map_err(|e| {
+                        match e {
+                            CosyError::Interp(InterpError::Killed(_)) => {
+                                CosyError::WatchdogKilled { op_index: i }
+                            }
+                            other => other,
+                        }
+                    })?
+                }
+            };
+            results.push(ret);
+        }
+        Ok(results)
+    }
+
+    fn exec_syscall(
+        &self,
+        pid: Pid,
+        call: CosyCall,
+        args: &[CosyArg],
+        results: &[i64],
+        data_buf: &SharedRegion,
+    ) -> Result<i64, CosyError> {
+        let machine = self.sys.machine().clone();
+        machine
+            .stats
+            .syscalls
+            .fetch_add(1, Relaxed);
+        let s = &self.sys;
+
+        let scalar = |a: &CosyArg| resolve_scalar(a, results);
+        let path = |a: &CosyArg| -> Result<String, CosyError> {
+            let CosyArg::BufRef { offset, len } = a else {
+                return Err(CosyError::BadArg("path must be a shared-buffer reference"));
+            };
+            data_buf.check_ref(*offset, *len)?;
+            let mut bytes = vec![0u8; *len as usize];
+            data_buf.kern_read(*offset as usize, &mut bytes)?;
+            let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+            Ok(String::from_utf8_lossy(&bytes[..end]).into_owned())
+        };
+
+        fn errno(e: VfsError) -> i64 {
+            e.errno()
+        }
+
+        Ok(match call {
+            CosyCall::Getpid => pid.0 as i64,
+            CosyCall::Open => {
+                let p = path(&args[0])?;
+                let flags = OpenFlags(scalar(&args[1])? as u32);
+                match s.k_open(pid, &p, flags) {
+                    Ok(fd) => fd as i64,
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Close => match s.k_close(pid, scalar(&args[0])? as i32) {
+                Ok(()) => 0,
+                Err(e) => errno(e),
+            },
+            CosyCall::Read => {
+                let fd = scalar(&args[0])? as i32;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("read needs a shared buffer"));
+                };
+                let want = (scalar(&args[2])?.max(0) as u32).min(len);
+                data_buf.check_ref(offset, want)?;
+                let mut buf = vec![0u8; want as usize];
+                match s.k_read(pid, fd, &mut buf) {
+                    Ok(n) => {
+                        // Page cache → shared buffer: one in-kernel move,
+                        // visible to the user with no boundary copy.
+                        data_buf.kern_write(offset as usize, &buf[..n])?;
+                        machine.charge_sys((n as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES);
+                        n as i64
+                    }
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Write => {
+                let fd = scalar(&args[0])? as i32;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("write needs a shared buffer"));
+                };
+                let want = (scalar(&args[2])?.max(0) as u32).min(len);
+                data_buf.check_ref(offset, want)?;
+                let mut buf = vec![0u8; want as usize];
+                data_buf.kern_read(offset as usize, &mut buf)?;
+                machine.charge_sys((want as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES);
+                match s.k_write(pid, fd, &buf) {
+                    Ok(n) => n as i64,
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Lseek => {
+                match s.k_lseek(
+                    pid,
+                    scalar(&args[0])? as i32,
+                    scalar(&args[1])?,
+                    scalar(&args[2])? as i32,
+                ) {
+                    Ok(o) => o as i64,
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Stat => {
+                let p = path(&args[0])?;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("stat needs an output buffer"));
+                };
+                if (len as usize) < kvfs::STAT_WIRE_BYTES {
+                    return Err(CosyError::BadArg("stat buffer too small"));
+                }
+                data_buf.check_ref(offset, len)?;
+                match s.k_stat(&p) {
+                    Ok(st) => {
+                        data_buf.kern_write(offset as usize, &st.to_wire())?;
+                        0
+                    }
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Fstat => {
+                let fd = scalar(&args[0])? as i32;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("fstat needs an output buffer"));
+                };
+                if (len as usize) < kvfs::STAT_WIRE_BYTES {
+                    return Err(CosyError::BadArg("fstat buffer too small"));
+                }
+                data_buf.check_ref(offset, len)?;
+                match s.k_fstat(pid, fd) {
+                    Ok(st) => {
+                        data_buf.kern_write(offset as usize, &st.to_wire())?;
+                        0
+                    }
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Readdir => {
+                let fd = scalar(&args[0])? as i32;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("readdir needs a shared buffer"));
+                };
+                data_buf.check_ref(offset, len)?;
+                let max_by_space = len as usize / kvfs::DIRENT_WIRE_BYTES;
+                let max = (scalar(&args[2])?.max(0) as usize).min(max_by_space);
+                match s.k_readdir_chunk(pid, fd, max) {
+                    Ok(entries) => {
+                        let mut buf =
+                            Vec::with_capacity(entries.len() * kvfs::DIRENT_WIRE_BYTES);
+                        for e in &entries {
+                            buf.extend_from_slice(&ksyscall::wire::dirent_to_wire(e));
+                        }
+                        data_buf.kern_write(offset as usize, &buf)?;
+                        machine.charge_sys(
+                            (buf.len() as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES,
+                        );
+                        entries.len() as i64
+                    }
+                    Err(e) => errno(e),
+                }
+            }
+            CosyCall::Mkdir => match s.k_mkdir(&path(&args[0])?) {
+                Ok(()) => 0,
+                Err(e) => errno(e),
+            },
+            CosyCall::Unlink => match s.k_unlink(&path(&args[0])?) {
+                Ok(()) => 0,
+                Err(e) => errno(e),
+            },
+        })
+    }
+
+    fn exec_user_func(
+        &self,
+        pid: Pid,
+        prog_id: u32,
+        func: &str,
+        args: &[i64],
+        opts: &CosyOptions,
+    ) -> Result<i64, CosyError> {
+        let machine = self.sys.machine().clone();
+        let programs = self.programs.read();
+        let (prog, info) = programs
+            .get(prog_id as usize)
+            .ok_or(CosyError::BadProgram(prog_id))?;
+
+        // Allocate the function's arena in kernel space.
+        let pages = opts.arena_pages.max(1);
+        let arena = self
+            .arena_cursor
+            .fetch_add(((pages + 4) * PAGE_SIZE) as u64, Relaxed);
+        for i in 0..pages {
+            machine
+                .mem
+                .map_anon(machine.kernel_asid(), arena + (i * PAGE_SIZE) as u64, PteFlags::rw())?;
+        }
+
+        // Containment per isolation mode.
+        let (seg_mode, seg_sel, entry_cost) = match opts.isolation {
+            IsolationMode::None => (SegMode::Flat, None, 0),
+            IsolationMode::A => {
+                let sel = machine.segs.install(Segment {
+                    asid: machine.kernel_asid(),
+                    base: arena,
+                    limit: (pages * PAGE_SIZE) as u64,
+                    kind: SegKind::Data,
+                });
+                // Mode A: far call into the isolated code segment.
+                (SegMode::Segmented(sel), Some(sel), machine.cost.segment_switch)
+            }
+            IsolationMode::B => {
+                let sel = machine.segs.install(Segment {
+                    asid: machine.kernel_asid(),
+                    base: arena,
+                    limit: (pages * PAGE_SIZE) as u64,
+                    kind: SegKind::Data,
+                });
+                (SegMode::Segmented(sel), Some(sel), 0)
+            }
+        };
+        machine.charge_sys(entry_cost);
+
+        let mut cfg = ExecConfig::flat(machine.kernel_asid());
+        cfg.seg = seg_mode;
+        cfg.charge_sys = true;
+        cfg.max_steps = opts.max_steps;
+
+        let run_result = (|| {
+            let mut interp =
+                Interp::new(&machine, prog, info, cfg, arena, pages * PAGE_SIZE)
+                    .map_err(CosyError::Interp)?;
+            let host = crate::hosts::KernelHost { sys: self.sys.clone(), pid };
+            interp.set_host(&host);
+            let m2 = machine.clone();
+            let ticker = move |_steps: u64| {
+                m2.preempt_tick(pid)
+                    .map_err(|e| InterpError::Killed(e.to_string()))
+            };
+            interp.set_ticker(&ticker);
+            interp.run(func, args).map_err(CosyError::Interp)
+        })();
+
+        machine.charge_sys(entry_cost); // mode A: far return
+        if let Some(sel) = seg_sel {
+            machine.segs.remove(sel).ok();
+        }
+        for i in 0..pages {
+            if let Ok(Some(pte)) = machine
+                .mem
+                .unmap_page(machine.kernel_asid(), arena + (i * PAGE_SIZE) as u64)
+            {
+                if let Some(pfn) = pte.pfn {
+                    machine.mem.phys.free_frame(pfn);
+                }
+            }
+        }
+        run_result.map(|o| o.ret)
+    }
+}
+
+fn resolve_scalar(a: &CosyArg, results: &[i64]) -> Result<i64, CosyError> {
+    match a {
+        CosyArg::Lit(v) => Ok(*v),
+        CosyArg::ResultOf(i) => results
+            .get(*i as usize)
+            .copied()
+            .ok_or(CosyError::BadArg("result reference out of range")),
+        CosyArg::BufRef { .. } => Err(CosyError::BadArg("buffer where scalar expected")),
+    }
+}
+
+impl std::fmt::Debug for CosyExtension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CosyExtension")
+            .field("programs", &self.programs.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CompoundBuilder;
+    use ksim::{Machine, MachineConfig};
+    use kvfs::{BlockDev, MemFs, Vfs};
+
+    fn setup() -> (Arc<Machine>, Arc<SyscallLayer>, CosyExtension, Pid) {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        let fs = Arc::new(MemFs::new(m.clone(), dev));
+        let vfs = Arc::new(Vfs::new(m.clone(), fs));
+        let sys = Arc::new(SyscallLayer::new(m.clone(), vfs));
+        let ext = CosyExtension::new(sys.clone());
+        let pid = m.spawn_process();
+        (m, sys, ext, pid)
+    }
+
+    fn regions(m: &Arc<Machine>, pid: Pid) -> (SharedRegion, SharedRegion) {
+        (
+            SharedRegion::new(m.clone(), pid, 1, 0).unwrap(),
+            SharedRegion::new(m.clone(), pid, 4, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn compound_write_then_read_roundtrip_in_one_crossing() {
+        let (m, sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+
+        let mut b = CompoundBuilder::new(&cb, &db);
+        let path = b.stage_path("/cosy-file").unwrap();
+        let data = b.alloc_buf(64).unwrap();
+        let CosyArg::BufRef { offset, .. } = data else { panic!() };
+        db.user_write(offset as usize, b"hello compound syscalls!").unwrap();
+
+        let fd = b.syscall(CosyCall::Open, vec![path, CompoundBuilder::lit(0x42)]); // CREAT|RDWR
+        b.syscall(
+            CosyCall::Write,
+            vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(24)],
+        );
+        b.syscall(
+            CosyCall::Lseek,
+            vec![CompoundBuilder::result_of(fd), CompoundBuilder::lit(0), CompoundBuilder::lit(0)],
+        );
+        let readbuf = b.alloc_buf(64).unwrap();
+        b.syscall(
+            CosyCall::Read,
+            vec![CompoundBuilder::result_of(fd), readbuf, CompoundBuilder::lit(64)],
+        );
+        b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+        b.finish().unwrap();
+
+        let s0 = m.stats.snapshot();
+        let results = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        let d = m.stats.snapshot().delta(&s0);
+
+        assert_eq!(d.crossings, 1, "whole compound in one crossing");
+        assert_eq!(d.compounds, 1);
+        assert_eq!(d.compound_ops, 5);
+        assert!(results[0] >= 0, "open succeeded");
+        assert_eq!(results[1], 24, "wrote 24 bytes");
+        assert_eq!(results[3], 24, "read them back");
+
+        let CosyArg::BufRef { offset: ro, .. } = readbuf else { panic!() };
+        let mut back = vec![0u8; 24];
+        db.user_read(ro as usize, &mut back).unwrap();
+        assert_eq!(&back, b"hello compound syscalls!");
+        // File really exists with the right content.
+        assert_eq!(sys.k_stat("/cosy-file").unwrap().size, 24);
+    }
+
+    #[test]
+    fn result_dependencies_chain_correctly() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        let mut b = CompoundBuilder::new(&cb, &db);
+        let p = b.stage_path("/f").unwrap();
+        let fd = b.syscall(CosyCall::Open, vec![p, CompoundBuilder::lit(0x42)]);
+        // Close the fd returned by open — a dependency.
+        b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+        // Closing it again must fail with EBADF through the dependency too.
+        b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+        b.finish().unwrap();
+        let results = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        assert_eq!(results[1], 0);
+        assert_eq!(results[2], -9, "EBADF on double close");
+    }
+
+    #[test]
+    fn user_function_runs_in_kernel_with_no_extra_crossings() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        let prog = ext
+            .load_program(
+                r#"
+                int sum_squares(int n) {
+                    int i;
+                    int acc = 0;
+                    for (i = 1; i <= n; i = i + 1) { acc = acc + i * i; }
+                    return acc;
+                }
+                "#,
+            )
+            .unwrap();
+        assert_eq!(prog, ProgramId(0));
+
+        let mut b = CompoundBuilder::new(&cb, &db);
+        b.call_user(0, "sum_squares", vec![CompoundBuilder::lit(10)]);
+        b.finish().unwrap();
+
+        let s0 = m.stats.snapshot();
+        let results = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        assert_eq!(results, vec![385]);
+        assert_eq!(m.stats.snapshot().delta(&s0).crossings, 1);
+    }
+
+    #[test]
+    fn watchdog_kills_runaway_user_function() {
+        let (_m, _sys, ext, pid) = setup();
+        let m = ext.sys.machine().clone();
+        let (cb, db) = regions(&m, pid);
+        ext.load_program("int spin() { while (1) { } return 0; }").unwrap();
+        let mut b = CompoundBuilder::new(&cb, &db);
+        b.call_user(0, "spin", vec![]);
+        b.finish().unwrap();
+        let opts = CosyOptions {
+            watchdog_budget: Some(200_000),
+            ..CosyOptions::default()
+        };
+        let err = ext.submit(pid, &cb, &db, &opts).unwrap_err();
+        assert!(
+            matches!(err, CosyError::WatchdogKilled { op_index: 0 }),
+            "got {err:?}"
+        );
+        // The process was killed, as the paper specifies.
+        assert!(m.enter_kernel(pid).is_err());
+    }
+
+    #[test]
+    fn isolation_blocks_wild_pointer_escapes() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        // A malicious function poking at an arbitrary kernel address.
+        ext.load_program(
+            r#"
+            int poke() {
+                int *p = 99999999999; // far outside the isolation segment
+                *p = 7;
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        for mode in [IsolationMode::A, IsolationMode::B] {
+            let mut b = CompoundBuilder::new(&cb, &db);
+            b.call_user(0, "poke", vec![]);
+            b.finish().unwrap();
+            let opts = CosyOptions { isolation: mode, ..CosyOptions::default() };
+            let err = ext.submit(pid, &cb, &db, &opts).unwrap_err();
+            assert!(
+                matches!(err, CosyError::Interp(InterpError::Segment { .. })),
+                "{mode:?} must contain the escape, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mode_a_charges_segment_switches_mode_b_does_not() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        ext.load_program("int f() { return 1; }").unwrap();
+
+        let run = |mode| {
+            let mut b = CompoundBuilder::new(&cb, &db);
+            b.call_user(0, "f", vec![]);
+            b.finish().unwrap();
+            let s0 = m.clock.sys_cycles();
+            ext.submit(pid, &cb, &db, &CosyOptions { isolation: mode, ..Default::default() })
+                .unwrap();
+            m.clock.sys_cycles() - s0
+        };
+        let cost_a = run(IsolationMode::A);
+        let cost_b = run(IsolationMode::B);
+        assert!(
+            cost_a >= cost_b + 2 * m.cost.segment_switch,
+            "A={cost_a} B={cost_b}"
+        );
+    }
+
+    #[test]
+    fn bad_buffer_references_are_rejected() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        let mut b = CompoundBuilder::new(&cb, &db);
+        // Hand-craft a read with an out-of-range BufRef (bypassing the
+        // builder's checks, like a malicious user would).
+        b.syscall(
+            CosyCall::Read,
+            vec![
+                CompoundBuilder::lit(0),
+                CosyArg::BufRef { offset: 0, len: 1 },
+                CompoundBuilder::lit(1),
+            ],
+        );
+        let mut c = b.finish().unwrap();
+        c.ops[0] = CosyOp::Syscall {
+            call: CosyCall::Read,
+            args: vec![
+                CosyArg::Lit(0),
+                CosyArg::BufRef { offset: 1 << 30, len: 4096 },
+                CosyArg::Lit(4096),
+            ],
+        };
+        cb.user_write(0, &c.encode()).unwrap();
+        let err = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+        assert!(matches!(err, CosyError::Sim(SimError::Invalid(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn unknown_program_and_function_are_errors() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        let mut b = CompoundBuilder::new(&cb, &db);
+        b.call_user(99, "nope", vec![]);
+        b.finish().unwrap();
+        assert!(matches!(
+            ext.submit(pid, &cb, &db, &CosyOptions::default()),
+            Err(CosyError::BadProgram(99))
+        ));
+
+        ext.load_program("int f() { return 0; }").unwrap();
+        let mut b = CompoundBuilder::new(&cb, &db);
+        b.call_user(0, "missing", vec![]);
+        b.finish().unwrap();
+        assert!(matches!(
+            ext.submit(pid, &cb, &db, &CosyOptions::default()),
+            Err(CosyError::Interp(InterpError::NoSuchFunction(_)))
+        ));
+    }
+
+    #[test]
+    fn programs_that_do_not_compile_are_never_loaded() {
+        let (_m, _sys, ext, _pid) = setup();
+        assert!(matches!(ext.load_program("int f( {"), Err(CosyError::Parse(_))));
+        assert!(matches!(
+            ext.load_program("int f() { return ghost; }"),
+            Err(CosyError::Type(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod equivalence_proptests {
+    //! Randomized compounds of file operations must produce exactly the
+    //! results (and file state) of executing the same operations directly
+    //! through the in-kernel entry points — the dependency-resolution
+    //! equivalence DESIGN.md promises.
+
+    use super::*;
+    use crate::builder::CompoundBuilder;
+    use crate::buffers::SharedRegion;
+    use ksim::{Machine, MachineConfig};
+    use kvfs::{BlockDev, MemFs, Vfs};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum FileOp {
+        Write(u8),          // write n bytes at the current offset
+        SeekSet(u16),       // absolute seek
+        Read(u8),           // read n bytes
+    }
+
+    fn arb_op() -> impl Strategy<Value = FileOp> {
+        prop_oneof![
+            (1u8..64).prop_map(FileOp::Write),
+            (0u16..512).prop_map(FileOp::SeekSet),
+            (1u8..64).prop_map(FileOp::Read),
+        ]
+    }
+
+    fn setup() -> (Arc<Machine>, Arc<SyscallLayer>, CosyExtension, Pid) {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        let fs = Arc::new(MemFs::new(m.clone(), dev));
+        let vfs = Arc::new(Vfs::new(m.clone(), fs));
+        let sys = Arc::new(SyscallLayer::new(m.clone(), vfs));
+        let ext = CosyExtension::new(sys.clone());
+        let pid = m.spawn_process();
+        (m, sys, ext, pid)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn compound_equals_direct_execution(ops in proptest::collection::vec(arb_op(), 1..20)) {
+            // Direct path.
+            let (_, sys_d, _, pid_d) = setup();
+            let fd_d = sys_d.k_open(pid_d, "/f", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+            let mut direct_results = Vec::new();
+            let payload = [0xCDu8; 64];
+            for op in &ops {
+                let r = match op {
+                    FileOp::Write(n) => {
+                        sys_d.k_write(pid_d, fd_d, &payload[..*n as usize]).unwrap() as i64
+                    }
+                    FileOp::SeekSet(off) => sys_d.k_lseek(pid_d, fd_d, *off as i64, 0).unwrap() as i64,
+                    FileOp::Read(n) => {
+                        let mut buf = vec![0u8; *n as usize];
+                        sys_d.k_read(pid_d, fd_d, &mut buf).unwrap() as i64
+                    }
+                };
+                direct_results.push(r);
+            }
+            let direct_size = sys_d.k_stat("/f").unwrap().size;
+
+            // Compound path: identical ops encoded into one compound.
+            let (m, sys_c, ext, pid) = setup();
+            let cb = SharedRegion::new(m.clone(), pid, 2, 0).unwrap();
+            let db = SharedRegion::new(m.clone(), pid, 4, 1).unwrap();
+            let fd = sys_c.k_open(pid, "/f", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+            let mut b = CompoundBuilder::new(&cb, &db);
+            let data = b.stage_bytes(&[0xCDu8; 64]).unwrap();
+            let CosyArg::BufRef { offset: data_off, .. } = data else { unreachable!() };
+            for op in &ops {
+                match op {
+                    FileOp::Write(n) => {
+                        b.syscall(
+                            CosyCall::Write,
+                            vec![
+                                CompoundBuilder::lit(fd as i64),
+                                CosyArg::BufRef { offset: data_off, len: *n as u32 },
+                                CompoundBuilder::lit(*n as i64),
+                            ],
+                        );
+                    }
+                    FileOp::SeekSet(off) => {
+                        b.syscall(
+                            CosyCall::Lseek,
+                            vec![
+                                CompoundBuilder::lit(fd as i64),
+                                CompoundBuilder::lit(*off as i64),
+                                CompoundBuilder::lit(0),
+                            ],
+                        );
+                    }
+                    FileOp::Read(n) => {
+                        let buf = b.alloc_buf(*n as u32).unwrap();
+                        b.syscall(
+                            CosyCall::Read,
+                            vec![
+                                CompoundBuilder::lit(fd as i64),
+                                buf,
+                                CompoundBuilder::lit(*n as i64),
+                            ],
+                        );
+                    }
+                }
+            }
+            b.finish().unwrap();
+            let results = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+
+            prop_assert_eq!(&results, &direct_results);
+            prop_assert_eq!(sys_c.k_stat("/f").unwrap().size, direct_size);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Syscall hosts: how `sys_*` intrinsics in KC programs reach the kernel.
+//!
+//! * [`UserHost`] — the baseline: each intrinsic becomes a full system call
+//!   with a boundary crossing and user↔kernel copies. This is how the
+//!   unmodified application of E3/E4 runs.
+//! * [`KernelHost`] — the Cosy path: the function is already executing in
+//!   the kernel, so intrinsics dispatch directly to the in-kernel `k_*`
+//!   entry points. *"The system call invocation by the Cosy kernel module
+//!   is the same as a normal process and hence all the necessary checks are
+//!   performed"* — minus the crossing and the copies.
+
+use std::sync::Arc;
+
+use kclang::{InterpError, MemCtx, SyscallHost};
+use ksim::Pid;
+use ksyscall::{OpenFlags, SyscallLayer};
+
+/// Cost of an in-kernel syscall dispatch (table lookup + checks, no trap).
+const KERNEL_DISPATCH_CYCLES: u64 = 120;
+
+fn read_path(mem: &MemCtx<'_>, addr: i64) -> Result<String, InterpError> {
+    mem.read_cstr(addr as u64)
+}
+
+/// Baseline host: every intrinsic is a real system call.
+pub struct UserHost {
+    pub sys: Arc<SyscallLayer>,
+    pub pid: Pid,
+}
+
+impl SyscallHost for UserHost {
+    fn host_call(
+        &self,
+        name: &str,
+        args: &[i64],
+        mem: &MemCtx<'_>,
+    ) -> Result<i64, InterpError> {
+        let s = &self.sys;
+        let pid = self.pid;
+        Ok(match name {
+            "sys_getpid" => s.sys_getpid(pid),
+            "sys_open" => {
+                let path = read_path(mem, args[0])?;
+                s.sys_open(pid, &path, OpenFlags(args[1] as u32))
+            }
+            "sys_close" => s.sys_close(pid, args[0] as i32),
+            // The program's buffers live in its (user) address space, so
+            // the buffer address can be passed straight through: the
+            // syscall layer performs the user copy.
+            "sys_read" => s.sys_read(pid, args[0] as i32, args[1] as u64, args[2] as usize),
+            "sys_write" => s.sys_write(pid, args[0] as i32, args[1] as u64, args[2] as usize),
+            "sys_lseek" => s.sys_lseek(pid, args[0] as i32, args[1], args[2] as i32),
+            "sys_stat" => {
+                let path = read_path(mem, args[0])?;
+                s.sys_stat(pid, &path, args[1] as u64)
+            }
+            "sys_fstat" => s.sys_fstat(pid, args[0] as i32, args[1] as u64),
+            "sys_mkdir" => {
+                let path = read_path(mem, args[0])?;
+                s.sys_mkdir(pid, &path)
+            }
+            "sys_unlink" => {
+                let path = read_path(mem, args[0])?;
+                s.sys_unlink(pid, &path)
+            }
+            other => return Err(InterpError::BadCall(format!("unknown intrinsic {other}"))),
+        })
+    }
+}
+
+/// Cosy host: intrinsics dispatch in-kernel, no crossings, data moves
+/// through the (already kernel-visible) program memory via `MemCtx` —
+/// which also enforces the isolation segment.
+pub struct KernelHost {
+    pub sys: Arc<SyscallLayer>,
+    pub pid: Pid,
+}
+
+impl SyscallHost for KernelHost {
+    fn host_call(
+        &self,
+        name: &str,
+        args: &[i64],
+        mem: &MemCtx<'_>,
+    ) -> Result<i64, InterpError> {
+        let s = &self.sys;
+        let pid = self.pid;
+        let m = s.machine();
+        m.charge_sys(KERNEL_DISPATCH_CYCLES);
+        m.stats.syscalls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+        fn vr<T: Into<i64>>(r: Result<T, kvfs::VfsError>) -> i64 {
+            match r {
+                Ok(v) => v.into(),
+                Err(e) => e.errno(),
+            }
+        }
+
+        Ok(match name {
+            "sys_getpid" => pid.0 as i64,
+            "sys_open" => {
+                let path = read_path(mem, args[0])?;
+                vr(s.k_open(pid, &path, OpenFlags(args[1] as u32)))
+            }
+            "sys_close" => match s.k_close(pid, args[0] as i32) {
+                Ok(()) => 0,
+                Err(e) => e.errno(),
+            },
+            "sys_read" => {
+                // Read into a kernel scratch buffer, then store through the
+                // segment-checked program memory — still no user crossing.
+                let len = args[2].max(0) as usize;
+                let mut buf = vec![0u8; len];
+                match s.k_read(pid, args[0] as i32, &mut buf) {
+                    Ok(n) => {
+                        mem.write(args[1] as u64, &buf[..n])?;
+                        n as i64
+                    }
+                    Err(e) => e.errno(),
+                }
+            }
+            "sys_write" => {
+                let len = args[2].max(0) as usize;
+                let mut buf = vec![0u8; len];
+                mem.read(args[1] as u64, &mut buf)?;
+                match s.k_write(pid, args[0] as i32, &buf) {
+                    Ok(n) => n as i64,
+                    Err(e) => e.errno(),
+                }
+            }
+            "sys_lseek" => match s.k_lseek(pid, args[0] as i32, args[1], args[2] as i32) {
+                Ok(o) => o as i64,
+                Err(e) => e.errno(),
+            },
+            "sys_stat" => match s.k_stat(&read_path(mem, args[0])?) {
+                Ok(st) => {
+                    mem.write(args[1] as u64, &st.to_wire())?;
+                    0
+                }
+                Err(e) => e.errno(),
+            },
+            "sys_fstat" => match s.k_fstat(pid, args[0] as i32) {
+                Ok(st) => {
+                    mem.write(args[1] as u64, &st.to_wire())?;
+                    0
+                }
+                Err(e) => e.errno(),
+            },
+            "sys_mkdir" => match s.k_mkdir(&read_path(mem, args[0])?) {
+                Ok(()) => 0,
+                Err(e) => e.errno(),
+            },
+            "sys_unlink" => match s.k_unlink(&read_path(mem, args[0])?) {
+                Ok(()) => 0,
+                Err(e) => e.errno(),
+            },
+            other => return Err(InterpError::BadCall(format!("unknown intrinsic {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kclang::{parse_program, typecheck, ExecConfig, Interp};
+    use ksim::{Machine, MachineConfig, PteFlags, PAGE_SIZE};
+    use kvfs::{BlockDev, MemFs, Vfs};
+
+    fn setup() -> (Arc<Machine>, Arc<SyscallLayer>, Pid) {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        let fs = Arc::new(MemFs::new(m.clone(), dev));
+        let vfs = Arc::new(Vfs::new(m.clone(), fs));
+        let sys = Arc::new(SyscallLayer::new(m.clone(), vfs));
+        let pid = m.spawn_process();
+        (m, sys, pid)
+    }
+
+    const PROG: &str = r#"
+        int work() {
+            char buf[256];
+            int fd = sys_open("/data", 66);
+            sys_write(fd, "abcdefgh", 8);
+            sys_lseek(fd, 0, 0);
+            int n = sys_read(fd, buf, 256);
+            sys_close(fd);
+            return n;
+        }
+    "#;
+
+    fn run_with_host(
+        m: &Machine,
+        sys: &Arc<SyscallLayer>,
+        pid: Pid,
+        user_mode: bool,
+    ) -> (i64, u64) {
+        let prog = parse_program(PROG).unwrap();
+        let info = typecheck(&prog).unwrap();
+        // Arena in the process's own address space for the user host; in
+        // kernel space for the kernel host.
+        let asid = if user_mode { m.proc_asid(pid).unwrap() } else { m.kernel_asid() };
+        let arena = 0x5000_0000u64;
+        for i in 0..16 {
+            m.mem
+                .map_anon(asid, arena + (i * PAGE_SIZE) as u64, PteFlags::rw())
+                .unwrap();
+        }
+        let mut cfg = ExecConfig::flat(asid);
+        cfg.charge_sys = !user_mode;
+        let mut interp = Interp::new(m, &prog, &info, cfg, arena, 16 * PAGE_SIZE).unwrap();
+        let user_host;
+        let kern_host;
+        if user_mode {
+            user_host = UserHost { sys: sys.clone(), pid };
+            interp.set_host(&user_host);
+        } else {
+            kern_host = KernelHost { sys: sys.clone(), pid };
+            interp.set_host(&kern_host);
+        }
+        let before = m.stats.crossings.load(std::sync::atomic::Ordering::Relaxed);
+        let out = interp.run("work", &[]).unwrap();
+        let after = m.stats.crossings.load(std::sync::atomic::Ordering::Relaxed);
+        (out.ret, after - before)
+    }
+
+    #[test]
+    fn user_host_pays_one_crossing_per_syscall() {
+        let (m, sys, pid) = setup();
+        let (ret, crossings) = run_with_host(&m, &sys, pid, true);
+        assert_eq!(ret, 8, "read back the 8 bytes written");
+        assert_eq!(crossings, 5, "open, write, lseek, read, close");
+    }
+
+    #[test]
+    fn kernel_host_pays_no_crossings() {
+        let (m, sys, pid) = setup();
+        let (ret, crossings) = run_with_host(&m, &sys, pid, false);
+        assert_eq!(ret, 8);
+        assert_eq!(crossings, 0, "in-kernel dispatch never crosses");
+    }
+
+    #[test]
+    fn both_hosts_produce_identical_file_state() {
+        let (m, sys, pid) = setup();
+        run_with_host(&m, &sys, pid, true);
+        let st_user = sys.k_stat("/data").unwrap();
+        sys.k_unlink("/data").unwrap();
+        run_with_host(&m, &sys, pid, false);
+        let st_kern = sys.k_stat("/data").unwrap();
+        assert_eq!(st_user.size, st_kern.size);
+    }
+}

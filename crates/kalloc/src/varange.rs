@@ -1,0 +1,188 @@
+//! Kernel virtual-address range allocator (the `vmlist` analogue).
+//!
+//! First-fit over a free map keyed by start address, with coalescing on
+//! free. Page-granular: all sizes are in pages. Supports an inter-range
+//! *gap* so callers (vmalloc, Kefence) can leave unmapped holes between
+//! allocations — touching a hole raises a not-present fault, which is itself
+//! a (weaker) form of overflow detection vanilla vmalloc provides for free.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use ksim::{SimError, SimResult, PAGE_SIZE};
+
+/// Page-granular first-fit VA allocator over `[base, end)`.
+#[derive(Debug)]
+pub struct VaAllocator {
+    base: u64,
+    end: u64,
+    /// start → length (bytes) of each free range, disjoint and coalesced.
+    free: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl VaAllocator {
+    /// Manage the VA window `[base, end)`. Both must be page-aligned.
+    pub fn new(base: u64, end: u64) -> Self {
+        assert!(base < end, "empty VA window");
+        assert_eq!(base % PAGE_SIZE as u64, 0, "base must be page-aligned");
+        assert_eq!(end % PAGE_SIZE as u64, 0, "end must be page-aligned");
+        let mut free = BTreeMap::new();
+        free.insert(base, end - base);
+        VaAllocator { base, end, free: Mutex::new(free) }
+    }
+
+    /// Allocate `npages` contiguous pages, plus `gap_pages` of address space
+    /// left unallocated *after* them (guard hole). Returns the start VA of
+    /// the usable range; the hole is owned by the allocation and returned
+    /// on [`VaAllocator::free`].
+    pub fn alloc(&self, npages: usize, gap_pages: usize) -> SimResult<u64> {
+        if npages == 0 {
+            return Err(SimError::Invalid("zero-page VA allocation"));
+        }
+        let want = ((npages + gap_pages) * PAGE_SIZE) as u64;
+        let mut free = self.free.lock();
+        // First fit: lowest address wins, like vmlist insertion order.
+        let slot = free
+            .iter()
+            .find(|(_, &len)| len >= want)
+            .map(|(&start, &len)| (start, len));
+        let (start, len) = slot.ok_or(SimError::OutOfMemory)?;
+        free.remove(&start);
+        if len > want {
+            free.insert(start + want, len - want);
+        }
+        Ok(start)
+    }
+
+    /// Return `npages + gap_pages` pages starting at `va` to the free pool,
+    /// coalescing with neighbours.
+    pub fn free(&self, va: u64, npages: usize, gap_pages: usize) {
+        let len = ((npages + gap_pages) * PAGE_SIZE) as u64;
+        assert!(va >= self.base && va + len <= self.end, "free outside arena");
+        let mut free = self.free.lock();
+
+        let mut start = va;
+        let mut total = len;
+
+        // Coalesce with the predecessor if adjacent.
+        if let Some((&pstart, &plen)) = free.range(..va).next_back() {
+            assert!(pstart + plen <= va, "double free / overlap at {va:#x}");
+            if pstart + plen == va {
+                free.remove(&pstart);
+                start = pstart;
+                total += plen;
+            }
+        }
+        // Coalesce with the successor if adjacent.
+        if let Some((&nstart, &nlen)) = free.range(va..).next() {
+            assert!(va + len <= nstart, "double free / overlap at {va:#x}");
+            if va + len == nstart {
+                free.remove(&nstart);
+                total += nlen;
+            }
+        }
+        free.insert(start, total);
+    }
+
+    /// Total free bytes remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.lock().values().sum()
+    }
+
+    /// Number of disjoint free ranges (fragmentation measure).
+    pub fn fragments(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// The managed window.
+    pub fn window(&self) -> (u64, u64) {
+        (self.base, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PG: u64 = PAGE_SIZE as u64;
+
+    fn arena(pages: u64) -> VaAllocator {
+        VaAllocator::new(0x1000_0000, 0x1000_0000 + pages * PG)
+    }
+
+    #[test]
+    fn first_fit_allocates_lowest_address() {
+        let a = arena(16);
+        let x = a.alloc(2, 0).unwrap();
+        let y = a.alloc(3, 0).unwrap();
+        assert_eq!(x, 0x1000_0000);
+        assert_eq!(y, 0x1000_0000 + 2 * PG);
+    }
+
+    #[test]
+    fn gap_pages_reserve_a_hole() {
+        let a = arena(16);
+        let x = a.alloc(1, 1).unwrap(); // 1 page + 1 page hole
+        let y = a.alloc(1, 0).unwrap();
+        assert_eq!(y, x + 2 * PG, "the hole must not be handed out");
+    }
+
+    #[test]
+    fn free_coalesces_neighbours() {
+        let a = arena(8);
+        let x = a.alloc(2, 0).unwrap();
+        let y = a.alloc(2, 0).unwrap();
+        let z = a.alloc(2, 0).unwrap();
+        assert_eq!(a.fragments(), 1);
+        a.free(x, 2, 0);
+        a.free(z, 2, 0); // z is adjacent to the tail: coalesces with it
+        assert_eq!(a.fragments(), 2, "low hole + (z ∪ tail)");
+        a.free(y, 2, 0); // bridges the low hole and the high range
+        assert_eq!(a.fragments(), 1, "full coalesce back to one range");
+        assert_eq!(a.free_bytes(), 8 * PG);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom_and_frees_recover() {
+        let a = arena(4);
+        let x = a.alloc(4, 0).unwrap();
+        assert!(matches!(a.alloc(1, 0), Err(SimError::OutOfMemory)));
+        a.free(x, 4, 0);
+        assert!(a.alloc(4, 0).is_ok());
+    }
+
+    #[test]
+    fn gap_is_returned_on_free() {
+        let a = arena(4);
+        let x = a.alloc(2, 2).unwrap();
+        assert!(matches!(a.alloc(1, 0), Err(SimError::OutOfMemory)));
+        a.free(x, 2, 2);
+        assert_eq!(a.free_bytes(), 4 * PG);
+    }
+
+    #[test]
+    fn zero_page_alloc_rejected() {
+        let a = arena(4);
+        assert!(a.alloc(0, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn overlapping_free_panics() {
+        let a = arena(4);
+        let x = a.alloc(2, 0).unwrap();
+        a.free(x, 2, 0);
+        a.free(x, 2, 0);
+    }
+
+    #[test]
+    fn reuses_freed_low_range_first() {
+        let a = arena(8);
+        let x = a.alloc(2, 0).unwrap();
+        let _y = a.alloc(2, 0).unwrap();
+        a.free(x, 2, 0);
+        let z = a.alloc(1, 0).unwrap();
+        assert_eq!(z, x, "first-fit must prefer the low hole");
+    }
+}

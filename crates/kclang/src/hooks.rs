@@ -1,0 +1,128 @@
+//! Instrumentation hooks: the seam where KGCC's runtime checks attach.
+//!
+//! The paper's BCC/KGCC inserts check calls before "all operations that can
+//! potentially cause bounds violations, like pointer arithmetic, string
+//! operations, memory copying". In this reproduction, the interpreter calls
+//! a [`MemHook`] at exactly those points, carrying the expression id as the
+//! **check-site** identifier — the unit of check elimination and dynamic
+//! deinstrumentation in the `kgcc` crate.
+
+use std::fmt;
+
+/// What kind of invariant a check found violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Memory access outside any live object.
+    OutOfBounds,
+    /// Dereference of a pointer to a freed object.
+    UseAfterFree,
+    /// Dereference of an out-of-bounds (peer) pointer.
+    DerefOob,
+    /// `free` of a pointer that is not a live allocation base.
+    BadFree,
+}
+
+/// A check violation, reported instead of silent corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckViolation {
+    pub kind: ViolationKind,
+    /// The check site (expression id) that caught it.
+    pub site: u32,
+    /// The offending address.
+    pub addr: u64,
+    /// Access length in bytes (0 when not applicable).
+    pub len: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} at site {} addr {:#x} len {}: {}",
+            self.kind, self.site, self.addr, self.len, self.msg
+        )
+    }
+}
+
+impl std::error::Error for CheckViolation {}
+
+/// Runtime memory-checking hooks.
+///
+/// All methods default to "allow" so a hook can implement only what it
+/// needs. Returning `Err` aborts the program with the violation — the
+/// paper's "ensuring that no pointers are dereferenced if they point
+/// outside safe areas".
+pub trait MemHook {
+    /// Called before a load/store of `len` bytes at `addr` (site = the
+    /// deref/index/assign expression).
+    fn on_access(
+        &self,
+        site: u32,
+        addr: u64,
+        len: usize,
+        is_write: bool,
+    ) -> Result<(), CheckViolation> {
+        let _ = (site, addr, len, is_write);
+        Ok(())
+    }
+
+    /// Called after pointer arithmetic computed `new` from `old` (site =
+    /// the arithmetic expression). May return a *replacement* pointer value
+    /// — KGCC uses this to swap in out-of-bounds peer objects.
+    fn on_ptr_arith(&self, site: u32, old: u64, new: u64) -> Result<u64, CheckViolation> {
+        let _ = (site, old);
+        Ok(new)
+    }
+
+    /// A new object became live (stack variable, global, or malloc).
+    fn on_alloc(&self, base: u64, len: usize, is_heap: bool) {
+        let _ = (base, len, is_heap);
+    }
+
+    /// An object died (scope exit or free). `is_heap` distinguishes
+    /// `free()` from stack pops.
+    fn on_dealloc(&self, base: u64, is_heap: bool) {
+        let _ = (base, is_heap);
+    }
+
+    /// `free(ptr)` is about to run; may reject a bad free.
+    fn on_free_check(&self, site: u32, addr: u64) -> Result<(), CheckViolation> {
+        let _ = (site, addr);
+        Ok(())
+    }
+}
+
+/// A hook that allows everything (the uninstrumented baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+
+impl MemHook for NoopHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hook_allows_everything() {
+        let h = NoopHook;
+        assert!(h.on_access(1, 0xdead, 8, true).is_ok());
+        assert_eq!(h.on_ptr_arith(2, 0x10, 0x20).unwrap(), 0x20);
+        assert!(h.on_free_check(3, 0x30).is_ok());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = CheckViolation {
+            kind: ViolationKind::OutOfBounds,
+            site: 17,
+            addr: 0x1000,
+            len: 8,
+            msg: "past end of buf".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("OutOfBounds"));
+        assert!(s.contains("site 17"));
+        assert!(s.contains("0x1000"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Tokenizer for the KC language.
+
+use std::fmt;
+
+/// A position in the source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Loc {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // literals & identifiers
+    Int(i64),
+    CharLit(u8),
+    Str(String),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwCosyStart,
+    KwCosyEnd,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Bang,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub loc: Loc,
+}
+
+/// Lexer errors (position + message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub loc: Loc,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.loc, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize KC source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let loc = Loc { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { loc, msg: "unterminated comment".into() });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| LexError { loc, msg: format!("bad integer {text}") })?;
+                toks.push(Token { kind: TokenKind::Int(v), loc });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "int" => TokenKind::KwInt,
+                    "char" => TokenKind::KwChar,
+                    "void" => TokenKind::KwVoid,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "while" => TokenKind::KwWhile,
+                    "for" => TokenKind::KwFor,
+                    "return" => TokenKind::KwReturn,
+                    "break" => TokenKind::KwBreak,
+                    "continue" => TokenKind::KwContinue,
+                    "COSY_START" => TokenKind::KwCosyStart,
+                    "COSY_END" => TokenKind::KwCosyEnd,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                toks.push(Token { kind, loc });
+            }
+            b'\'' => {
+                bump!();
+                if i >= bytes.len() {
+                    return Err(LexError { loc, msg: "unterminated char literal".into() });
+                }
+                let v = if bytes[i] == b'\\' {
+                    bump!();
+                    let esc = bytes[i];
+                    bump!();
+                    match esc {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => {
+                            return Err(LexError {
+                                loc,
+                                msg: format!("bad escape \\{}", other as char),
+                            })
+                        }
+                    }
+                } else {
+                    let v = bytes[i];
+                    bump!();
+                    v
+                };
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(LexError { loc, msg: "unterminated char literal".into() });
+                }
+                bump!();
+                toks.push(Token { kind: TokenKind::CharLit(v), loc });
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError { loc, msg: "unterminated string".into() });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            let esc = bytes[i];
+                            bump!();
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'0' => '\0',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(LexError {
+                                        loc,
+                                        msg: format!("bad escape \\{}", other as char),
+                                    })
+                                }
+                            });
+                        }
+                        c => {
+                            s.push(c as char);
+                            bump!();
+                        }
+                    }
+                }
+                toks.push(Token { kind: TokenKind::Str(s), loc });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (kind, len) = match two {
+                    "==" => (TokenKind::Eq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    _ => {
+                        let k = match c {
+                            b'(' => TokenKind::LParen,
+                            b')' => TokenKind::RParen,
+                            b'{' => TokenKind::LBrace,
+                            b'}' => TokenKind::RBrace,
+                            b'[' => TokenKind::LBracket,
+                            b']' => TokenKind::RBracket,
+                            b';' => TokenKind::Semi,
+                            b',' => TokenKind::Comma,
+                            b'+' => TokenKind::Plus,
+                            b'-' => TokenKind::Minus,
+                            b'*' => TokenKind::Star,
+                            b'/' => TokenKind::Slash,
+                            b'%' => TokenKind::Percent,
+                            b'&' => TokenKind::Amp,
+                            b'!' => TokenKind::Bang,
+                            b'=' => TokenKind::Assign,
+                            b'<' => TokenKind::Lt,
+                            b'>' => TokenKind::Gt,
+                            other => {
+                                return Err(LexError {
+                                    loc,
+                                    msg: format!("unexpected character {:?}", other as char),
+                                })
+                            }
+                        };
+                        (k, 1)
+                    }
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                toks.push(Token { kind, loc });
+            }
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, loc: Loc { line, col } });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("a<=b==c&&d||!e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("c".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("d".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // line\n 2 /* block\nstill */ 3"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_and_char_literals_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb" '\0' 'x'"#),
+            vec![
+                TokenKind::Str("a\nb".into()),
+                TokenKind::CharLit(0),
+                TokenKind::CharLit(b'x'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn cosy_markers_are_keywords() {
+        assert_eq!(
+            kinds("COSY_START; COSY_END;"),
+            vec![
+                TokenKind::KwCosyStart,
+                TokenKind::Semi,
+                TokenKind::KwCosyEnd,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn locations_track_lines_and_columns() {
+        let toks = lex("int\n  x;").unwrap();
+        assert_eq!(toks[0].loc, Loc { line: 1, col: 1 });
+        assert_eq!(toks[1].loc, Loc { line: 2, col: 3 });
+        assert_eq!(toks[2].loc, Loc { line: 2, col: 4 });
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = lex("int @").unwrap_err();
+        assert_eq!(err.loc.line, 1);
+        assert!(err.msg.contains('@'));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

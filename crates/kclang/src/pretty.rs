@@ -1,0 +1,536 @@
+//! Pretty-printer for KC: renders an AST back to compilable source.
+//!
+//! Used for diagnostics ("show me what Cosy-GCC saw"), for golden tests,
+//! and for the parser round-trip property: pretty-printing any parsed
+//! program and re-parsing it yields a structurally identical AST (modulo
+//! expression ids and source locations).
+
+use std::fmt::Write;
+
+use crate::ast::*;
+
+/// Render a whole program.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        let _ = write!(out, "{}", decl_str(g));
+        out.push_str(";\n");
+    }
+    for f in &p.funcs {
+        let params = f
+            .params
+            .iter()
+            .map(|(n, t)| format!("{} {}", type_prefix(t), with_name(t, n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{} {}({}) {{", type_prefix(&f.ret), f.name, params);
+        for s in &f.body.stmts {
+            stmt(&mut out, s, 1);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// The base-type-and-stars prefix of a type (arrays handled by suffix).
+fn type_prefix(t: &Type) -> String {
+    match t {
+        Type::Int => "int".into(),
+        Type::Char => "char".into(),
+        Type::Void => "void".into(),
+        Type::Ptr(inner) => format!("{}*", type_prefix(inner)),
+        Type::Array(inner, _) => type_prefix(inner),
+    }
+}
+
+/// Variable name plus array-dimension suffixes.
+fn with_name(t: &Type, name: &str) -> String {
+    let mut dims = String::new();
+    let mut cur = t;
+    while let Type::Array(inner, n) = cur {
+        let _ = write!(dims, "[{n}]");
+        cur = inner;
+    }
+    format!("{name}{dims}")
+}
+
+fn decl_str(d: &Decl) -> String {
+    let mut s = format!("{} {}", type_prefix(&d.ty), with_name(&d.ty, &d.name));
+    if let Some(init) = &d.init {
+        let _ = write!(s, " = {}", expr(init));
+    }
+    s
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Decl(d) => {
+            out.push_str(&decl_str(d));
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            out.push_str(&expr(e));
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then, els, .. } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            for s in &then.stmts {
+                stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push('}');
+            if let Some(b) = els {
+                out.push_str(" else {\n");
+                for s in &b.stmts {
+                    stmt(out, s, depth + 1);
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            for s in &body.stmts {
+                stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            let part = |o: &Option<Expr>| o.as_ref().map(expr).unwrap_or_default();
+            let _ = writeln!(out, "for ({}; {}; {}) {{", part(init), part(cond), part(step));
+            for s in &body.stmts {
+                stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return(e, _) => {
+            match e {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr(e));
+                }
+                None => out.push_str("return;\n"),
+            };
+        }
+        Stmt::Block(b) => {
+            out.push_str("{\n");
+            for s in &b.stmts {
+                stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Break(_) => out.push_str("break;\n"),
+        Stmt::Continue(_) => out.push_str("continue;\n"),
+        Stmt::CosyStart(_) => out.push_str("COSY_START;\n"),
+        Stmt::CosyEnd(_) => out.push_str("COSY_END;\n"),
+    }
+}
+
+/// Render an expression, fully parenthesised (round-trip-safe without
+/// precedence reasoning).
+pub fn expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            if *v < 0 {
+                // Render negatives as unary minus on the magnitude so the
+                // lexer (which has no negative literals) round-trips. i64::MIN
+                // has no positive magnitude; render via subtraction.
+                if *v == i64::MIN {
+                    "(-9223372036854775807 - 1)".to_string()
+                } else {
+                    format!("(-{})", -v)
+                }
+            } else {
+                v.to_string()
+            }
+        }
+        ExprKind::CharLit(c) => match *c {
+            b'\n' => "'\\n'".into(),
+            b'\t' => "'\\t'".into(),
+            0 => "'\\0'".into(),
+            b'\\' => "'\\\\'".into(),
+            b'\'' => "'\\''".into(),
+            c if (32..127).contains(&c) => format!("'{}'", c as char),
+            c => c.to_string(), // fall back to the integer value
+        },
+        ExprKind::StrLit(s) => {
+            let mut q = String::from("\"");
+            for ch in s.chars() {
+                match ch {
+                    '\n' => q.push_str("\\n"),
+                    '\t' => q.push_str("\\t"),
+                    '\0' => q.push_str("\\0"),
+                    '\\' => q.push_str("\\\\"),
+                    '"' => q.push_str("\\\""),
+                    c => q.push(c),
+                }
+            }
+            q.push('"');
+            q
+        }
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::Deref => "*",
+                UnOp::Addr => "&",
+            };
+            format!("({sym}{})", expr(inner))
+        }
+        ExprKind::Binary(op, l, r) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {sym} {})", expr(l), expr(r))
+        }
+        ExprKind::Assign(t, v) => format!("({} = {})", expr(t), expr(v)),
+        ExprKind::Index(b, i) => format!("{}[{}]", expr(b), expr(i)),
+        ExprKind::Call(name, args) => {
+            let a = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({a})")
+        }
+    }
+}
+
+/// Structural equality ignoring ids and locations: the round-trip relation.
+pub fn ast_eq(a: &Program, b: &Program) -> bool {
+    fn ty(a: &Type, b: &Type) -> bool {
+        a == b
+    }
+    fn ex(a: &Expr, b: &Expr) -> bool {
+        match (&a.kind, &b.kind) {
+            (ExprKind::IntLit(x), ExprKind::IntLit(y)) => x == y,
+            // A rendered negative literal re-parses as Neg(IntLit).
+            (ExprKind::IntLit(x), ExprKind::Unary(UnOp::Neg, i))
+            | (ExprKind::Unary(UnOp::Neg, i), ExprKind::IntLit(x)) => {
+                matches!(&i.kind, ExprKind::IntLit(y) if *x == -y)
+            }
+            (ExprKind::CharLit(x), ExprKind::CharLit(y)) => x == y,
+            // Non-printable char literals render as ints.
+            (ExprKind::CharLit(x), ExprKind::IntLit(y))
+            | (ExprKind::IntLit(y), ExprKind::CharLit(x)) => *x as i64 == *y,
+            (ExprKind::StrLit(x), ExprKind::StrLit(y)) => x == y,
+            (ExprKind::Var(x), ExprKind::Var(y)) => x == y,
+            (ExprKind::Unary(o1, a1), ExprKind::Unary(o2, a2)) => o1 == o2 && ex(a1, a2),
+            (ExprKind::Binary(o1, l1, r1), ExprKind::Binary(o2, l2, r2)) => {
+                o1 == o2 && ex(l1, l2) && ex(r1, r2)
+            }
+            (ExprKind::Assign(t1, v1), ExprKind::Assign(t2, v2)) => ex(t1, t2) && ex(v1, v2),
+            (ExprKind::Index(b1, i1), ExprKind::Index(b2, i2)) => ex(b1, b2) && ex(i1, i2),
+            (ExprKind::Call(n1, a1), ExprKind::Call(n2, a2)) => {
+                n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| ex(x, y))
+            }
+            _ => false,
+        }
+    }
+    fn st(a: &Stmt, b: &Stmt) -> bool {
+        match (a, b) {
+            (Stmt::Decl(d1), Stmt::Decl(d2)) => {
+                d1.name == d2.name
+                    && ty(&d1.ty, &d2.ty)
+                    && match (&d1.init, &d2.init) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => ex(x, y),
+                        _ => false,
+                    }
+            }
+            (Stmt::Expr(x), Stmt::Expr(y)) => ex(x, y),
+            (
+                Stmt::If { cond: c1, then: t1, els: e1, .. },
+                Stmt::If { cond: c2, then: t2, els: e2, .. },
+            ) => {
+                ex(c1, c2)
+                    && bl(t1, t2)
+                    && match (e1, e2) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => bl(x, y),
+                        _ => false,
+                    }
+            }
+            (
+                Stmt::While { cond: c1, body: b1, .. },
+                Stmt::While { cond: c2, body: b2, .. },
+            ) => ex(c1, c2) && bl(b1, b2),
+            (
+                Stmt::For { init: i1, cond: c1, step: s1, body: b1, .. },
+                Stmt::For { init: i2, cond: c2, step: s2, body: b2, .. },
+            ) => {
+                let opt = |x: &Option<Expr>, y: &Option<Expr>| match (x, y) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => ex(a, b),
+                    _ => false,
+                };
+                opt(i1, i2) && opt(c1, c2) && opt(s1, s2) && bl(b1, b2)
+            }
+            (Stmt::Return(x, _), Stmt::Return(y, _)) => match (x, y) {
+                (None, None) => true,
+                (Some(a), Some(b)) => ex(a, b),
+                _ => false,
+            },
+            (Stmt::Block(x), Stmt::Block(y)) => bl(x, y),
+            (Stmt::Break(_), Stmt::Break(_)) => true,
+            (Stmt::Continue(_), Stmt::Continue(_)) => true,
+            (Stmt::CosyStart(_), Stmt::CosyStart(_)) => true,
+            (Stmt::CosyEnd(_), Stmt::CosyEnd(_)) => true,
+            _ => false,
+        }
+    }
+    fn bl(a: &Block, b: &Block) -> bool {
+        a.stmts.len() == b.stmts.len() && a.stmts.iter().zip(&b.stmts).all(|(x, y)| st(x, y))
+    }
+    a.globals.len() == b.globals.len()
+        && a.globals.iter().zip(&b.globals).all(|(x, y)| {
+            x.name == y.name
+                && ty(&x.ty, &y.ty)
+                && match (&x.init, &y.init) {
+                    (None, None) => true,
+                    (Some(p), Some(q)) => ex(p, q),
+                    _ => false,
+                }
+        })
+        && a.funcs.len() == b.funcs.len()
+        && a.funcs.iter().zip(&b.funcs).all(|(x, y)| {
+            x.name == y.name
+                && x.ret == y.ret
+                && x.params == y.params
+                && bl(&x.body, &y.body)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = pretty_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        assert!(ast_eq(&p1, &p2), "round-trip mismatch:\n---\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_representative_programs() {
+        roundtrip("int g = 5; char buf[16]; int f(int a, char *s) { return a + s[0]; }");
+        roundtrip(
+            r#"
+            int fib(int n) {
+                if (n < 2) { return n; } else { return fib(n-1) + fib(n-2); }
+            }
+            "#,
+        );
+        roundtrip(
+            r#"
+            int f(int n) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+                while (acc > 100) { acc = acc / 2; }
+                int *p = malloc(64);
+                *p = acc;
+                free(p);
+                return *p;
+            }
+            "#,
+        );
+        roundtrip(
+            r#"
+            int f() {
+                char buf[4096];
+                COSY_START;
+                int fd = sys_open("/a\n\"b", 0);
+                int n = sys_read(fd, buf, 4096);
+                sys_close(fd);
+                COSY_END;
+                return n;
+            }
+            "#,
+        );
+        roundtrip("int f() { int m[3][4]; m[1][2] = 7; return m[1][2]; }");
+        roundtrip("int f(int x) { return -x + !x - -5; }");
+        roundtrip("int f() { return '\\n' + '\\0' + 'z'; }");
+    }
+
+    #[test]
+    fn printed_source_is_still_typecheckable() {
+        let src = r#"
+            int helper(int *p, int n) {
+                int i;
+                int acc = 0;
+                for (i = 0; i < n; i = i + 1) { acc = acc + p[i]; }
+                return acc;
+            }
+            int main() {
+                int a[10];
+                int i;
+                for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+                return helper(a, 10);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let printed = pretty_program(&p);
+        let p2 = parse_program(&printed).unwrap();
+        crate::types::typecheck(&p2).unwrap();
+    }
+
+    #[test]
+    fn ast_eq_detects_differences() {
+        let a = parse_program("int f() { return 1; }").unwrap();
+        let b = parse_program("int f() { return 2; }").unwrap();
+        let c = parse_program("int f() { return 1; }").unwrap();
+        assert!(!ast_eq(&a, &b));
+        assert!(ast_eq(&a, &c));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::parser::parse_program;
+    use proptest::prelude::*;
+
+    fn dummy(kind: ExprKind) -> Expr {
+        Expr { id: 0, loc: SourceLoc::default(), kind }
+    }
+
+    /// Random expressions over a fixed set of declared int variables.
+    fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+        let leaf = prop_oneof![
+            (-1000i64..1000).prop_map(|v| dummy(ExprKind::IntLit(v))),
+            (32u8..127).prop_map(|c| dummy(ExprKind::CharLit(c))),
+            "[a-z ]{0,8}".prop_map(|s| dummy(ExprKind::StrLit(s))),
+            prop_oneof![Just("va"), Just("vb"), Just("vc")]
+                .prop_map(|n| dummy(ExprKind::Var(n.into()))),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let inner = arb_expr(depth - 1);
+        prop_oneof![
+            leaf,
+            (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(l, r, op)| {
+                let op = match op % 13 {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Div,
+                    4 => BinOp::Rem,
+                    5 => BinOp::Lt,
+                    6 => BinOp::Le,
+                    7 => BinOp::Gt,
+                    8 => BinOp::Ge,
+                    9 => BinOp::Eq,
+                    10 => BinOp::Ne,
+                    11 => BinOp::And,
+                    _ => BinOp::Or,
+                };
+                dummy(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+            }),
+            inner.clone().prop_map(|e| dummy(ExprKind::Unary(UnOp::Neg, Box::new(e)))),
+            inner.clone().prop_map(|e| dummy(ExprKind::Unary(UnOp::Not, Box::new(e)))),
+            inner.clone().prop_map(|v| dummy(ExprKind::Assign(
+                Box::new(dummy(ExprKind::Var("va".into()))),
+                Box::new(v)
+            ))),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| dummy(ExprKind::Index(
+                Box::new(dummy(ExprKind::Var("vb".into()))),
+                Box::new(dummy(ExprKind::Binary(BinOp::Add, Box::new(b), Box::new(i))))
+            ))),
+            proptest::collection::vec(inner, 0..3)
+                .prop_map(|args| dummy(ExprKind::Call("helper".into(), args))),
+        ]
+        .boxed()
+    }
+
+    fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+        let e = arb_expr(2);
+        if depth == 0 {
+            return prop_oneof![
+                e.clone().prop_map(Stmt::Expr),
+                e.clone().prop_map(|x| Stmt::Return(Some(x), SourceLoc::default())),
+                Just(Stmt::CosyStart(SourceLoc::default())),
+                Just(Stmt::CosyEnd(SourceLoc::default())),
+            ]
+            .boxed();
+        }
+        let body = proptest::collection::vec(arb_stmt(depth - 1), 0..3)
+            .prop_map(|stmts| Block { stmts });
+        prop_oneof![
+            e.clone().prop_map(Stmt::Expr),
+            (e.clone(), body.clone(), proptest::option::of(body.clone())).prop_map(
+                |(cond, then, els)| Stmt::If { cond, then, els, loc: SourceLoc::default() }
+            ),
+            (e.clone(), body.clone()).prop_map(|(cond, body)| Stmt::While {
+                cond,
+                body,
+                loc: SourceLoc::default()
+            }),
+            (
+                proptest::option::of(e.clone()),
+                proptest::option::of(e.clone()),
+                proptest::option::of(e.clone()),
+                body.clone()
+            )
+                .prop_map(|(init, cond, step, body)| Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    loc: SourceLoc::default()
+                }),
+            body.prop_map(Stmt::Block),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Any generated AST survives pretty → parse structurally intact.
+        #[test]
+        fn pretty_parse_roundtrip(stmts in proptest::collection::vec(arb_stmt(2), 0..6)) {
+            let prog = Program {
+                globals: vec![],
+                funcs: vec![Func {
+                    name: "f".into(),
+                    params: vec![
+                        ("va".into(), Type::Int),
+                        ("vb".into(), Type::Ptr(Box::new(Type::Int))),
+                        ("vc".into(), Type::Int),
+                    ],
+                    ret: Type::Int,
+                    body: Block { stmts },
+                    loc: SourceLoc::default(),
+                }],
+                max_expr_id: 0,
+            };
+            let printed = pretty_program(&prog);
+            let reparsed = parse_program(&printed)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{printed}")))?;
+            prop_assert!(ast_eq(&prog, &reparsed), "mismatch:\n{printed}");
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Type checking and the expression-type side table.
+//!
+//! The checker validates declarations-before-use, call arity, lvalue-ness,
+//! and pointer arithmetic shapes, and records every expression's type in a
+//! [`TypeInfo`] table keyed by expression id. The interpreter uses that
+//! table to scale pointer arithmetic by element size; KGCC uses it to plan
+//! checks (only pointer-typed operations need them).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::*;
+
+/// Type errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    pub loc: SourceLoc,
+    pub msg: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.loc, self.msg)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Per-expression type table.
+#[derive(Debug, Clone, Default)]
+pub struct TypeInfo {
+    types: HashMap<u32, Type>,
+}
+
+impl TypeInfo {
+    /// The type of an expression node.
+    pub fn type_of(&self, expr_id: u32) -> Option<&Type> {
+        self.types.get(&expr_id)
+    }
+
+    /// Element size for pointer arithmetic on this node (1 for non-ptr).
+    pub fn elem_size(&self, expr_id: u32) -> usize {
+        self.type_of(expr_id)
+            .and_then(Type::pointee)
+            .map(Type::size)
+            .unwrap_or(1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+struct Checker<'p> {
+    prog: &'p Program,
+    info: TypeInfo,
+    scopes: Vec<HashMap<String, Type>>,
+    loop_depth: u32,
+}
+
+/// Builtins and syscall intrinsics with (arity, return type). Pointer-ish
+/// arguments are not deeply checked (C-style permissiveness).
+fn builtin_sig(name: &str) -> Option<(usize, Type)> {
+    let int = Type::Int;
+    let ptr = Type::Ptr(Box::new(Type::Char));
+    Some(match name {
+        "malloc" => (1, ptr),
+        "free" => (1, Type::Void),
+        "print_int" => (1, Type::Void),
+        // syscall intrinsics: all return int.
+        "sys_open" => (2, int),
+        "sys_close" => (1, int),
+        "sys_read" => (3, int),
+        "sys_write" => (3, int),
+        "sys_lseek" => (3, int),
+        "sys_stat" => (2, int),
+        "sys_fstat" => (2, int),
+        "sys_getpid" => (0, int),
+        "sys_unlink" => (1, int),
+        "sys_mkdir" => (1, int),
+        _ => return None,
+    })
+}
+
+/// Type-check a program, producing the expression-type table.
+pub fn typecheck(prog: &Program) -> Result<TypeInfo, TypeError> {
+    let mut c = Checker {
+        prog,
+        info: TypeInfo::default(),
+        scopes: vec![HashMap::new()],
+        loop_depth: 0,
+    };
+    for g in &prog.globals {
+        if let Some(init) = &g.init {
+            c.expr(init)?;
+        }
+        c.declare(&g.name, g.ty.clone(), g.loc)?;
+    }
+    for f in &prog.funcs {
+        c.scopes.push(HashMap::new());
+        for (name, ty) in &f.params {
+            c.declare(name, ty.clone(), f.loc)?;
+        }
+        c.block(&f.body)?;
+        c.scopes.pop();
+    }
+    Ok(c.info)
+}
+
+impl<'p> Checker<'p> {
+    fn declare(&mut self, name: &str, ty: Type, loc: SourceLoc) -> Result<(), TypeError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(TypeError { loc, msg: format!("redeclaration of '{name}'") });
+        }
+        scope.insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), TypeError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), TypeError> {
+        match s {
+            Stmt::Decl(d) => {
+                if let Some(init) = &d.init {
+                    let it = self.expr(init)?;
+                    if matches!(d.ty, Type::Array(_, _)) {
+                        return Err(TypeError {
+                            loc: d.loc,
+                            msg: "cannot initialise arrays".into(),
+                        });
+                    }
+                    // ints, chars, and pointers inter-assign C-style; just
+                    // reject assigning void.
+                    if it == Type::Void {
+                        return Err(TypeError {
+                            loc: d.loc,
+                            msg: "cannot initialise from void expression".into(),
+                        });
+                    }
+                }
+                self.declare(&d.name, d.ty.clone(), d.loc)
+            }
+            Stmt::Expr(e) => self.expr(e).map(|_| ()),
+            Stmt::If { cond, then, els, .. } => {
+                self.expr(cond)?;
+                self.block(then)?;
+                if let Some(b) = els {
+                    self.block(b)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                for e in [init, cond, step].into_iter().flatten() {
+                    self.expr(e)?;
+                }
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::Break(loc) | Stmt::Continue(loc) => {
+                if self.loop_depth == 0 {
+                    return Err(TypeError {
+                        loc: *loc,
+                        msg: "break/continue outside a loop".into(),
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e)?;
+                }
+                Ok(())
+            }
+            Stmt::Block(b) => self.block(b),
+            Stmt::CosyStart(_) | Stmt::CosyEnd(_) => Ok(()),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        let ty = match &e.kind {
+            ExprKind::IntLit(_) => Type::Int,
+            ExprKind::CharLit(_) => Type::Char,
+            ExprKind::StrLit(_) => Type::Ptr(Box::new(Type::Char)),
+            ExprKind::Var(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| TypeError {
+                    loc: e.loc,
+                    msg: format!("use of undeclared variable '{name}'"),
+                })?,
+            ExprKind::Unary(op, inner) => {
+                let it = self.expr(inner)?;
+                match op {
+                    UnOp::Neg | UnOp::Not => Type::Int,
+                    UnOp::Deref => it
+                        .pointee()
+                        .cloned()
+                        .ok_or_else(|| TypeError {
+                            loc: e.loc,
+                            msg: "cannot dereference a non-pointer".into(),
+                        })?,
+                    UnOp::Addr => Type::Ptr(Box::new(it)),
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.expr(lhs)?;
+                let rt = self.expr(rhs)?;
+                if op.is_cmp() || *op == BinOp::And || *op == BinOp::Or {
+                    Type::Int
+                } else if lt.is_ptr_like() && !rt.is_ptr_like() {
+                    match op {
+                        BinOp::Add | BinOp::Sub => {
+                            // decay arrays to pointers
+                            Type::Ptr(Box::new(lt.pointee().unwrap().clone()))
+                        }
+                        _ => {
+                            return Err(TypeError {
+                                loc: e.loc,
+                                msg: "only +/- arithmetic on pointers".into(),
+                            })
+                        }
+                    }
+                } else if lt.is_ptr_like() && rt.is_ptr_like() {
+                    if *op == BinOp::Sub {
+                        Type::Int // pointer difference
+                    } else {
+                        return Err(TypeError {
+                            loc: e.loc,
+                            msg: "invalid pointer-pointer operation".into(),
+                        });
+                    }
+                } else if rt.is_ptr_like() {
+                    if *op == BinOp::Add {
+                        Type::Ptr(Box::new(rt.pointee().unwrap().clone()))
+                    } else {
+                        return Err(TypeError {
+                            loc: e.loc,
+                            msg: "int - pointer is not valid".into(),
+                        });
+                    }
+                } else {
+                    Type::Int
+                }
+            }
+            ExprKind::Assign(target, value) => {
+                let tt = self.expr(target)?;
+                let vt = self.expr(value)?;
+                if matches!(tt, Type::Array(_, _)) {
+                    return Err(TypeError { loc: e.loc, msg: "cannot assign to array".into() });
+                }
+                if vt == Type::Void {
+                    return Err(TypeError { loc: e.loc, msg: "cannot assign void".into() });
+                }
+                tt
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base)?;
+                self.expr(idx)?;
+                bt.pointee().cloned().ok_or_else(|| TypeError {
+                    loc: e.loc,
+                    msg: "indexing a non-pointer".into(),
+                })?
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                if let Some(f) = self.prog.func(name) {
+                    if f.params.len() != args.len() {
+                        return Err(TypeError {
+                            loc: e.loc,
+                            msg: format!(
+                                "'{name}' expects {} arguments, got {}",
+                                f.params.len(),
+                                args.len()
+                            ),
+                        });
+                    }
+                    f.ret.clone()
+                } else if let Some((arity, ret)) = builtin_sig(name) {
+                    if arity != args.len() {
+                        return Err(TypeError {
+                            loc: e.loc,
+                            msg: format!("'{name}' expects {arity} arguments, got {}", args.len()),
+                        });
+                    }
+                    ret
+                } else {
+                    return Err(TypeError {
+                        loc: e.loc,
+                        msg: format!("call to undefined function '{name}'"),
+                    });
+                }
+            }
+        };
+        self.info.types.insert(e.id, ty.clone());
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<TypeInfo, TypeError> {
+        typecheck(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        let info = check(
+            r#"
+            int g = 7;
+            int add(int a, int b) { return a + b; }
+            int main() {
+                int arr[10];
+                int *p = &arr[0];
+                p = p + 3;
+                *p = add(g, 2);
+                return arr[3];
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(info.len() > 10);
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = check("int f() { return nope; }").unwrap_err();
+        assert!(e.msg.contains("nope"));
+    }
+
+    #[test]
+    fn rejects_redeclaration_in_same_scope_but_allows_shadowing() {
+        assert!(check("int f() { int x; int x; return 0; }").is_err());
+        assert!(check("int f() { int x; { int x; } return 0; }").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_pointer_ops() {
+        assert!(check("int f(int x) { return *x; }").is_err(), "deref int");
+        assert!(check("int f(int *p, int *q) { return p * q; }").is_err());
+        assert!(check("int f(int x) { return x[0]; }").is_err(), "index int");
+        assert!(check("int f(int *p) { p = p / 2; return 0; }").is_err());
+    }
+
+    #[test]
+    fn pointer_difference_is_int_and_ptr_plus_int_is_ptr() {
+        let prog = parse_program("int f(int *p, int *q) { int d = p - q; p = p + 1; return d; }")
+            .unwrap();
+        let info = typecheck(&prog).unwrap();
+        // Find the p+1 node and confirm elem size 8.
+        let mut found = false;
+        crate::ast::visit_exprs(&prog.funcs[0].body, &mut |e| {
+            if let ExprKind::Binary(BinOp::Add, _, _) = e.kind {
+                assert_eq!(info.elem_size(e.id), 8);
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn char_pointer_arithmetic_scales_by_one() {
+        let prog = parse_program("int f(char *s) { s = s + 5; return 0; }").unwrap();
+        let info = typecheck(&prog).unwrap();
+        crate::ast::visit_exprs(&prog.funcs[0].body, &mut |e| {
+            if let ExprKind::Binary(BinOp::Add, _, _) = e.kind {
+                assert_eq!(info.elem_size(e.id), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn call_arity_is_enforced_for_functions_and_builtins() {
+        assert!(check("int g(int a) { return a; } int f() { return g(); }").is_err());
+        assert!(check("int f() { return sys_read(1, 2); }").is_err());
+        assert!(check("int f() { return sys_getpid(); }").is_ok());
+        assert!(check("int f() { return mystery(); }").is_err());
+    }
+
+    #[test]
+    fn array_rules() {
+        assert!(check("int f() { int a[3]; int b[3]; a = b; return 0; }").is_err());
+        assert!(check("int f() { int a[3] = 5; return 0; }").is_err());
+        assert!(check("int f() { int a[3]; a[0] = 5; return a[0]; }").is_ok());
+    }
+}

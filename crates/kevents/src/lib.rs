@@ -1,0 +1,49 @@
+//! `kevents` — the paper's event-monitoring infrastructure (§3.3, Fig. 1).
+//!
+//! Structure (Figure 1 of the paper):
+//!
+//! ```text
+//!   instrumented kernel code
+//!        │ log_event(record)
+//!        ▼
+//!   [EventDispatcher] ──sync──▶ in-kernel monitors (callbacks)
+//!        │
+//!        ▼ lock-free, never blocks
+//!   [EventRing] ──▶ [CharDev] ──▶ user space (libkernevents bulk reads)
+//! ```
+//!
+//! Design requirements straight from the paper:
+//!
+//! * **Generality** — events are a tiny fixed record: the affected object's
+//!   address, an event type, the source file/line, and an optional value
+//!   ([`EventRecord`]).
+//! * **Non-intrusiveness** — the ring buffer is lock-free so scheduler and
+//!   interrupt paths can be instrumented without any risk of blocking
+//!   ([`ring::EventRing`], a bounded Vyukov-style MPMC queue built per the
+//!   idioms in *Rust Atomics and Locks*).
+//! * **Performance sensitivity** — hot events are consumed by in-kernel
+//!   callbacks registered with the dispatcher; infrequent analysis happens
+//!   in user space through the character-device interface
+//!   ([`chardev::CharDev`] + [`chardev::LibKernEvents`]).
+//!
+//! The supplied on-line monitors verify the higher-level invariants the
+//! paper lists: spinlocks that are locked are later unlocked
+//! ([`monitors::SpinlockMonitor`]), reference counts stay symmetric and
+//! non-negative ([`monitors::RefcountMonitor`]), and disabled interrupts are
+//! re-enabled ([`monitors::IrqMonitor`]).
+
+pub mod chardev;
+pub mod dispatch;
+pub mod instrument;
+pub mod logfile;
+pub mod monitors;
+pub mod record;
+pub mod ring;
+
+pub use chardev::{CharDev, LibKernEvents, ReadMode};
+pub use dispatch::{EventDispatcher, EventMonitor};
+pub use instrument::{InstrumentedRefcount, InstrumentedSemaphore, InstrumentedSpinLock};
+pub use monitors::{IrqMonitor, RefcountMonitor, SemaphoreMonitor, SpinlockMonitor, Violation};
+pub use logfile::{read_log, replay, write_log, LoggedEvent};
+pub use record::{EventRecord, EventType};
+pub use ring::EventRing;

@@ -1,0 +1,418 @@
+//! On-line in-kernel monitors for the paper's higher-level invariants:
+//! *"spinlocks that are locked are later unlocked, reference counters are
+//! incremented and decremented symmetrically, interrupts that are disabled
+//! are later re-enabled"* (§3).
+//!
+//! Each monitor is an [`EventMonitor`] callback registered with the
+//! dispatcher; violations are collected rather than panicking, so a single
+//! run can report every imbalance it saw (and tests can assert on them).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::Mutex;
+
+use crate::dispatch::EventMonitor;
+use crate::record::{EventRecord, EventType};
+
+/// A detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The object at fault.
+    pub obj: u64,
+    /// Human-readable description of the broken invariant.
+    pub what: String,
+    /// Source location of the offending event.
+    pub file: &'static str,
+    pub line: u32,
+}
+
+/// Checks that every lock release matches a prior acquire and reports locks
+/// still held at teardown.
+#[derive(Debug, Default)]
+pub struct SpinlockMonitor {
+    held: Mutex<HashMap<u64, u64>>,
+    violations: Mutex<Vec<Violation>>,
+    acquires: AtomicU64,
+}
+
+impl SpinlockMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total acquires observed (the "lock was hit N times" statistic of the
+    /// paper's dcache_lock experiment).
+    pub fn acquires(&self) -> u64 {
+        self.acquires.load(Relaxed)
+    }
+
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// Locks currently believed held; call at teardown to find leaks.
+    pub fn still_held(&self) -> Vec<u64> {
+        self.held
+            .lock()
+            .iter()
+            .filter(|(_, &d)| d > 0)
+            .map(|(&o, _)| o)
+            .collect()
+    }
+}
+
+impl EventMonitor for SpinlockMonitor {
+    fn on_event(&self, rec: &EventRecord) {
+        match rec.event {
+            EventType::LockAcquire => {
+                self.acquires.fetch_add(1, Relaxed);
+                *self.held.lock().entry(rec.obj).or_insert(0) += 1;
+            }
+            EventType::LockRelease => {
+                let mut held = self.held.lock();
+                let depth = held.entry(rec.obj).or_insert(0);
+                if *depth == 0 {
+                    self.violations.lock().push(Violation {
+                        obj: rec.obj,
+                        what: "spinlock released without matching acquire".into(),
+                        file: rec.file,
+                        line: rec.line,
+                    });
+                } else {
+                    *depth -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spinlock-monitor"
+    }
+}
+
+/// Checks reference-count symmetry: never below zero, and zero at teardown.
+#[derive(Debug, Default)]
+pub struct RefcountMonitor {
+    counts: Mutex<HashMap<u64, i64>>,
+    violations: Mutex<Vec<Violation>>,
+    events: AtomicU64,
+}
+
+impl RefcountMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> u64 {
+        self.events.load(Relaxed)
+    }
+
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// The current count for an object (`None` if never seen).
+    pub fn count_of(&self, obj: u64) -> Option<i64> {
+        self.counts.lock().get(&obj).copied()
+    }
+
+    /// Objects whose count is nonzero — leaks (positive) that a teardown
+    /// check would flag.
+    pub fn leaked(&self) -> Vec<(u64, i64)> {
+        self.counts
+            .lock()
+            .iter()
+            .filter(|(_, &c)| c != 0)
+            .map(|(&o, &c)| (o, c))
+            .collect()
+    }
+}
+
+impl EventMonitor for RefcountMonitor {
+    fn on_event(&self, rec: &EventRecord) {
+        match rec.event {
+            EventType::RefInc => {
+                self.events.fetch_add(1, Relaxed);
+                *self.counts.lock().entry(rec.obj).or_insert(0) += 1;
+            }
+            EventType::RefDec => {
+                self.events.fetch_add(1, Relaxed);
+                let mut counts = self.counts.lock();
+                let c = counts.entry(rec.obj).or_insert(0);
+                *c -= 1;
+                if *c < 0 {
+                    self.violations.lock().push(Violation {
+                        obj: rec.obj,
+                        what: format!("reference count dropped below zero ({c})"),
+                        file: rec.file,
+                        line: rec.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "refcount-monitor"
+    }
+}
+
+/// Checks that interrupt disables are re-enabled, and never over-enabled.
+#[derive(Debug, Default)]
+pub struct IrqMonitor {
+    depth: Mutex<HashMap<u64, i64>>,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl IrqMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// CPUs (or contexts) with interrupts still disabled.
+    pub fn still_disabled(&self) -> Vec<u64> {
+        self.depth
+            .lock()
+            .iter()
+            .filter(|(_, &d)| d > 0)
+            .map(|(&o, _)| o)
+            .collect()
+    }
+}
+
+impl EventMonitor for IrqMonitor {
+    fn on_event(&self, rec: &EventRecord) {
+        match rec.event {
+            EventType::IrqDisable => {
+                *self.depth.lock().entry(rec.obj).or_insert(0) += 1;
+            }
+            EventType::IrqEnable => {
+                let mut depth = self.depth.lock();
+                let d = depth.entry(rec.obj).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    self.violations.lock().push(Violation {
+                        obj: rec.obj,
+                        what: "interrupts enabled more times than disabled".into(),
+                        file: rec.file,
+                        line: rec.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "irq-monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(obj: u64, event: EventType) -> EventRecord {
+        EventRecord::new(obj, event, "m", 7, 0)
+    }
+
+    #[test]
+    fn balanced_lock_usage_is_clean() {
+        let m = SpinlockMonitor::new();
+        for _ in 0..5 {
+            m.on_event(&ev(1, EventType::LockAcquire));
+            m.on_event(&ev(1, EventType::LockRelease));
+        }
+        assert_eq!(m.acquires(), 5);
+        assert!(m.violations().is_empty());
+        assert!(m.still_held().is_empty());
+    }
+
+    #[test]
+    fn release_without_acquire_is_flagged() {
+        let m = SpinlockMonitor::new();
+        m.on_event(&ev(9, EventType::LockRelease));
+        let v = m.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].obj, 9);
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn leaked_lock_shows_in_still_held() {
+        let m = SpinlockMonitor::new();
+        m.on_event(&ev(3, EventType::LockAcquire));
+        m.on_event(&ev(3, EventType::LockAcquire));
+        m.on_event(&ev(3, EventType::LockRelease));
+        assert_eq!(m.still_held(), vec![3]);
+    }
+
+    #[test]
+    fn refcount_symmetry_ok_and_leak_detection() {
+        let m = RefcountMonitor::new();
+        m.on_event(&ev(1, EventType::RefInc));
+        m.on_event(&ev(1, EventType::RefInc));
+        m.on_event(&ev(1, EventType::RefDec));
+        assert_eq!(m.count_of(1), Some(1));
+        assert_eq!(m.leaked(), vec![(1, 1)]);
+        m.on_event(&ev(1, EventType::RefDec));
+        assert!(m.leaked().is_empty());
+        assert!(m.violations().is_empty());
+        assert_eq!(m.events(), 4);
+    }
+
+    #[test]
+    fn refcount_underflow_is_flagged() {
+        let m = RefcountMonitor::new();
+        m.on_event(&ev(2, EventType::RefDec));
+        let v = m.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("below zero"));
+    }
+
+    #[test]
+    fn irq_pairing() {
+        let m = IrqMonitor::new();
+        m.on_event(&ev(0, EventType::IrqDisable));
+        m.on_event(&ev(0, EventType::IrqDisable));
+        m.on_event(&ev(0, EventType::IrqEnable));
+        assert_eq!(m.still_disabled(), vec![0]);
+        m.on_event(&ev(0, EventType::IrqEnable));
+        assert!(m.still_disabled().is_empty());
+        m.on_event(&ev(0, EventType::IrqEnable));
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn monitors_ignore_unrelated_events() {
+        let locks = SpinlockMonitor::new();
+        let refs = RefcountMonitor::new();
+        let irqs = IrqMonitor::new();
+        let e = ev(5, EventType::Custom(1));
+        locks.on_event(&e);
+        refs.on_event(&e);
+        irqs.on_event(&e);
+        assert!(locks.violations().is_empty());
+        assert!(refs.violations().is_empty());
+        assert!(irqs.violations().is_empty());
+        assert_eq!(refs.events(), 0);
+    }
+}
+
+/// Checks semaphore P/V (down/up) symmetry: a semaphore's count never goes
+/// below zero minus its capacity of waiters in this simplified model, and
+/// every down is eventually matched by an up — the third invariant family
+/// the paper lists ("we intend to develop on-line, in-kernel monitors for
+/// reference counters, spinlocks, and semaphores").
+#[derive(Debug, Default)]
+pub struct SemaphoreMonitor {
+    /// obj → (initial-unknown running balance of up - down).
+    balance: Mutex<HashMap<u64, i64>>,
+    violations: Mutex<Vec<Violation>>,
+    events: AtomicU64,
+}
+
+impl SemaphoreMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> u64 {
+        self.events.load(Relaxed)
+    }
+
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// Semaphores whose downs exceed their ups (held / leaked).
+    pub fn held(&self) -> Vec<(u64, i64)> {
+        self.balance
+            .lock()
+            .iter()
+            .filter(|(_, &b)| b < 0)
+            .map(|(&o, &b)| (o, -b))
+            .collect()
+    }
+}
+
+impl EventMonitor for SemaphoreMonitor {
+    fn on_event(&self, rec: &EventRecord) {
+        match rec.event {
+            EventType::SemDown => {
+                self.events.fetch_add(1, Relaxed);
+                *self.balance.lock().entry(rec.obj).or_insert(0) -= 1;
+            }
+            EventType::SemUp => {
+                self.events.fetch_add(1, Relaxed);
+                let mut balance = self.balance.lock();
+                let b = balance.entry(rec.obj).or_insert(0);
+                *b += 1;
+                // Every V must match a prior P: a positive balance means
+                // the semaphore was released more times than acquired (the
+                // classic double-up bug), regardless of capacity.
+                if *b > 0 {
+                    self.violations.lock().push(Violation {
+                        obj: rec.obj,
+                        what: format!("semaphore released more times than acquired (+{})", *b),
+                        file: rec.file,
+                        line: rec.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "semaphore-monitor"
+    }
+}
+
+#[cfg(test)]
+mod sem_tests {
+    use super::*;
+
+    fn ev(obj: u64, event: EventType, value: i64) -> EventRecord {
+        EventRecord::new(obj, event, "sem.c", 9, value)
+    }
+
+    #[test]
+    fn balanced_semaphore_is_clean() {
+        let m = SemaphoreMonitor::new();
+        for _ in 0..4 {
+            m.on_event(&ev(1, EventType::SemDown, 1));
+            m.on_event(&ev(1, EventType::SemUp, 1));
+        }
+        assert!(m.violations().is_empty());
+        assert!(m.held().is_empty());
+        assert_eq!(m.events(), 8);
+    }
+
+    #[test]
+    fn outstanding_downs_are_reported_as_held() {
+        let m = SemaphoreMonitor::new();
+        m.on_event(&ev(7, EventType::SemDown, 1));
+        m.on_event(&ev(7, EventType::SemDown, 1));
+        m.on_event(&ev(7, EventType::SemUp, 1));
+        assert_eq!(m.held(), vec![(7, 1)]);
+    }
+
+    #[test]
+    fn double_up_above_capacity_is_flagged() {
+        let m = SemaphoreMonitor::new();
+        m.on_event(&ev(3, EventType::SemDown, 1));
+        m.on_event(&ev(3, EventType::SemUp, 1));
+        m.on_event(&ev(3, EventType::SemUp, 1)); // bug: V without P
+        let v = m.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("more times than acquired"));
+    }
+}

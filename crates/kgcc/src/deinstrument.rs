@@ -1,0 +1,146 @@
+//! Dynamic deinstrumentation (§3.5, implemented here as the paper planned):
+//! *"as code paths execute safely more times and more often, one can state
+//! with greater confidence that they are correct. We intend to implement
+//! instrumentation that can be deactivated when it has executed a
+//! sufficient number of times, reclaiming performance quickly as the
+//! confidence level for frequently-executed code becomes acceptable."*
+//!
+//! Each check site carries a clean-execution counter; once it crosses the
+//! threshold the site disables itself. Disabling is monotonic and lock-free
+//! (relaxed counters — an extra check or two around the threshold is
+//! harmless).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Per-site self-disabling policy.
+#[derive(Debug)]
+pub struct Deinstrument {
+    threshold: u64,
+    counts: Vec<AtomicU64>,
+    disabled: Vec<AtomicBool>,
+}
+
+impl Clone for Deinstrument {
+    fn clone(&self) -> Self {
+        let d = Deinstrument::new(self.threshold, self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            d.counts[i].store(c.load(Relaxed), Relaxed);
+            d.disabled[i].store(self.disabled[i].load(Relaxed), Relaxed);
+        }
+        d
+    }
+}
+
+impl Deinstrument {
+    /// Sites disable after `threshold` clean executions. `sites` must cover
+    /// the program's `max_expr_id`.
+    pub fn new(threshold: u64, sites: usize) -> Self {
+        Deinstrument {
+            threshold,
+            counts: (0..sites).map(|_| AtomicU64::new(0)).collect(),
+            disabled: (0..sites).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Has this site turned itself off?
+    #[inline]
+    pub fn is_disabled(&self, site: u32) -> bool {
+        self.disabled
+            .get(site as usize)
+            .map(|d| d.load(Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Record one clean execution; may disable the site.
+    #[inline]
+    pub fn note_execution(&self, site: u32) {
+        let Some(c) = self.counts.get(site as usize) else { return };
+        let n = c.fetch_add(1, Relaxed) + 1;
+        if n >= self.threshold {
+            self.disabled[site as usize].store(true, Relaxed);
+        }
+    }
+
+    /// Clean executions observed for a site.
+    pub fn count(&self, site: u32) -> u64 {
+        self.counts.get(site as usize).map(|c| c.load(Relaxed)).unwrap_or(0)
+    }
+
+    /// Number of sites currently disabled.
+    pub fn disabled_count(&self) -> usize {
+        self.disabled.iter().filter(|d| d.load(Relaxed)).count()
+    }
+
+    /// Re-arm every site (e.g. after module reload).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Relaxed);
+        }
+        for d in &self.disabled {
+            d.store(false, Relaxed);
+        }
+    }
+
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_disable_at_threshold() {
+        let d = Deinstrument::new(3, 8);
+        assert!(!d.is_disabled(2));
+        d.note_execution(2);
+        d.note_execution(2);
+        assert!(!d.is_disabled(2), "below threshold");
+        d.note_execution(2);
+        assert!(d.is_disabled(2), "at threshold");
+        assert_eq!(d.count(2), 3);
+        assert_eq!(d.disabled_count(), 1);
+        assert!(!d.is_disabled(3), "other sites unaffected");
+    }
+
+    #[test]
+    fn out_of_range_sites_are_safe() {
+        let d = Deinstrument::new(1, 4);
+        d.note_execution(100);
+        assert!(!d.is_disabled(100));
+        assert_eq!(d.count(100), 0);
+    }
+
+    #[test]
+    fn reset_rearms_everything() {
+        let d = Deinstrument::new(1, 4);
+        d.note_execution(0);
+        d.note_execution(1);
+        assert_eq!(d.disabled_count(), 2);
+        d.reset();
+        assert_eq!(d.disabled_count(), 0);
+        assert_eq!(d.count(0), 0);
+    }
+
+    #[test]
+    fn concurrent_noting_disables_exactly_once_logically() {
+        use std::sync::Arc;
+        let d = Arc::new(Deinstrument::new(1_000, 2));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    d.note_execution(0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.count(0), 2_000);
+        assert!(d.is_disabled(0));
+        assert!(!d.is_disabled(1));
+    }
+}

@@ -1,0 +1,220 @@
+//! The object map: live allocations + retained freed objects + OOB peers.
+//!
+//! The runtime's view of memory. Backed by the [`SplayTree`], consulted on
+//! every enabled check. Freed heap objects are retained (marked dead) so a
+//! dangling dereference is diagnosed as *use-after-free of object X* rather
+//! than a generic out-of-bounds. Out-of-bounds pointers created by
+//! arithmetic become **peer objects** (§3.4): arithmetic on a peer is
+//! permitted — it can produce another peer or re-enter its origin's bounds
+//! — but dereferencing one is a violation.
+
+use std::collections::HashMap;
+
+use crate::splay::SplayTree;
+
+/// What kind of object an entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    Global,
+    Stack,
+    Heap,
+}
+
+/// One mapped object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Object {
+    pub base: u64,
+    pub len: usize,
+    pub kind: ObjKind,
+    /// Heap objects are retained after free for UAF diagnosis.
+    pub freed: bool,
+}
+
+impl Object {
+    /// Does `[addr, addr+len)` fall entirely inside this object?
+    pub fn covers(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr + len as u64 <= self.base + self.len as u64
+    }
+
+    /// Is `addr` a valid pointer *into or one-past-the-end of* this object
+    /// (the C notion of an in-bounds pointer value)?
+    pub fn in_ptr_range(&self, addr: u64) -> bool {
+        addr >= self.base && addr <= self.base + self.len as u64
+    }
+}
+
+/// An out-of-bounds peer: a pointer value outside every object, tied to the
+/// object whose arithmetic created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Peer {
+    pub origin: Object,
+}
+
+/// The address map.
+#[derive(Debug, Default)]
+pub struct ObjectMap {
+    tree: SplayTree<Object>,
+    peers: HashMap<u64, Peer>,
+    live: usize,
+}
+
+impl ObjectMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new object.
+    pub fn insert(&mut self, base: u64, len: usize, kind: ObjKind) {
+        self.tree.insert(base, Object { base, len, kind, freed: false });
+        self.live += 1;
+    }
+
+    /// Remove an object outright (stack pop / scope exit).
+    pub fn remove(&mut self, base: u64) -> Option<Object> {
+        let obj = self.tree.remove(base)?;
+        if !obj.freed {
+            self.live -= 1;
+        }
+        Some(obj)
+    }
+
+    /// Mark a heap object freed but keep it for UAF diagnosis.
+    pub fn mark_freed(&mut self, base: u64) -> bool {
+        if let Some((k, obj)) = self.tree.floor_mut(base) {
+            if k == base && !obj.freed {
+                obj.freed = true;
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The object (live or freed) containing `addr`, if any.
+    pub fn containing(&mut self, addr: u64) -> Option<Object> {
+        let (_, obj) = self.tree.floor(addr)?;
+        let obj = *obj;
+        // `containing` is a point query: an address equal to base+len is
+        // one-past-the-end, not contained.
+        if addr < obj.base + obj.len as u64 {
+            Some(obj)
+        } else {
+            None
+        }
+    }
+
+    /// The object whose pointer range (`base ..= base+len`) admits `addr`.
+    pub fn ptr_owner(&mut self, addr: u64) -> Option<Object> {
+        let (_, obj) = self.tree.floor(addr)?;
+        let obj = *obj;
+        obj.in_ptr_range(addr).then_some(obj)
+    }
+
+    /// Is `base` the base of a live object?
+    pub fn is_live_base(&mut self, base: u64) -> bool {
+        matches!(self.tree.get(base), Some(o) if o.base == base && !o.freed)
+    }
+
+    /// Register an OOB peer for `addr`, anchored to `origin`.
+    pub fn add_peer(&mut self, addr: u64, origin: Object) {
+        self.peers.insert(addr, Peer { origin });
+    }
+
+    /// Look up a peer.
+    pub fn peer(&self, addr: u64) -> Option<Peer> {
+        self.peers.get(&addr).copied()
+    }
+
+    /// Drop a peer (its pointer re-entered bounds or was recomputed).
+    pub fn remove_peer(&mut self, addr: u64) -> Option<Peer> {
+        self.peers.remove(&addr)
+    }
+
+    /// Number of live (not freed) objects.
+    pub fn live_objects(&self) -> usize {
+        self.live
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Splay-tree work counter (for benchmarks).
+    pub fn touches(&self) -> u64 {
+        self.tree.touches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_queries() {
+        let mut m = ObjectMap::new();
+        m.insert(1000, 100, ObjKind::Heap);
+        m.insert(2000, 50, ObjKind::Stack);
+        assert_eq!(m.containing(1000).unwrap().base, 1000);
+        assert_eq!(m.containing(1099).unwrap().base, 1000);
+        assert!(m.containing(1100).is_none(), "one past the end");
+        assert!(m.containing(999).is_none());
+        assert!(m.containing(1500).is_none(), "gap between objects");
+        assert_eq!(m.containing(2049).unwrap().kind, ObjKind::Stack);
+        assert_eq!(m.live_objects(), 2);
+    }
+
+    #[test]
+    fn ptr_range_admits_one_past_end() {
+        let mut m = ObjectMap::new();
+        m.insert(1000, 100, ObjKind::Heap);
+        assert!(m.ptr_owner(1100).is_some(), "one-past-end pointer is legal");
+        assert!(m.ptr_owner(1101).is_none());
+    }
+
+    #[test]
+    fn freed_objects_are_retained_for_uaf() {
+        let mut m = ObjectMap::new();
+        m.insert(1000, 100, ObjKind::Heap);
+        assert!(m.mark_freed(1000));
+        assert!(!m.mark_freed(1000), "double free detected");
+        assert_eq!(m.live_objects(), 0);
+        let obj = m.containing(1050).unwrap();
+        assert!(obj.freed, "still findable, flagged freed");
+        assert!(!m.is_live_base(1000));
+    }
+
+    #[test]
+    fn stack_objects_are_removed_outright() {
+        let mut m = ObjectMap::new();
+        m.insert(5000, 64, ObjKind::Stack);
+        assert_eq!(m.remove(5000).unwrap().kind, ObjKind::Stack);
+        assert!(m.containing(5010).is_none());
+        assert_eq!(m.live_objects(), 0);
+    }
+
+    #[test]
+    fn peers_track_their_origin() {
+        let mut m = ObjectMap::new();
+        m.insert(1000, 100, ObjKind::Heap);
+        let origin = m.containing(1000).unwrap();
+        m.add_peer(1200, origin);
+        assert_eq!(m.peer(1200).unwrap().origin.base, 1000);
+        assert_eq!(m.peer_count(), 1);
+        assert!(m.remove_peer(1200).is_some());
+        assert!(m.peer(1200).is_none());
+    }
+
+    #[test]
+    fn adjacent_objects_do_not_bleed() {
+        let mut m = ObjectMap::new();
+        m.insert(1000, 100, ObjKind::Heap);
+        m.insert(1100, 100, ObjKind::Heap);
+        // 1100 belongs to the second object, not one-past-end of the first.
+        assert_eq!(m.containing(1100).unwrap().base, 1100);
+        // covers() is precise about spans.
+        let a = m.containing(1000).unwrap();
+        assert!(a.covers(1090, 10));
+        assert!(!a.covers(1090, 11), "would cross into the neighbour");
+    }
+}

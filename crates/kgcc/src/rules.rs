@@ -1,0 +1,355 @@
+//! Selective instrumentation rules — §3.5's planned pattern language.
+//!
+//! *"First, we intend to make the compiler capable of inserting
+//! instrumentation based on rules such as 'instrument every operation on an
+//! inode's reference count'. ... we plan to develop a language that
+//! specifies code patterns that the KGCC compiler can then recognize and
+//! instrument, in the spirit of aspect-oriented programming."*
+//!
+//! The rule language selects check sites by code pattern; rules are applied
+//! in order to the full check plan and each site takes the action of the
+//! last rule matching it. Syntax, one rule per line (`#` comments):
+//!
+//! ```text
+//! check  all                      # start from everything instrumented
+//! skip   fn=hash_name             # ...except this hot function
+//! check  fn=parse var=hdr         # ...but hdr accesses in parse stay
+//! skip   op=arith                 # pointer arithmetic checks off
+//! check  var=inode_refs           # every operation on this object
+//! ```
+//!
+//! Selectors: `fn=<name>` (enclosing function), `var=<name>` (base/target
+//! variable of the access), `op=<index|deref|arith|free>` (site kind);
+//! multiple selectors in one rule are ANDed; `all` matches everything.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kclang::{BinOp, Block, Expr, ExprKind, Program, Type, TypeInfo, UnOp};
+
+use crate::plan::CheckPlan;
+
+/// What kind of operation a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    Index,
+    Deref,
+    Arith,
+    Free,
+}
+
+/// Facts about one check site, matched against rule selectors.
+#[derive(Debug, Clone)]
+pub struct SiteInfo {
+    pub site: u32,
+    pub func: String,
+    /// Base variable of an index/deref/arith, when syntactically evident.
+    pub var: Option<String>,
+    pub kind: SiteKind,
+}
+
+/// A parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub action: Action,
+    pub func: Option<String>,
+    pub var: Option<String>,
+    pub kind: Option<SiteKind>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    Check,
+    Skip,
+}
+
+/// Rule-parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Parse the rule script.
+pub fn parse_rules(src: &str) -> Result<Vec<Rule>, RuleError> {
+    let mut rules = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let action = match parts.next() {
+            Some("check") => Action::Check,
+            Some("skip") => Action::Skip,
+            Some(other) => {
+                return Err(RuleError {
+                    line: i + 1,
+                    msg: format!("expected 'check' or 'skip', found '{other}'"),
+                })
+            }
+            None => continue,
+        };
+        let mut rule = Rule { action, func: None, var: None, kind: None };
+        let mut any = false;
+        for sel in parts {
+            any = true;
+            if sel == "all" {
+                continue;
+            }
+            let (key, value) = sel.split_once('=').ok_or_else(|| RuleError {
+                line: i + 1,
+                msg: format!("selector '{sel}' is not key=value or 'all'"),
+            })?;
+            match key {
+                "fn" => rule.func = Some(value.to_string()),
+                "var" => rule.var = Some(value.to_string()),
+                "op" => {
+                    rule.kind = Some(match value {
+                        "index" => SiteKind::Index,
+                        "deref" => SiteKind::Deref,
+                        "arith" => SiteKind::Arith,
+                        "free" => SiteKind::Free,
+                        other => {
+                            return Err(RuleError {
+                                line: i + 1,
+                                msg: format!("unknown op kind '{other}'"),
+                            })
+                        }
+                    })
+                }
+                other => {
+                    return Err(RuleError {
+                        line: i + 1,
+                        msg: format!("unknown selector '{other}'"),
+                    })
+                }
+            }
+        }
+        if !any {
+            return Err(RuleError { line: i + 1, msg: "rule needs a selector (or 'all')".into() });
+        }
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+impl Rule {
+    fn matches(&self, info: &SiteInfo) -> bool {
+        if let Some(f) = &self.func {
+            if *f != info.func {
+                return false;
+            }
+        }
+        if let Some(v) = &self.var {
+            if info.var.as_deref() != Some(v.as_str()) {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if k != info.kind {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Collect the site facts for every checkable expression in the program.
+pub fn collect_sites(prog: &Program, info: &TypeInfo) -> Vec<SiteInfo> {
+    let mut out = Vec::new();
+    for f in &prog.funcs {
+        collect_block(&f.body, &f.name, info, &mut out);
+    }
+    out
+}
+
+fn base_var(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Var(n) => Some(n.clone()),
+        ExprKind::Index(b, _) => base_var(b),
+        ExprKind::Unary(UnOp::Deref, i) => base_var(i),
+        ExprKind::Binary(_, l, _) => base_var(l),
+        _ => None,
+    }
+}
+
+fn collect_block(block: &Block, func: &str, info: &TypeInfo, out: &mut Vec<SiteInfo>) {
+    kclang::ast::visit_exprs(block, &mut |e| {
+        let entry = match &e.kind {
+            ExprKind::Index(b, _) => {
+                Some((SiteKind::Index, base_var(b)))
+            }
+            ExprKind::Unary(UnOp::Deref, i) => Some((SiteKind::Deref, base_var(i))),
+            ExprKind::Binary(op, l, _)
+                if matches!(op, BinOp::Add | BinOp::Sub)
+                    && info.type_of(e.id).map(Type::is_ptr_like).unwrap_or(false) =>
+            {
+                Some((SiteKind::Arith, base_var(l)))
+            }
+            ExprKind::Call(name, args) if name == "free" => {
+                Some((SiteKind::Free, args.first().and_then(base_var)))
+            }
+            _ => None,
+        };
+        if let Some((kind, var)) = entry {
+            out.push(SiteInfo { site: e.id, func: func.to_string(), var, kind });
+        }
+    });
+    // visit_exprs covers nested statements' expressions; nested blocks'
+    // functions do not exist in KC (no closures), so `func` is correct.
+    let _ = (block, func);
+}
+
+/// Apply rules to produce a plan: start from all-disabled, walk the rules in
+/// order, and let the last matching rule decide each site.
+pub fn apply_rules(prog: &Program, info: &TypeInfo, rules: &[Rule]) -> CheckPlan {
+    let mut plan = CheckPlan::all_enabled(prog, info);
+    let sites = collect_sites(prog, info);
+    let mut decisions: HashMap<u32, Action> = HashMap::new();
+    for s in &sites {
+        // Default: unmatched sites stay out (selective instrumentation).
+        let mut action = Action::Skip;
+        for r in rules {
+            if r.matches(s) {
+                action = r.action;
+            }
+        }
+        decisions.insert(s.site, action);
+    }
+    plan.retain_sites(|site| decisions.get(&site) == Some(&Action::Check));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kclang::{parse_program, typecheck};
+
+    const PROG: &str = r#"
+        int hash_name(char *name, int n) {
+            int h = 0;
+            int i;
+            for (i = 0; i < n; i = i + 1) { h = h * 31 + name[i]; }
+            return h;
+        }
+        int parse(int *hdr, int *body) {
+            return hdr[0] + hdr[1] + body[0];
+        }
+        int cleanup(int *p) {
+            free(p);
+            return 0;
+        }
+    "#;
+
+    fn setup() -> (kclang::Program, kclang::TypeInfo) {
+        let p = parse_program(PROG).unwrap();
+        let i = typecheck(&p).unwrap();
+        (p, i)
+    }
+
+    #[test]
+    fn parse_rule_syntax() {
+        let rules = parse_rules(
+            "# comment\ncheck all\nskip fn=hash_name\ncheck fn=parse var=hdr\nskip op=arith\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(rules[0], Rule { action: Action::Check, func: None, var: None, kind: None });
+        assert_eq!(rules[1].func.as_deref(), Some("hash_name"));
+        assert_eq!(rules[2].var.as_deref(), Some("hdr"));
+        assert_eq!(rules[3].kind, Some(SiteKind::Arith));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = parse_rules("check all\nfrobnicate fn=x").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_rules("check op=wat").is_err());
+        assert!(parse_rules("check banana").is_err());
+        assert!(parse_rules("check").is_err());
+    }
+
+    #[test]
+    fn site_collection_sees_every_kind() {
+        let (p, i) = setup();
+        let sites = collect_sites(&p, &i);
+        assert!(sites.iter().any(|s| s.kind == SiteKind::Index && s.func == "hash_name"));
+        assert!(sites
+            .iter()
+            .any(|s| s.kind == SiteKind::Index && s.var.as_deref() == Some("hdr")));
+        assert!(sites.iter().any(|s| s.kind == SiteKind::Free && s.func == "cleanup"));
+    }
+
+    #[test]
+    fn check_all_equals_full_plan_site_set() {
+        let (p, i) = setup();
+        let rules = parse_rules("check all").unwrap();
+        let plan = apply_rules(&p, &i, &rules);
+        let full = CheckPlan::all_enabled(&p, &i);
+        assert_eq!(plan.enabled_count(), full.enabled_count());
+    }
+
+    #[test]
+    fn function_scoped_skip_removes_only_that_function() {
+        let (p, i) = setup();
+        let full = apply_rules(&p, &i, &parse_rules("check all").unwrap());
+        let plan =
+            apply_rules(&p, &i, &parse_rules("check all\nskip fn=hash_name").unwrap());
+        assert!(plan.enabled_count() < full.enabled_count());
+        // parse's hdr sites survive:
+        let sites = collect_sites(&p, &i);
+        for s in sites.iter().filter(|s| s.func == "parse") {
+            assert!(plan.is_enabled(s.site), "parse sites stay checked");
+        }
+        for s in sites.iter().filter(|s| s.func == "hash_name" ) {
+            assert!(!plan.is_enabled(s.site), "hash_name sites skipped");
+        }
+    }
+
+    #[test]
+    fn variable_scoped_rule_instruments_one_object() {
+        // The paper's example: "instrument every operation on an inode's
+        // reference count" — here: only `hdr` accesses.
+        let (p, i) = setup();
+        let plan = apply_rules(&p, &i, &parse_rules("check var=hdr").unwrap());
+        let sites = collect_sites(&p, &i);
+        for s in &sites {
+            assert_eq!(
+                plan.is_enabled(s.site),
+                s.var.as_deref() == Some("hdr"),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn later_rules_override_earlier_ones() {
+        let (p, i) = setup();
+        let plan = apply_rules(
+            &p,
+            &i,
+            &parse_rules("check all\nskip fn=parse\ncheck fn=parse var=hdr").unwrap(),
+        )
+        ;
+        let sites = collect_sites(&p, &i);
+        for s in sites.iter().filter(|s| s.func == "parse") {
+            assert_eq!(plan.is_enabled(s.site), s.var.as_deref() == Some("hdr"));
+        }
+    }
+
+    #[test]
+    fn empty_rules_instrument_nothing() {
+        let (p, i) = setup();
+        let plan = apply_rules(&p, &i, &[]);
+        assert_eq!(plan.enabled_count(), 0);
+    }
+}

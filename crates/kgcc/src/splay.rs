@@ -1,0 +1,400 @@
+//! Splay tree keyed by `u64` (object base address).
+//!
+//! BCC stores the address map in a splay tree because the access pattern
+//! has strong locality: the object touched by one check is very likely the
+//! object touched by the next, and splaying keeps it at the root. The
+//! paper's observed weakness — *"when multiple threads make use of the same
+//! splay tree, the splay tree is no longer as efficient, because different
+//! threads have less locality"* (and every lookup is a *write*, so readers
+//! cannot share a lock) — is measured in ablation A3 using this same
+//! implementation behind a mutex.
+
+struct Node<V> {
+    key: u64,
+    value: V,
+    left: Option<Box<Node<V>>>,
+    right: Option<Box<Node<V>>>,
+}
+
+fn rotate_right<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
+    let mut l = node.left.take().expect("rotate_right needs a left child");
+    node.left = l.right.take();
+    l.right = Some(node);
+    l
+}
+
+fn rotate_left<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
+    let mut r = node.right.take().expect("rotate_left needs a right child");
+    node.right = r.left.take();
+    r.left = Some(node);
+    r
+}
+
+/// Classic recursive splay: brings `key` (or the closest node on the search
+/// path) to the root. Returns the new root. `touches` counts visited nodes.
+fn splay_node<V>(mut root: Box<Node<V>>, key: u64, touches: &mut u64) -> Box<Node<V>> {
+    *touches += 1;
+    if key < root.key {
+        let Some(mut left) = root.left.take() else { return root };
+        if key < left.key {
+            // zig-zig
+            if let Some(ll) = left.left.take() {
+                left.left = Some(splay_node(ll, key, touches));
+            }
+            root.left = Some(left);
+            root = rotate_right(root);
+            if root.left.is_some() {
+                root = rotate_right(root);
+            }
+            root
+        } else if key > left.key {
+            // zig-zag
+            if let Some(lr) = left.right.take() {
+                left.right = Some(splay_node(lr, key, touches));
+            }
+            if left.right.is_some() {
+                left = rotate_left(left);
+            }
+            root.left = Some(left);
+            rotate_right(root)
+        } else {
+            root.left = Some(left);
+            rotate_right(root)
+        }
+    } else if key > root.key {
+        let Some(mut right) = root.right.take() else { return root };
+        if key > right.key {
+            if let Some(rr) = right.right.take() {
+                right.right = Some(splay_node(rr, key, touches));
+            }
+            root.right = Some(right);
+            root = rotate_left(root);
+            if root.right.is_some() {
+                root = rotate_left(root);
+            }
+            root
+        } else if key < right.key {
+            if let Some(rl) = right.left.take() {
+                right.left = Some(splay_node(rl, key, touches));
+            }
+            if right.left.is_some() {
+                right = rotate_right(right);
+            }
+            root.right = Some(right);
+            rotate_left(root)
+        } else {
+            root.right = Some(right);
+            rotate_left(root)
+        }
+    } else {
+        root
+    }
+}
+
+/// A splay tree map from `u64` to `V` with predecessor (floor) queries.
+pub struct SplayTree<V> {
+    root: Option<Box<Node<V>>>,
+    len: usize,
+    /// Nodes touched by splay operations (work measure for benchmarks).
+    pub touches: u64,
+}
+
+impl<V> Default for SplayTree<V> {
+    fn default() -> Self {
+        SplayTree { root: None, len: 0, touches: 0 }
+    }
+}
+
+impl<V> SplayTree<V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn splay(&mut self, key: u64) {
+        if let Some(root) = self.root.take() {
+            self.root = Some(splay_node(root, key, &mut self.touches));
+        }
+    }
+
+    /// Insert or replace.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let Some(_) = self.root else {
+            self.root = Some(Box::new(Node { key, value, left: None, right: None }));
+            self.len = 1;
+            return None;
+        };
+        self.splay(key);
+        let root = self.root.as_mut().expect("splayed root");
+        match key.cmp(&root.key) {
+            std::cmp::Ordering::Equal => Some(std::mem::replace(&mut root.value, value)),
+            std::cmp::Ordering::Less => {
+                let mut old = self.root.take().expect("root");
+                let left = old.left.take();
+                let new =
+                    Box::new(Node { key, value, left, right: Some(old) });
+                self.root = Some(new);
+                self.len += 1;
+                None
+            }
+            std::cmp::Ordering::Greater => {
+                let mut old = self.root.take().expect("root");
+                let right = old.right.take();
+                let new =
+                    Box::new(Node { key, value, left: Some(old), right });
+                self.root = Some(new);
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Exact lookup (splays).
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.splay(key);
+        match &self.root {
+            Some(n) if n.key == key => Some(&n.value),
+            _ => None,
+        }
+    }
+
+    /// Greatest entry with `key <= at` (splays it to the root). This is the
+    /// containment query: the object covering an address is the one whose
+    /// base is its floor.
+    pub fn floor(&mut self, at: u64) -> Option<(u64, &V)> {
+        self.root.as_ref()?;
+        self.splay(at);
+        if self.root.as_ref().expect("root").key <= at {
+            let n = self.root.as_ref().expect("root");
+            return Some((n.key, &n.value));
+        }
+        // Root is the successor of `at`; the floor is the maximum of its
+        // left subtree. Splay that maximum to the top of the left subtree,
+        // then rotate it to the root (order preserved: max has no right
+        // child, and the old root becomes its right child).
+        let mut old_root = self.root.take().expect("root");
+        let Some(left) = old_root.left.take() else {
+            self.root = Some(old_root);
+            return None;
+        };
+        let mut new_root = splay_node(left, u64::MAX, &mut self.touches);
+        debug_assert!(new_root.right.is_none());
+        new_root.right = Some(old_root);
+        self.root = Some(new_root);
+        let n = self.root.as_ref().expect("root");
+        debug_assert!(n.key <= at);
+        Some((n.key, &n.value))
+    }
+
+    /// Mutable floor access.
+    pub fn floor_mut(&mut self, at: u64) -> Option<(u64, &mut V)> {
+        self.floor(at)?;
+        let n = self.root.as_mut().expect("floor splayed the result to root");
+        (n.key <= at).then_some((n.key, &mut n.value))
+    }
+
+    /// Remove a key (splays).
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        self.splay(key);
+        let root = self.root.take()?;
+        if root.key != key {
+            self.root = Some(root);
+            return None;
+        }
+        let Node { value, left, right, .. } = *root;
+        self.len -= 1;
+        self.root = match (left, right) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(l), r) => {
+                // Join: splay the max of the left subtree up, hang right.
+                let mut new_root = splay_node(l, u64::MAX, &mut self.touches);
+                debug_assert!(new_root.right.is_none());
+                new_root.right = r;
+                Some(new_root)
+            }
+        };
+        Some(value)
+    }
+
+    /// In-order key collection (testing).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<V>(n: &Option<Box<Node<V>>>, out: &mut Vec<u64>) {
+            if let Some(n) = n {
+                walk(&n.left, out);
+                out.push(n.key);
+                walk(&n.right, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// The current root key (splay behaviour checks).
+    pub fn root_key(&self) -> Option<u64> {
+        self.root.as_ref().map(|n| n.key)
+    }
+}
+
+impl<V> std::fmt::Debug for SplayTree<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplayTree").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = SplayTree::new();
+        assert!(t.is_empty());
+        for k in [50u64, 20, 80, 10, 30, 70, 90] {
+            assert!(t.insert(k, k * 10).is_none());
+        }
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.get(30), Some(&300));
+        assert_eq!(t.get(31), None);
+        assert_eq!(t.insert(30, 999), Some(300), "replace returns old");
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.remove(30), Some(999));
+        assert_eq!(t.remove(30), None);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.keys(), vec![10, 20, 50, 70, 80, 90]);
+    }
+
+    #[test]
+    fn splay_brings_accessed_key_to_root() {
+        let mut t = SplayTree::new();
+        for k in 0..100u64 {
+            t.insert(k, ());
+        }
+        t.get(42);
+        assert_eq!(t.root_key(), Some(42));
+        t.get(7);
+        assert_eq!(t.root_key(), Some(7));
+    }
+
+    #[test]
+    fn floor_finds_the_covering_base() {
+        let mut t = SplayTree::new();
+        t.insert(100, "a");
+        t.insert(200, "b");
+        t.insert(300, "c");
+        assert_eq!(t.floor(150), Some((100, &"a")));
+        assert_eq!(t.floor(200), Some((200, &"b")));
+        assert_eq!(t.floor(299), Some((200, &"b")));
+        assert_eq!(t.floor(1_000), Some((300, &"c")));
+        assert_eq!(t.floor(99), None);
+        assert_eq!(t.floor(100), Some((100, &"a")));
+        // Order must be intact after all the floor splaying.
+        assert_eq!(t.keys(), vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn floor_mut_allows_updates() {
+        let mut t = SplayTree::new();
+        t.insert(10, 1);
+        if let Some((_, v)) = t.floor_mut(15) {
+            *v = 2;
+        }
+        assert_eq!(t.get(10), Some(&2));
+    }
+
+    #[test]
+    fn repeated_access_is_cheap_locality() {
+        let mut t = SplayTree::new();
+        for k in 0..1000u64 {
+            t.insert(k * 16, k);
+        }
+        // First access pays the splay; repeats are O(1) at the root.
+        t.get(512 * 16);
+        let before = t.touches;
+        for _ in 0..100 {
+            t.get(512 * 16);
+        }
+        let per_access = (t.touches - before) / 100;
+        assert!(per_access <= 2, "hot key should cost ~1 touch, got {per_access}");
+    }
+
+    #[test]
+    fn ordered_insert_then_scan_behaves() {
+        let mut t = SplayTree::new();
+        for k in 0..200u64 {
+            t.insert(k, k);
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(k), Some(&k));
+        }
+        assert_eq!(t.keys().len(), 200);
+    }
+
+    #[test]
+    fn remove_everything_in_random_order() {
+        let keys = [37u64, 1, 99, 55, 12, 70, 3, 88, 41, 66];
+        let mut t = SplayTree::new();
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        for &k in &[55u64, 1, 88, 37, 66, 12, 99, 3, 41, 70] {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.keys(), Vec::<u64>::new());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        /// The splay tree behaves exactly like a BTreeMap under arbitrary
+        /// insert/remove/get/floor interleavings.
+        #[test]
+        fn matches_btreemap_model(
+            ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)
+        ) {
+            let mut t = SplayTree::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        let a = t.insert(key, key);
+                        let b = model.insert(key, key);
+                        prop_assert_eq!(a, b);
+                    }
+                    1 => {
+                        let a = t.remove(key);
+                        let b = model.remove(&key);
+                        prop_assert_eq!(a, b);
+                    }
+                    2 => {
+                        let a = t.get(key).copied();
+                        let b = model.get(&key).copied();
+                        prop_assert_eq!(a, b);
+                    }
+                    _ => {
+                        let a = t.floor(key).map(|(k, v)| (k, *v));
+                        let b = model.range(..=key).next_back().map(|(k, v)| (*k, *v));
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                prop_assert_eq!(t.len(), model.len());
+            }
+            let keys: Vec<u64> = model.keys().copied().collect();
+            prop_assert_eq!(t.keys(), keys);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Lock-free cycle accounting.
+//!
+//! The clock splits simulated time into three buckets, mirroring the
+//! `time(1)` output the paper reports for every experiment:
+//!
+//! * **user** — cycles spent executing application code,
+//! * **sys** — cycles spent in the kernel (crossings, copies, kernel work),
+//! * **io** — cycles the CPU spends waiting for the simulated disk.
+//!
+//! Elapsed time is the sum of the three (single simulated CPU; I/O is
+//! blocking as it was for the paper's synchronous workloads). Counters are
+//! relaxed atomics: totals are only read after the simulated workload
+//! finishes, so no ordering beyond the final happens-before of thread join
+//! is required — the pattern recommended for statistics counters in
+//! *Rust Atomics and Locks*.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::cost::cycles_to_secs;
+
+/// Tri-bucket simulated cycle counter.
+#[derive(Debug, Default)]
+pub struct Clock {
+    user: AtomicU64,
+    sys: AtomicU64,
+    io: AtomicU64,
+}
+
+/// A point-in-time snapshot of the clock, used to measure intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClockSnapshot {
+    pub user: u64,
+    pub sys: u64,
+    pub io: u64,
+}
+
+/// The difference between two snapshots: one measured interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interval {
+    pub user: u64,
+    pub sys: u64,
+    pub io: u64,
+}
+
+impl Clock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` cycles of application (user-mode) time.
+    #[inline]
+    pub fn charge_user(&self, n: u64) {
+        self.user.fetch_add(n, Relaxed);
+    }
+
+    /// Charge `n` cycles of kernel (system) time.
+    #[inline]
+    pub fn charge_sys(&self, n: u64) {
+        self.sys.fetch_add(n, Relaxed);
+    }
+
+    /// Charge `n` cycles of I/O wait time.
+    #[inline]
+    pub fn charge_io(&self, n: u64) {
+        self.io.fetch_add(n, Relaxed);
+    }
+
+    #[inline]
+    pub fn user_cycles(&self) -> u64 {
+        self.user.load(Relaxed)
+    }
+
+    #[inline]
+    pub fn sys_cycles(&self) -> u64 {
+        self.sys.load(Relaxed)
+    }
+
+    #[inline]
+    pub fn io_cycles(&self) -> u64 {
+        self.io.load(Relaxed)
+    }
+
+    /// Total elapsed cycles on the single simulated CPU.
+    #[inline]
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.user_cycles() + self.sys_cycles() + self.io_cycles()
+    }
+
+    /// Capture the current totals.
+    pub fn snapshot(&self) -> ClockSnapshot {
+        ClockSnapshot {
+            user: self.user_cycles(),
+            sys: self.sys_cycles(),
+            io: self.io_cycles(),
+        }
+    }
+
+    /// Cycles accumulated since `start`.
+    pub fn since(&self, start: ClockSnapshot) -> Interval {
+        let now = self.snapshot();
+        Interval {
+            user: now.user - start.user,
+            sys: now.sys - start.sys,
+            io: now.io - start.io,
+        }
+    }
+
+    /// Reset all buckets to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.user.store(0, Relaxed);
+        self.sys.store(0, Relaxed);
+        self.io.store(0, Relaxed);
+    }
+}
+
+impl Interval {
+    #[inline]
+    pub fn elapsed(&self) -> u64 {
+        self.user + self.sys + self.io
+    }
+
+    /// Elapsed seconds at the simulated clock rate.
+    pub fn elapsed_secs(&self) -> f64 {
+        cycles_to_secs(self.elapsed())
+    }
+
+    pub fn user_secs(&self) -> f64 {
+        cycles_to_secs(self.user)
+    }
+
+    pub fn sys_secs(&self) -> f64 {
+        cycles_to_secs(self.sys)
+    }
+
+    pub fn io_secs(&self) -> f64 {
+        cycles_to_secs(self.io)
+    }
+}
+
+/// Percentage improvement of `new` over `base`: `(base - new) / base * 100`.
+///
+/// This is the formula behind every "x% faster" claim in the paper.
+pub fn improvement_pct(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (base as f64 - new as f64) / base as f64 * 100.0
+}
+
+/// Percentage overhead of `new` over `base`: `(new - base) / base * 100`.
+pub fn overhead_pct(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (new as f64 - base as f64) / base as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_independently() {
+        let c = Clock::new();
+        c.charge_user(10);
+        c.charge_sys(20);
+        c.charge_io(30);
+        c.charge_user(5);
+        assert_eq!(c.user_cycles(), 15);
+        assert_eq!(c.sys_cycles(), 20);
+        assert_eq!(c.io_cycles(), 30);
+        assert_eq!(c.elapsed_cycles(), 65);
+    }
+
+    #[test]
+    fn snapshot_interval_measures_only_the_window() {
+        let c = Clock::new();
+        c.charge_user(100);
+        let s = c.snapshot();
+        c.charge_user(7);
+        c.charge_sys(3);
+        let iv = c.since(s);
+        assert_eq!(iv.user, 7);
+        assert_eq!(iv.sys, 3);
+        assert_eq!(iv.io, 0);
+        assert_eq!(iv.elapsed(), 10);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Clock::new();
+        c.charge_user(1);
+        c.charge_sys(1);
+        c.charge_io(1);
+        c.reset();
+        assert_eq!(c.elapsed_cycles(), 0);
+    }
+
+    #[test]
+    fn concurrent_charges_are_not_lost() {
+        let c = std::sync::Arc::new(Clock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.charge_sys(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sys_cycles(), 40_000);
+    }
+
+    #[test]
+    fn improvement_and_overhead_formulas() {
+        assert!((improvement_pct(200, 100) - 50.0).abs() < 1e-12);
+        assert!((overhead_pct(100, 114) - 14.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0, 5), 0.0);
+        assert_eq!(overhead_pct(0, 5), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Cycle cost model for every hardware event the simulator charges.
+//!
+//! Defaults are calibrated to the paper's testbed: a 1.7 GHz Pentium 4 with
+//! 884 MB RAM, an IDE disk for the file-system experiments (§2.2, §3.2) and a
+//! 15 kRPM SCSI disk for log output (§3.3). Absolute constants matter less
+//! than their ratios: a syscall crossing costs on the order of a thousand
+//! cycles, copies cost about a cycle per byte, and disk operations cost
+//! milliseconds. All fields are public so experiments can sweep them.
+
+/// Simulated CPU frequency: 1.7 GHz (the paper's Pentium 4).
+pub const CYCLES_PER_SEC: u64 = 1_700_000_000;
+
+/// Cycle prices for simulated hardware and kernel events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// User→kernel transition (trap, register save, switch to kernel stack).
+    pub kernel_entry: u64,
+    /// Kernel→user transition.
+    pub kernel_exit: u64,
+    /// System-call demultiplexing: table lookup, permission checks,
+    /// argument validation scaffolding.
+    pub syscall_dispatch: u64,
+    /// Per-byte cost of `copy_to_user` / `copy_from_user`.
+    /// Fractional costs are expressed per 16-byte block below.
+    pub copy_per_block16: u64,
+    /// Fixed setup cost of any user↔kernel copy (access_ok checks, etc.).
+    pub copy_setup: u64,
+    /// Process context switch (scheduler decision + MMU switch + cache
+    /// disturbance estimate).
+    pub context_switch: u64,
+    /// Taking a page fault: trap, walk, handler dispatch.
+    pub page_fault: u64,
+    /// TLB miss page-table walk.
+    pub tlb_miss: u64,
+    /// TLB hit lookup (charged on every translated access block).
+    pub tlb_hit: u64,
+    /// Loading a far segment + privilege checks (Cosy isolation mode A
+    /// charges this on every user-function entry and exit).
+    pub segment_switch: u64,
+    /// Per-access segment limit check performed in hardware (effectively
+    /// free on x86; nonzero here only so ablations can expose it).
+    pub segment_check: u64,
+    /// Scheduler preemption-tick bookkeeping (watchdog checks ride on this).
+    pub preempt_tick: u64,
+    /// Average disk seek in cycles (IDE ~8.5 ms).
+    pub disk_seek: u64,
+    /// Average rotational delay in cycles (7200 RPM ⇒ ~4.17 ms half turn).
+    pub disk_rotate: u64,
+    /// Per-byte disk transfer cost (≈40 MB/s sustained IDE).
+    pub disk_byte_x100: u64,
+    /// Cost charged per allocator fast-path op (kmalloc/kfree).
+    pub kmalloc_op: u64,
+    /// Cost charged per vmalloc/vfree op, *excluding* page-table updates
+    /// (those are charged per page via `pte_update`).
+    pub vmalloc_op: u64,
+    /// Installing or clearing one PTE (includes TLB shootdown share).
+    pub pte_update: u64,
+    /// One uncontended spinlock acquire/release pair.
+    pub spinlock_pair: u64,
+    /// One `log_event` dispatcher invocation (indirect call + record fill).
+    pub event_dispatch: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            kernel_entry: 700,
+            kernel_exit: 600,
+            syscall_dispatch: 250,
+            copy_per_block16: 16, // ~1 cycle/byte through the cache
+            copy_setup: 60,
+            context_switch: 6_000,
+            page_fault: 2_200,
+            tlb_miss: 120,
+            tlb_hit: 2,
+            segment_switch: 160,
+            segment_check: 1,
+            preempt_tick: 40,
+            disk_seek: ms_to_cycles(8.5),
+            disk_rotate: ms_to_cycles(4.17),
+            disk_byte_x100: 4_250, // 42.5 cycles/byte ≈ 40 MB/s at 1.7 GHz
+            kmalloc_op: 90,
+            vmalloc_op: 450,
+            pte_update: 180,
+            spinlock_pair: 40,
+            event_dispatch: 55,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of copying `bytes` across the user/kernel boundary (one call).
+    #[inline]
+    pub fn copy_cost(&self, bytes: usize) -> u64 {
+        let blocks = (bytes as u64).div_ceil(16);
+        self.copy_setup + blocks * self.copy_per_block16
+    }
+
+    /// Cost of a full syscall round trip, excluding copies and work.
+    #[inline]
+    pub fn crossing_cost(&self) -> u64 {
+        self.kernel_entry + self.syscall_dispatch + self.kernel_exit
+    }
+
+    /// Cost of one random-access disk transfer of `bytes`.
+    #[inline]
+    pub fn disk_random(&self, bytes: usize) -> u64 {
+        self.disk_seek + self.disk_rotate + self.disk_transfer(bytes)
+    }
+
+    /// Cost of a sequential disk transfer of `bytes` (no seek/rotation).
+    #[inline]
+    pub fn disk_transfer(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.disk_byte_x100) / 100
+    }
+
+    /// A free cost model: every event costs zero cycles. Useful in unit
+    /// tests that verify mechanism rather than accounting.
+    pub fn free() -> Self {
+        CostModel {
+            kernel_entry: 0,
+            kernel_exit: 0,
+            syscall_dispatch: 0,
+            copy_per_block16: 0,
+            copy_setup: 0,
+            context_switch: 0,
+            page_fault: 0,
+            tlb_miss: 0,
+            tlb_hit: 0,
+            segment_switch: 0,
+            segment_check: 0,
+            preempt_tick: 0,
+            disk_seek: 0,
+            disk_rotate: 0,
+            disk_byte_x100: 0,
+            kmalloc_op: 0,
+            vmalloc_op: 0,
+            pte_update: 0,
+            spinlock_pair: 0,
+            event_dispatch: 0,
+        }
+    }
+}
+
+/// Convert milliseconds to simulated cycles.
+#[inline]
+pub fn ms_to_cycles(ms: f64) -> u64 {
+    (ms * CYCLES_PER_SEC as f64 / 1_000.0) as u64
+}
+
+/// Convert simulated cycles to seconds.
+#[inline]
+pub fn cycles_to_secs(cycles: u64) -> f64 {
+    cycles as f64 / CYCLES_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales_linearly_in_blocks() {
+        let c = CostModel::default();
+        assert_eq!(c.copy_cost(0), c.copy_setup);
+        assert_eq!(c.copy_cost(1), c.copy_setup + c.copy_per_block16);
+        assert_eq!(c.copy_cost(16), c.copy_setup + c.copy_per_block16);
+        assert_eq!(c.copy_cost(17), c.copy_setup + 2 * c.copy_per_block16);
+        assert_eq!(c.copy_cost(4096), c.copy_setup + 256 * c.copy_per_block16);
+    }
+
+    #[test]
+    fn crossing_cost_is_sum_of_parts() {
+        let c = CostModel::default();
+        assert_eq!(
+            c.crossing_cost(),
+            c.kernel_entry + c.syscall_dispatch + c.kernel_exit
+        );
+    }
+
+    #[test]
+    fn disk_costs_are_millisecond_scale() {
+        let c = CostModel::default();
+        // A 4 KiB random read should cost roughly 12-14 ms on 2005 IDE.
+        let secs = cycles_to_secs(c.disk_random(4096));
+        assert!(secs > 0.010 && secs < 0.020, "got {secs}");
+        // Sequential transfer of the same amount is far cheaper.
+        assert!(c.disk_transfer(4096) < c.disk_random(4096) / 10);
+    }
+
+    #[test]
+    fn ms_conversion_round_trips() {
+        let cyc = ms_to_cycles(1.0);
+        assert_eq!(cyc, CYCLES_PER_SEC / 1000);
+        let s = cycles_to_secs(cyc);
+        assert!((s - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let c = CostModel::free();
+        assert_eq!(c.copy_cost(100_000), 0);
+        assert_eq!(c.crossing_cost(), 0);
+        assert_eq!(c.disk_random(1 << 20), 0);
+    }
+}

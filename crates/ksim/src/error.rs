@@ -1,0 +1,88 @@
+//! Error types shared across the simulator.
+
+use std::fmt;
+
+use crate::mem::{AccessKind, FaultKind};
+
+/// Result alias used throughout the simulator crates.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors the simulated machine can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access faulted and no handler resolved it.
+    MemFault {
+        kind: FaultKind,
+        access: AccessKind,
+        vaddr: u64,
+    },
+    /// An access violated a segment's base/limit (Cosy isolation).
+    SegmentViolation {
+        selector: u16,
+        offset: u64,
+        len: usize,
+    },
+    /// Reference to a segment selector that does not exist.
+    BadSelector(u16),
+    /// Out of simulated physical page frames.
+    OutOfMemory,
+    /// Referenced a process that does not exist (or has exited).
+    NoSuchProcess(u32),
+    /// Referenced an address space that does not exist.
+    NoSuchAddressSpace(u32),
+    /// A process exceeded its allowed kernel time and was killed
+    /// (the Cosy watchdog, §2.3).
+    WatchdogKilled { pid: u32, used: u64, budget: u64 },
+    /// Attempt to enter the kernel while already in kernel mode, or to
+    /// exit while not in it.
+    BoundaryMisuse(&'static str),
+    /// Generic invalid-argument error with a static explanation.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemFault { kind, access, vaddr } => {
+                write!(f, "unhandled {kind:?} fault on {access:?} at {vaddr:#x}")
+            }
+            SimError::SegmentViolation { selector, offset, len } => write!(
+                f,
+                "segment violation: selector {selector} offset {offset:#x} len {len}"
+            ),
+            SimError::BadSelector(s) => write!(f, "bad segment selector {s}"),
+            SimError::OutOfMemory => write!(f, "out of simulated physical memory"),
+            SimError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            SimError::NoSuchAddressSpace(a) => write!(f, "no such address space {a}"),
+            SimError::WatchdogKilled { pid, used, budget } => write!(
+                f,
+                "watchdog killed pid {pid}: used {used} kernel cycles (budget {budget})"
+            ),
+            SimError::BoundaryMisuse(m) => write!(f, "boundary misuse: {m}"),
+            SimError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::WatchdogKilled { pid: 3, used: 100, budget: 50 };
+        let s = e.to_string();
+        assert!(s.contains("pid 3"));
+        assert!(s.contains("100"));
+        assert!(s.contains("50"));
+
+        let e = SimError::MemFault {
+            kind: FaultKind::Guard,
+            access: AccessKind::Write,
+            vaddr: 0xdead_b000,
+        };
+        assert!(e.to_string().contains("0xdeadb000"));
+    }
+}

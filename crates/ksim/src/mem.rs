@@ -1,0 +1,764 @@
+//! Simulated physical memory, page tables, faults, and the TLB.
+//!
+//! The design mirrors the parts of the x86 MMU the paper's mechanisms need:
+//!
+//! * **Guard PTEs** — Kefence (§3.2) plants a present-but-inaccessible PTE
+//!   adjacent to every `vmalloc` buffer; touching it raises a [`FaultKind::Guard`]
+//!   fault, which a registered [`FaultHandler`] (the modified page-fault
+//!   handler of the paper) can log, deny, or resolve by auto-mapping a page.
+//! * **Fault-handler chain** — handlers are consulted in registration order;
+//!   the first one that claims the fault decides its outcome, exactly like a
+//!   hook chain in the Linux fault path.
+//! * **TLB** — a small direct-mapped translation cache with hit/miss cycle
+//!   charging. Kefence's page-granular allocations increase TLB pressure
+//!   (the paper names TLB contention as one of its two overhead sources),
+//!   and this model is what makes that overhead appear in our numbers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::Clock;
+use crate::cost::CostModel;
+use crate::error::{SimError, SimResult};
+use crate::stats::Stats;
+
+/// Simulated page size: 4 KiB, matching the paper's i386 target.
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Physical frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pfn(pub u32);
+
+/// Address-space identifier (one per process, plus one for the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsId(pub u32);
+
+/// Page-table entry permission/status flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    pub present: bool,
+    pub read: bool,
+    pub write: bool,
+    /// Guardian PTE (Kefence): present in the table, but any access faults.
+    pub guard: bool,
+}
+
+impl PteFlags {
+    /// Normal read-write data page.
+    pub const fn rw() -> Self {
+        PteFlags { present: true, read: true, write: true, guard: false }
+    }
+
+    /// Read-only page.
+    pub const fn ro() -> Self {
+        PteFlags { present: true, read: true, write: false, guard: false }
+    }
+
+    /// A guardian PTE: mapped, but every access raises a guard fault.
+    pub const fn guardian() -> Self {
+        PteFlags { present: true, read: false, write: false, guard: true }
+    }
+}
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Backing frame. Guardian PTEs may carry `None`.
+    pub pfn: Option<Pfn>,
+    pub flags: PteFlags,
+}
+
+/// The kind of memory access being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No PTE for the page.
+    NotPresent,
+    /// PTE present but the access kind is not permitted.
+    Protection,
+    /// A guardian PTE was touched (Kefence overflow/underflow detection).
+    Guard,
+}
+
+/// A page fault, delivered to the handler chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    pub asid: AsId,
+    pub vaddr: u64,
+    pub access: AccessKind,
+    pub kind: FaultKind,
+}
+
+/// The outcome a fault handler reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultResolution {
+    /// Not this handler's fault; try the next handler.
+    NotMine,
+    /// The handler fixed the mapping; re-walk the page table and retry.
+    Retry,
+    /// The access is denied; the faulting operation fails.
+    Deny,
+}
+
+/// A page-fault handler hook (e.g. Kefence's modified fault handler).
+pub trait FaultHandler: Send + Sync {
+    /// Inspect `fault`; may modify mappings through `mem` before returning.
+    fn handle(&self, mem: &MemSys, fault: &Fault) -> FaultResolution;
+
+    /// Diagnostic name for error messages and logs.
+    fn name(&self) -> &str {
+        "anonymous-fault-handler"
+    }
+}
+
+/// Simulated physical memory: a pool of 4 KiB frames.
+#[derive(Debug)]
+pub struct PhysMemory {
+    frames: RwLock<Vec<Option<Box<[u8]>>>>,
+    free: Mutex<Vec<u32>>,
+    allocated: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl PhysMemory {
+    /// Create a pool with `nframes` frames (lazily materialised).
+    pub fn new(nframes: usize) -> Self {
+        let free: Vec<u32> = (0..nframes as u32).rev().collect();
+        PhysMemory {
+            frames: RwLock::new((0..nframes).map(|_| None).collect()),
+            free: Mutex::new(free),
+            allocated: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of frames in the pool.
+    pub fn capacity(&self) -> usize {
+        self.frames.read().len()
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Relaxed)
+    }
+
+    /// Maximum number of simultaneously allocated frames observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Relaxed)
+    }
+
+    /// Allocate one zeroed frame.
+    pub fn alloc_frame(&self) -> SimResult<Pfn> {
+        let idx = self.free.lock().pop().ok_or(SimError::OutOfMemory)?;
+        {
+            let mut frames = self.frames.write();
+            frames[idx as usize] = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        }
+        let now = self.allocated.fetch_add(1, Relaxed) + 1;
+        self.high_water.fetch_max(now, Relaxed);
+        Ok(Pfn(idx))
+    }
+
+    /// Release a frame back to the pool.
+    ///
+    /// # Panics
+    /// Panics on double free — that is a simulator bug, not a guest error.
+    pub fn free_frame(&self, pfn: Pfn) {
+        let mut frames = self.frames.write();
+        let slot = &mut frames[pfn.0 as usize];
+        assert!(slot.is_some(), "double free of frame {:?}", pfn);
+        *slot = None;
+        drop(frames);
+        self.allocated.fetch_sub(1, Relaxed);
+        self.free.lock().push(pfn.0);
+    }
+
+    /// Run `f` over the frame's bytes (read-only view).
+    pub fn with_frame<R>(&self, pfn: Pfn, f: impl FnOnce(&[u8]) -> R) -> R {
+        let frames = self.frames.read();
+        let frame = frames[pfn.0 as usize]
+            .as_deref()
+            .unwrap_or_else(|| panic!("access to unallocated frame {pfn:?}"));
+        f(frame)
+    }
+
+    /// Run `f` over the frame's bytes (mutable view).
+    pub fn with_frame_mut<R>(&self, pfn: Pfn, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut frames = self.frames.write();
+        let frame = frames[pfn.0 as usize]
+            .as_deref_mut()
+            .unwrap_or_else(|| panic!("access to unallocated frame {pfn:?}"));
+        f(frame)
+    }
+}
+
+/// One per-process (or kernel) page table.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    table: BTreeMap<u64, Pte>,
+}
+
+impl AddressSpace {
+    pub fn lookup(&self, vpn: u64) -> Option<Pte> {
+        self.table.get(&vpn).copied()
+    }
+
+    pub fn map(&mut self, vpn: u64, pte: Pte) {
+        self.table.insert(vpn, pte);
+    }
+
+    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
+        self.table.remove(&vpn)
+    }
+
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterate over mapped (vpn, pte) pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        self.table.iter().map(|(&v, &p)| (v, p))
+    }
+}
+
+const TLB_WAYS: usize = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    valid: bool,
+    asid: u32,
+    vpn: u64,
+    pfn: u32,
+    write_ok: bool,
+}
+
+/// A small direct-mapped TLB with cycle accounting.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: Mutex<[TlbEntry; TLB_WAYS]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb {
+            entries: Mutex::new([TlbEntry::default(); TLB_WAYS]),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Tlb {
+    fn slot(asid: AsId, vpn: u64) -> usize {
+        ((vpn ^ asid.0 as u64) & (TLB_WAYS as u64 - 1)) as usize
+    }
+
+    /// Look up a translation; returns the cached pfn on a hit.
+    fn lookup(&self, asid: AsId, vpn: u64, access: AccessKind) -> Option<Pfn> {
+        let entries = self.entries.lock();
+        let e = entries[Self::slot(asid, vpn)];
+        if e.valid && e.asid == asid.0 && e.vpn == vpn {
+            if access == AccessKind::Write && !e.write_ok {
+                return None; // permission upgrade requires a walk
+            }
+            self.hits.fetch_add(1, Relaxed);
+            Some(Pfn(e.pfn))
+        } else {
+            None
+        }
+    }
+
+    fn insert(&self, asid: AsId, vpn: u64, pfn: Pfn, write_ok: bool) {
+        self.misses.fetch_add(1, Relaxed);
+        let mut entries = self.entries.lock();
+        entries[Self::slot(asid, vpn)] =
+            TlbEntry { valid: true, asid: asid.0, vpn, pfn: pfn.0, write_ok };
+    }
+
+    /// Invalidate one translation (on unmap/protect: a TLB shootdown).
+    pub fn invalidate(&self, asid: AsId, vpn: u64) {
+        let mut entries = self.entries.lock();
+        let e = &mut entries[Self::slot(asid, vpn)];
+        if e.valid && e.asid == asid.0 && e.vpn == vpn {
+            e.valid = false;
+        }
+    }
+
+    /// Invalidate everything (address-space teardown).
+    pub fn flush(&self) {
+        let mut entries = self.entries.lock();
+        for e in entries.iter_mut() {
+            e.valid = false;
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+}
+
+/// The complete memory subsystem: frames + address spaces + TLB + faults.
+pub struct MemSys {
+    pub phys: PhysMemory,
+    pub tlb: Tlb,
+    cost: CostModel,
+    clock: Arc<Clock>,
+    stats: Arc<Stats>,
+    spaces: RwLock<Vec<Option<AddressSpace>>>,
+    handlers: RwLock<Vec<Arc<dyn FaultHandler>>>,
+}
+
+impl MemSys {
+    pub fn new(nframes: usize, cost: CostModel, clock: Arc<Clock>, stats: Arc<Stats>) -> Self {
+        MemSys {
+            phys: PhysMemory::new(nframes),
+            tlb: Tlb::default(),
+            cost,
+            clock,
+            stats,
+            spaces: RwLock::new(Vec::new()),
+            handlers: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Create a fresh, empty address space.
+    pub fn create_space(&self) -> AsId {
+        let mut spaces = self.spaces.write();
+        spaces.push(Some(AddressSpace::default()));
+        AsId(spaces.len() as u32 - 1)
+    }
+
+    /// Destroy an address space, releasing every frame it maps.
+    pub fn destroy_space(&self, asid: AsId) -> SimResult<()> {
+        let space = {
+            let mut spaces = self.spaces.write();
+            spaces
+                .get_mut(asid.0 as usize)
+                .and_then(Option::take)
+                .ok_or(SimError::NoSuchAddressSpace(asid.0))?
+        };
+        for (_, pte) in space.iter() {
+            if let Some(pfn) = pte.pfn {
+                self.phys.free_frame(pfn);
+            }
+        }
+        self.tlb.flush();
+        Ok(())
+    }
+
+    /// Register a page-fault handler at the end of the chain.
+    pub fn register_fault_handler(&self, h: Arc<dyn FaultHandler>) {
+        self.handlers.write().push(h);
+    }
+
+    /// Remove all fault handlers (test teardown).
+    pub fn clear_fault_handlers(&self) {
+        self.handlers.write().clear();
+    }
+
+    /// Run `f` with a shared view of the address space.
+    pub fn with_space<R>(&self, asid: AsId, f: impl FnOnce(&AddressSpace) -> R) -> SimResult<R> {
+        let spaces = self.spaces.read();
+        let space = spaces
+            .get(asid.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(SimError::NoSuchAddressSpace(asid.0))?;
+        Ok(f(space))
+    }
+
+    /// Run `f` with a mutable view of the address space.
+    pub fn with_space_mut<R>(
+        &self,
+        asid: AsId,
+        f: impl FnOnce(&mut AddressSpace) -> R,
+    ) -> SimResult<R> {
+        let mut spaces = self.spaces.write();
+        let space = spaces
+            .get_mut(asid.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(SimError::NoSuchAddressSpace(asid.0))?;
+        Ok(f(space))
+    }
+
+    /// Install a PTE; charges the PTE-update cost and shoots down the TLB.
+    pub fn map_page(&self, asid: AsId, vaddr: u64, pte: Pte) -> SimResult<()> {
+        let vpn = vaddr >> PAGE_SHIFT;
+        self.with_space_mut(asid, |s| s.map(vpn, pte))?;
+        self.tlb.invalidate(asid, vpn);
+        self.clock.charge_sys(self.cost.pte_update);
+        Ok(())
+    }
+
+    /// Allocate a zeroed frame and map it read-write at `vaddr`.
+    pub fn map_anon(&self, asid: AsId, vaddr: u64, flags: PteFlags) -> SimResult<Pfn> {
+        let pfn = self.phys.alloc_frame()?;
+        self.map_page(asid, vaddr, Pte { pfn: Some(pfn), flags })?;
+        Ok(pfn)
+    }
+
+    /// Remove the mapping at `vaddr`, returning the PTE that was there.
+    pub fn unmap_page(&self, asid: AsId, vaddr: u64) -> SimResult<Option<Pte>> {
+        let vpn = vaddr >> PAGE_SHIFT;
+        let pte = self.with_space_mut(asid, |s| s.unmap(vpn))?;
+        self.tlb.invalidate(asid, vpn);
+        self.clock.charge_sys(self.cost.pte_update);
+        Ok(pte)
+    }
+
+    /// Change permissions of an existing mapping in place.
+    pub fn protect_page(&self, asid: AsId, vaddr: u64, flags: PteFlags) -> SimResult<()> {
+        let vpn = vaddr >> PAGE_SHIFT;
+        self.with_space_mut(asid, |s| {
+            if let Some(mut pte) = s.lookup(vpn) {
+                pte.flags = flags;
+                s.map(vpn, pte);
+                Ok(())
+            } else {
+                Err(SimError::MemFault {
+                    kind: FaultKind::NotPresent,
+                    access: AccessKind::Read,
+                    vaddr,
+                })
+            }
+        })??;
+        self.tlb.invalidate(asid, vpn);
+        self.clock.charge_sys(self.cost.pte_update);
+        Ok(())
+    }
+
+    fn walk(&self, asid: AsId, vpn: u64, access: AccessKind) -> SimResult<Result<Pfn, FaultKind>> {
+        self.with_space(asid, |s| match s.lookup(vpn) {
+            None => Err(FaultKind::NotPresent),
+            Some(pte) => {
+                if pte.flags.guard {
+                    return Err(FaultKind::Guard);
+                }
+                if !pte.flags.present {
+                    return Err(FaultKind::NotPresent);
+                }
+                let permitted = match access {
+                    AccessKind::Read => pte.flags.read,
+                    AccessKind::Write => pte.flags.write,
+                };
+                if !permitted {
+                    return Err(FaultKind::Protection);
+                }
+                pte.pfn.ok_or(FaultKind::NotPresent)
+            }
+        })
+    }
+
+    /// Translate one page, taking faults through the handler chain.
+    ///
+    /// Retries after a handler reports [`FaultResolution::Retry`], bounded to
+    /// keep a buggy handler from looping the simulator forever.
+    pub fn translate(&self, asid: AsId, vaddr: u64, access: AccessKind) -> SimResult<Pfn> {
+        let vpn = vaddr >> PAGE_SHIFT;
+        if let Some(pfn) = self.tlb.lookup(asid, vpn, access) {
+            self.clock.charge_sys(self.cost.tlb_hit);
+            return Ok(pfn);
+        }
+        self.clock.charge_sys(self.cost.tlb_miss);
+
+        const MAX_FAULT_RETRIES: usize = 8;
+        for _ in 0..=MAX_FAULT_RETRIES {
+            match self.walk(asid, vpn, access)? {
+                Ok(pfn) => {
+                    let write_ok = self
+                        .with_space(asid, |s| s.lookup(vpn).map(|p| p.flags.write))?
+                        .unwrap_or(false);
+                    self.tlb.insert(asid, vpn, pfn, write_ok);
+                    return Ok(pfn);
+                }
+                Err(kind) => {
+                    self.clock.charge_sys(self.cost.page_fault);
+                    self.stats.page_faults.fetch_add(1, Relaxed);
+                    if kind == FaultKind::Guard {
+                        self.stats.guard_hits.fetch_add(1, Relaxed);
+                    }
+                    let fault = Fault { asid, vaddr, access, kind };
+                    match self.dispatch_fault(&fault) {
+                        FaultResolution::Retry => continue,
+                        FaultResolution::Deny | FaultResolution::NotMine => {
+                            return Err(SimError::MemFault { kind, access, vaddr });
+                        }
+                    }
+                }
+            }
+        }
+        Err(SimError::MemFault {
+            kind: FaultKind::NotPresent,
+            access,
+            vaddr,
+        })
+    }
+
+    fn dispatch_fault(&self, fault: &Fault) -> FaultResolution {
+        let handlers: Vec<_> = self.handlers.read().clone();
+        for h in handlers {
+            match h.handle(self, fault) {
+                FaultResolution::NotMine => continue,
+                r => return r,
+            }
+        }
+        FaultResolution::NotMine
+    }
+
+    /// Read `buf.len()` bytes from `vaddr` in `asid`.
+    pub fn read_virt(&self, asid: AsId, vaddr: u64, buf: &mut [u8]) -> SimResult<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = vaddr + done as u64;
+            let off = (va as usize) & (PAGE_SIZE - 1);
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            let pfn = self.translate(asid, va, AccessKind::Read)?;
+            self.phys.with_frame(pfn, |frame| {
+                buf[done..done + chunk].copy_from_slice(&frame[off..off + chunk]);
+            });
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Write `buf` to `vaddr` in `asid`.
+    pub fn write_virt(&self, asid: AsId, vaddr: u64, buf: &[u8]) -> SimResult<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = vaddr + done as u64;
+            let off = (va as usize) & (PAGE_SIZE - 1);
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            let pfn = self.translate(asid, va, AccessKind::Write)?;
+            self.phys.with_frame_mut(pfn, |frame| {
+                frame[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
+            });
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MemSys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemSys")
+            .field("frames_allocated", &self.phys.allocated())
+            .field("tlb_hits", &self.tlb.hits())
+            .field("tlb_misses", &self.tlb.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memsys(frames: usize) -> MemSys {
+        MemSys::new(
+            frames,
+            CostModel::default(),
+            Arc::new(Clock::new()),
+            Arc::new(Stats::default()),
+        )
+    }
+
+    #[test]
+    fn frame_alloc_free_roundtrip() {
+        let phys = PhysMemory::new(4);
+        let a = phys.alloc_frame().unwrap();
+        let b = phys.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(phys.allocated(), 2);
+        phys.with_frame_mut(a, |f| f[0] = 0xAB);
+        phys.with_frame(a, |f| assert_eq!(f[0], 0xAB));
+        phys.free_frame(a);
+        assert_eq!(phys.allocated(), 1);
+        // Freed frames are reusable.
+        let c = phys.alloc_frame().unwrap();
+        phys.with_frame(c, |f| assert_eq!(f[0], 0, "frames are zeroed on alloc"));
+        assert_eq!(phys.high_water(), 2);
+    }
+
+    #[test]
+    fn frame_pool_exhaustion_is_an_error() {
+        let phys = PhysMemory::new(2);
+        phys.alloc_frame().unwrap();
+        phys.alloc_frame().unwrap();
+        assert!(phys.alloc_frame().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let phys = PhysMemory::new(2);
+        let a = phys.alloc_frame().unwrap();
+        phys.free_frame(a);
+        phys.free_frame(a);
+    }
+
+    #[test]
+    fn map_write_read_across_pages() {
+        let m = memsys(8);
+        let asid = m.create_space();
+        let base = 0x10_0000u64;
+        m.map_anon(asid, base, PteFlags::rw()).unwrap();
+        m.map_anon(asid, base + PAGE_SIZE as u64, PteFlags::rw()).unwrap();
+        let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        // Straddles the page boundary.
+        m.write_virt(asid, base + 100, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        m.read_virt(asid, base + 100, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        let mut b = [0u8; 4];
+        let err = m.read_virt(asid, 0xdead_0000, &mut b).unwrap_err();
+        assert!(matches!(err, SimError::MemFault { kind: FaultKind::NotPresent, .. }));
+    }
+
+    #[test]
+    fn readonly_page_rejects_writes_but_allows_reads() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        m.map_anon(asid, 0x2000, PteFlags::ro()).unwrap();
+        let mut b = [0u8; 4];
+        m.read_virt(asid, 0x2000, &mut b).unwrap();
+        let err = m.write_virt(asid, 0x2000, &b).unwrap_err();
+        assert!(matches!(err, SimError::MemFault { kind: FaultKind::Protection, .. }));
+    }
+
+    #[test]
+    fn guard_pte_raises_guard_fault_and_counts_it() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        m.map_page(asid, 0x3000, Pte { pfn: None, flags: PteFlags::guardian() })
+            .unwrap();
+        let mut b = [0u8; 1];
+        let err = m.read_virt(asid, 0x3000, &mut b).unwrap_err();
+        assert!(matches!(err, SimError::MemFault { kind: FaultKind::Guard, .. }));
+    }
+
+    struct AutoMapper;
+    impl FaultHandler for AutoMapper {
+        fn handle(&self, mem: &MemSys, fault: &Fault) -> FaultResolution {
+            if fault.kind == FaultKind::NotPresent {
+                mem.map_anon(fault.asid, fault.vaddr, PteFlags::rw()).unwrap();
+                FaultResolution::Retry
+            } else {
+                FaultResolution::NotMine
+            }
+        }
+    }
+
+    #[test]
+    fn fault_handler_can_resolve_demand_paging() {
+        let m = memsys(8);
+        let asid = m.create_space();
+        m.register_fault_handler(Arc::new(AutoMapper));
+        // No explicit mapping: handler demand-maps on first touch.
+        m.write_virt(asid, 0x8000, &[1, 2, 3]).unwrap();
+        let mut b = [0u8; 3];
+        m.read_virt(asid, 0x8000, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    struct Denier;
+    impl FaultHandler for Denier {
+        fn handle(&self, _mem: &MemSys, fault: &Fault) -> FaultResolution {
+            if fault.kind == FaultKind::Guard {
+                FaultResolution::Deny
+            } else {
+                FaultResolution::NotMine
+            }
+        }
+    }
+
+    #[test]
+    fn handler_chain_ordering_first_claim_wins() {
+        let m = memsys(8);
+        let asid = m.create_space();
+        m.register_fault_handler(Arc::new(Denier));
+        m.register_fault_handler(Arc::new(AutoMapper));
+        // Guard fault: Denier claims and denies.
+        m.map_page(asid, 0x3000, Pte { pfn: None, flags: PteFlags::guardian() })
+            .unwrap();
+        let mut b = [0u8; 1];
+        assert!(m.read_virt(asid, 0x3000, &mut b).is_err());
+        // NotPresent fault: Denier passes, AutoMapper resolves.
+        assert!(m.read_virt(asid, 0x9000, &mut b).is_ok());
+    }
+
+    #[test]
+    fn tlb_hits_after_first_walk() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        m.map_anon(asid, 0x4000, PteFlags::rw()).unwrap();
+        let mut b = [0u8; 1];
+        m.read_virt(asid, 0x4000, &mut b).unwrap();
+        let misses_after_first = m.tlb.misses();
+        m.read_virt(asid, 0x4000, &mut b).unwrap();
+        m.read_virt(asid, 0x4000, &mut b).unwrap();
+        assert_eq!(m.tlb.misses(), misses_after_first, "subsequent accesses hit");
+        assert!(m.tlb.hits() >= 2);
+    }
+
+    #[test]
+    fn tlb_invalidated_on_unmap() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        m.map_anon(asid, 0x4000, PteFlags::rw()).unwrap();
+        let mut b = [0u8; 1];
+        m.read_virt(asid, 0x4000, &mut b).unwrap();
+        let pte = m.unmap_page(asid, 0x4000).unwrap().unwrap();
+        m.phys.free_frame(pte.pfn.unwrap());
+        assert!(m.read_virt(asid, 0x4000, &mut b).is_err(), "stale TLB entry used");
+    }
+
+    #[test]
+    fn destroy_space_releases_frames() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        m.map_anon(asid, 0x1000, PteFlags::rw()).unwrap();
+        m.map_anon(asid, 0x2000, PteFlags::rw()).unwrap();
+        assert_eq!(m.phys.allocated(), 2);
+        m.destroy_space(asid).unwrap();
+        assert_eq!(m.phys.allocated(), 0);
+        assert!(m.with_space(asid, |_| ()).is_err());
+    }
+
+    #[test]
+    fn protect_page_changes_permissions() {
+        let m = memsys(4);
+        let asid = m.create_space();
+        m.map_anon(asid, 0x5000, PteFlags::rw()).unwrap();
+        m.write_virt(asid, 0x5000, &[9]).unwrap();
+        m.protect_page(asid, 0x5000, PteFlags::ro()).unwrap();
+        assert!(m.write_virt(asid, 0x5000, &[9]).is_err());
+        let mut b = [0u8; 1];
+        m.read_virt(asid, 0x5000, &mut b).unwrap();
+        assert_eq!(b[0], 9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Processes, the preemptive scheduler, and watchdog bookkeeping.
+//!
+//! Cosy's first safety feature (§2.3) is "a preemptive kernel to avoid
+//! infinite loops": every time a process running a compound is scheduled,
+//! the kernel checks how long it has been executing in kernel mode and
+//! terminates it if it exceeded the allowed budget. [`Process`] carries that
+//! budget, and the [`Scheduler`] provides the preemption points at which it
+//! is enforced (see [`crate::Machine::preempt_tick`]).
+
+use std::collections::VecDeque;
+
+use crate::mem::AsId;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable or running.
+    Ready,
+    /// Blocked on simulated I/O.
+    Blocked,
+    /// Terminated (exited or killed by the watchdog).
+    Dead,
+}
+
+/// One simulated process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pub pid: Pid,
+    /// The user address space this process executes in.
+    pub asid: AsId,
+    pub state: ProcState,
+    /// Maximum kernel cycles allowed per kernel visit (`None` = unlimited).
+    /// This is the Cosy watchdog budget.
+    pub kernel_budget: Option<u64>,
+    /// System-clock reading captured when this process entered the kernel.
+    pub kernel_entry_sys: u64,
+    /// Whether the process is currently executing in kernel mode.
+    pub in_kernel: bool,
+    /// Set when the watchdog kills the process.
+    pub killed_by_watchdog: bool,
+}
+
+impl Process {
+    pub fn new(pid: Pid, asid: AsId) -> Self {
+        Process {
+            pid,
+            asid,
+            state: ProcState::Ready,
+            kernel_budget: None,
+            kernel_entry_sys: 0,
+            in_kernel: false,
+            killed_by_watchdog: false,
+        }
+    }
+}
+
+/// A round-robin preemptive scheduler.
+///
+/// The run queue holds ready processes; [`Scheduler::pick_next`] rotates it.
+/// Context-switch cycle charging is done by the [`crate::Machine`], which
+/// owns the clock; the scheduler itself only tracks ordering and counts.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    queue: VecDeque<Pid>,
+    current: Option<Pid>,
+    switches: u64,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a process to the tail of the run queue.
+    pub fn enqueue(&mut self, pid: Pid) {
+        debug_assert!(!self.queue.contains(&pid), "pid {pid:?} enqueued twice");
+        self.queue.push_back(pid);
+    }
+
+    /// Remove a process from scheduling entirely (exit / watchdog kill).
+    pub fn remove(&mut self, pid: Pid) {
+        self.queue.retain(|&p| p != pid);
+        if self.current == Some(pid) {
+            self.current = None;
+        }
+    }
+
+    /// The currently running process, if any.
+    pub fn current(&self) -> Option<Pid> {
+        self.current
+    }
+
+    /// Number of context switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Pick the next process to run, rotating the current one to the back.
+    /// Returns `None` when the run queue is empty. A switch is counted only
+    /// when the running process actually changes (re-picking the sole
+    /// runnable process is free, as on a real kernel's fast path).
+    pub fn pick_next(&mut self) -> Option<Pid> {
+        let prev = self.current.take();
+        if let Some(cur) = prev {
+            self.queue.push_back(cur);
+        }
+        let next = self.queue.pop_front()?;
+        if prev.is_some() && prev != Some(next) {
+            self.switches += 1;
+        }
+        self.current = Some(next);
+        Some(next)
+    }
+
+    /// Number of runnable processes (including the current one).
+    pub fn runnable(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let mut s = Scheduler::new();
+        let (a, b, c) = (Pid(1), Pid(2), Pid(3));
+        s.enqueue(a);
+        s.enqueue(b);
+        s.enqueue(c);
+        let order: Vec<Pid> = (0..6).map(|_| s.pick_next().unwrap()).collect();
+        assert_eq!(order, vec![a, b, c, a, b, c]);
+        assert_eq!(s.runnable(), 3);
+    }
+
+    #[test]
+    fn single_process_runs_without_counting_switches_forever() {
+        let mut s = Scheduler::new();
+        s.enqueue(Pid(7));
+        let first = s.pick_next().unwrap();
+        assert_eq!(first, Pid(7));
+        let before = s.switches();
+        for _ in 0..10 {
+            assert_eq!(s.pick_next(), Some(Pid(7)));
+        }
+        // Re-picking the only process is not a context switch.
+        assert_eq!(s.switches(), before);
+    }
+
+    #[test]
+    fn remove_drops_from_queue_and_current() {
+        let mut s = Scheduler::new();
+        s.enqueue(Pid(1));
+        s.enqueue(Pid(2));
+        assert_eq!(s.pick_next(), Some(Pid(1)));
+        s.remove(Pid(1));
+        assert_eq!(s.current(), None);
+        assert_eq!(s.pick_next(), Some(Pid(2)));
+        s.remove(Pid(2));
+        assert_eq!(s.pick_next(), None);
+        assert_eq!(s.runnable(), 0);
+    }
+
+    #[test]
+    fn switches_counted_between_distinct_processes() {
+        let mut s = Scheduler::new();
+        s.enqueue(Pid(1));
+        s.enqueue(Pid(2));
+        s.pick_next();
+        s.pick_next();
+        s.pick_next();
+        assert!(s.switches() >= 2);
+    }
+
+    #[test]
+    fn process_new_defaults() {
+        let p = Process::new(Pid(5), AsId(3));
+        assert_eq!(p.state, ProcState::Ready);
+        assert!(!p.in_kernel);
+        assert!(p.kernel_budget.is_none());
+        assert!(!p.killed_by_watchdog);
+    }
+}

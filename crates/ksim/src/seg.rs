@@ -1,0 +1,183 @@
+//! x86-style segmentation: the hardware mechanism behind Cosy's isolation.
+//!
+//! Cosy (§2.3) protects the kernel from user-supplied functions in two ways:
+//!
+//! * **Mode A** — both the function's code and its data live in isolated
+//!   segments at kernel privilege; *every* reference outside the segment
+//!   raises a protection fault, and entering the function costs a far call
+//!   (segment switch).
+//! * **Mode B** — only the function's data is placed in its own segment; the
+//!   code runs in the kernel segment, so calls are free, but self-modifying
+//!   or hand-crafted code is not contained.
+//!
+//! A [`Segment`] is a base/limit window over a simulated address space; the
+//! [`SegmentTable`] plays the role of the GDT/LDT. Checks are explicit
+//! (`check`) because the simulated "hardware" is our interpreter.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::RwLock;
+
+use crate::error::{SimError, SimResult};
+use crate::mem::AsId;
+
+/// What a segment may be used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegKind {
+    /// Executable, non-writable (code segments; mode A isolation).
+    Code,
+    /// Readable/writable, non-executable (data segments; modes A and B).
+    Data,
+}
+
+/// A segment descriptor: a `[base, base+limit)` window in `asid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    pub asid: AsId,
+    pub base: u64,
+    /// Segment length in bytes; offsets `0..limit` are valid.
+    pub limit: u64,
+    pub kind: SegKind,
+}
+
+/// A selector referencing a [`Segment`] in the [`SegmentTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegSelector(pub u16);
+
+/// The descriptor table (GDT analogue) plus violation accounting.
+#[derive(Debug, Default)]
+pub struct SegmentTable {
+    segs: RwLock<Vec<Option<Segment>>>,
+    violations: AtomicU64,
+}
+
+impl SegmentTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a descriptor, returning its selector.
+    pub fn install(&self, seg: Segment) -> SegSelector {
+        let mut segs = self.segs.write();
+        // Reuse a free slot if one exists.
+        if let Some(idx) = segs.iter().position(Option::is_none) {
+            segs[idx] = Some(seg);
+            return SegSelector(idx as u16);
+        }
+        segs.push(Some(seg));
+        SegSelector(segs.len() as u16 - 1)
+    }
+
+    /// Remove a descriptor (segment teardown after a compound finishes).
+    pub fn remove(&self, sel: SegSelector) -> SimResult<Segment> {
+        let mut segs = self.segs.write();
+        segs.get_mut(sel.0 as usize)
+            .and_then(Option::take)
+            .ok_or(SimError::BadSelector(sel.0))
+    }
+
+    /// Fetch a descriptor.
+    pub fn get(&self, sel: SegSelector) -> SimResult<Segment> {
+        self.segs
+            .read()
+            .get(sel.0 as usize)
+            .and_then(|s| *s)
+            .ok_or(SimError::BadSelector(sel.0))
+    }
+
+    /// Validate that `[offset, offset+len)` lies inside the segment and
+    /// translate to a flat virtual address. Violations are counted — Cosy's
+    /// "any reference outside the isolated segment generates a protection
+    /// fault".
+    pub fn check(&self, sel: SegSelector, offset: u64, len: usize) -> SimResult<u64> {
+        let seg = self.get(sel)?;
+        let end = offset.checked_add(len as u64);
+        match end {
+            Some(end) if end <= seg.limit => Ok(seg.base + offset),
+            _ => {
+                self.violations.fetch_add(1, Relaxed);
+                Err(SimError::SegmentViolation { selector: sel.0, offset, len })
+            }
+        }
+    }
+
+    /// Number of protection faults raised by segment checks.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Relaxed)
+    }
+
+    /// Number of live descriptors.
+    pub fn len(&self) -> usize {
+        self.segs.read().iter().filter(|s| s.is_some()).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(base: u64, limit: u64, kind: SegKind) -> Segment {
+        Segment { asid: AsId(0), base, limit, kind }
+    }
+
+    #[test]
+    fn install_get_remove() {
+        let t = SegmentTable::new();
+        let s = t.install(seg(0x1000, 0x2000, SegKind::Data));
+        assert_eq!(t.get(s).unwrap().base, 0x1000);
+        assert_eq!(t.len(), 1);
+        let removed = t.remove(s).unwrap();
+        assert_eq!(removed.limit, 0x2000);
+        assert!(t.get(s).is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn selector_slots_are_reused() {
+        let t = SegmentTable::new();
+        let a = t.install(seg(0, 10, SegKind::Data));
+        let _b = t.install(seg(0, 10, SegKind::Data));
+        t.remove(a).unwrap();
+        let c = t.install(seg(0, 10, SegKind::Code));
+        assert_eq!(a, c, "freed slot is reused");
+    }
+
+    #[test]
+    fn in_bounds_access_translates() {
+        let t = SegmentTable::new();
+        let s = t.install(seg(0x10_000, 0x100, SegKind::Data));
+        assert_eq!(t.check(s, 0, 1).unwrap(), 0x10_000);
+        assert_eq!(t.check(s, 0xFF, 1).unwrap(), 0x10_0FF);
+        assert_eq!(t.check(s, 0x80, 0x80).unwrap(), 0x10_080);
+        assert_eq!(t.violations(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_access_faults_and_counts() {
+        let t = SegmentTable::new();
+        let s = t.install(seg(0x10_000, 0x100, SegKind::Data));
+        assert!(t.check(s, 0x100, 1).is_err(), "one past the limit");
+        assert!(t.check(s, 0xFF, 2).is_err(), "straddles the limit");
+        assert!(t.check(s, u64::MAX, 2).is_err(), "offset overflow");
+        assert_eq!(t.violations(), 3);
+    }
+
+    #[test]
+    fn zero_length_segment_rejects_everything_but_empty_access() {
+        let t = SegmentTable::new();
+        let s = t.install(seg(0x0, 0x0, SegKind::Data));
+        assert!(t.check(s, 0, 1).is_err());
+        assert!(t.check(s, 0, 0).is_ok(), "empty access at base is fine");
+    }
+
+    #[test]
+    fn bad_selector_is_reported() {
+        let t = SegmentTable::new();
+        assert!(matches!(t.get(SegSelector(7)), Err(SimError::BadSelector(7))));
+        assert!(t.check(SegSelector(7), 0, 1).is_err());
+    }
+}

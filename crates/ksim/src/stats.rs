@@ -1,0 +1,148 @@
+//! Machine-wide event counters.
+//!
+//! All counters are relaxed atomics (statistics pattern from *Rust Atomics
+//! and Locks*): increments are hot paths, reads happen after workloads end.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Counters for every simulated event class the experiments report.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// System calls dispatched (each is one user↔kernel round trip).
+    pub syscalls: AtomicU64,
+    /// User↔kernel boundary crossings (round trips). One Cosy compound is a
+    /// single crossing no matter how many operations it executes, which is
+    /// exactly the quantity the paper's speedups come from.
+    pub crossings: AtomicU64,
+    /// Bytes copied from user space into the kernel.
+    pub bytes_copied_in: AtomicU64,
+    /// Bytes copied from the kernel out to user space.
+    pub bytes_copied_out: AtomicU64,
+    /// Process context switches performed by the scheduler.
+    pub context_switches: AtomicU64,
+    /// Page faults taken (all kinds).
+    pub page_faults: AtomicU64,
+    /// Guardian-PTE hits (Kefence violations detected).
+    pub guard_hits: AtomicU64,
+    /// Disk read operations.
+    pub disk_reads: AtomicU64,
+    /// Disk write operations.
+    pub disk_writes: AtomicU64,
+    /// Preemption ticks observed (watchdog checkpoints).
+    pub preempt_ticks: AtomicU64,
+    /// Compounds executed by the Cosy kernel extension.
+    pub compounds: AtomicU64,
+    /// Individual operations executed inside compounds.
+    pub compound_ops: AtomicU64,
+}
+
+/// A plain-data snapshot of [`Stats`] for reporting and diffing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub syscalls: u64,
+    pub crossings: u64,
+    pub bytes_copied_in: u64,
+    pub bytes_copied_out: u64,
+    pub context_switches: u64,
+    pub page_faults: u64,
+    pub guard_hits: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub preempt_ticks: u64,
+    pub compounds: u64,
+    pub compound_ops: u64,
+}
+
+impl Stats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            syscalls: self.syscalls.load(Relaxed),
+            crossings: self.crossings.load(Relaxed),
+            bytes_copied_in: self.bytes_copied_in.load(Relaxed),
+            bytes_copied_out: self.bytes_copied_out.load(Relaxed),
+            context_switches: self.context_switches.load(Relaxed),
+            page_faults: self.page_faults.load(Relaxed),
+            guard_hits: self.guard_hits.load(Relaxed),
+            disk_reads: self.disk_reads.load(Relaxed),
+            disk_writes: self.disk_writes.load(Relaxed),
+            preempt_ticks: self.preempt_ticks.load(Relaxed),
+            compounds: self.compounds.load(Relaxed),
+            compound_ops: self.compound_ops.load(Relaxed),
+        }
+    }
+
+    /// Total bytes that crossed the user/kernel boundary in either direction.
+    pub fn bytes_crossed(&self) -> u64 {
+        self.bytes_copied_in.load(Relaxed) + self.bytes_copied_out.load(Relaxed)
+    }
+
+    /// Reset every counter to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.syscalls.store(0, Relaxed);
+        self.crossings.store(0, Relaxed);
+        self.bytes_copied_in.store(0, Relaxed);
+        self.bytes_copied_out.store(0, Relaxed);
+        self.context_switches.store(0, Relaxed);
+        self.page_faults.store(0, Relaxed);
+        self.guard_hits.store(0, Relaxed);
+        self.disk_reads.store(0, Relaxed);
+        self.disk_writes.store(0, Relaxed);
+        self.preempt_ticks.store(0, Relaxed);
+        self.compounds.store(0, Relaxed);
+        self.compound_ops.store(0, Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Per-field difference `self - earlier` (for windowed measurements).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            syscalls: self.syscalls - earlier.syscalls,
+            crossings: self.crossings - earlier.crossings,
+            bytes_copied_in: self.bytes_copied_in - earlier.bytes_copied_in,
+            bytes_copied_out: self.bytes_copied_out - earlier.bytes_copied_out,
+            context_switches: self.context_switches - earlier.context_switches,
+            page_faults: self.page_faults - earlier.page_faults,
+            guard_hits: self.guard_hits - earlier.guard_hits,
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            preempt_ticks: self.preempt_ticks - earlier.preempt_ticks,
+            compounds: self.compounds - earlier.compounds,
+            compound_ops: self.compound_ops - earlier.compound_ops,
+        }
+    }
+
+    pub fn bytes_crossed(&self) -> u64 {
+        self.bytes_copied_in + self.bytes_copied_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = Stats::default();
+        s.syscalls.fetch_add(10, Relaxed);
+        s.bytes_copied_in.fetch_add(100, Relaxed);
+        let a = s.snapshot();
+        s.syscalls.fetch_add(5, Relaxed);
+        s.bytes_copied_out.fetch_add(7, Relaxed);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.syscalls, 5);
+        assert_eq!(d.bytes_copied_in, 0);
+        assert_eq!(d.bytes_copied_out, 7);
+        assert_eq!(b.bytes_crossed(), 107);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let s = Stats::default();
+        s.guard_hits.fetch_add(3, Relaxed);
+        s.compounds.fetch_add(2, Relaxed);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-process file-descriptor tables.
+
+use kvfs::Ino;
+
+/// `open(2)` flags (the subset the paper's workloads use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags(pub u32);
+
+impl OpenFlags {
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    pub const CREAT: OpenFlags = OpenFlags(0x40);
+    pub const TRUNC: OpenFlags = OpenFlags(0x200);
+    pub const APPEND: OpenFlags = OpenFlags(0x400);
+
+    /// Combine flags.
+    pub const fn or(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | other.0)
+    }
+
+    pub const fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Write access requested (WRONLY or RDWR)?
+    pub const fn writable(self) -> bool {
+        self.0 & 3 != 0
+    }
+}
+
+impl std::ops::BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        self.or(rhs)
+    }
+}
+
+/// One open file description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFile {
+    pub ino: Ino,
+    /// Byte offset for files; entry cursor for directories.
+    pub offset: u64,
+    pub flags: OpenFlags,
+}
+
+/// A process's descriptor table. Descriptors are small dense integers,
+/// lowest-free-first like POSIX requires.
+#[derive(Debug, Default)]
+pub struct FdTable {
+    slots: Vec<Option<OpenFile>>,
+}
+
+impl FdTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install an open file, returning its descriptor.
+    pub fn insert(&mut self, file: OpenFile) -> i32 {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(file);
+                return i as i32;
+            }
+        }
+        self.slots.push(Some(file));
+        self.slots.len() as i32 - 1
+    }
+
+    pub fn get(&self, fd: i32) -> Option<OpenFile> {
+        if fd < 0 {
+            return None;
+        }
+        self.slots.get(fd as usize).and_then(|s| *s)
+    }
+
+    pub fn get_mut(&mut self, fd: i32) -> Option<&mut OpenFile> {
+        if fd < 0 {
+            return None;
+        }
+        self.slots.get_mut(fd as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Remove a descriptor; returns the file it referenced.
+    pub fn remove(&mut self, fd: i32) -> Option<OpenFile> {
+        if fd < 0 {
+            return None;
+        }
+        self.slots.get_mut(fd as usize).and_then(Option::take)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(ino: u64) -> OpenFile {
+        OpenFile { ino: Ino(ino), offset: 0, flags: OpenFlags::RDONLY }
+    }
+
+    #[test]
+    fn lowest_free_descriptor_first() {
+        let mut t = FdTable::new();
+        assert_eq!(t.insert(file(1)), 0);
+        assert_eq!(t.insert(file(2)), 1);
+        assert_eq!(t.insert(file(3)), 2);
+        t.remove(1).unwrap();
+        assert_eq!(t.insert(file(4)), 1, "freed slot is reused first");
+        assert_eq!(t.open_count(), 3);
+    }
+
+    #[test]
+    fn get_and_remove_bounds() {
+        let mut t = FdTable::new();
+        assert!(t.get(-1).is_none());
+        assert!(t.get(0).is_none());
+        assert!(t.remove(5).is_none());
+        let fd = t.insert(file(9));
+        assert_eq!(t.get(fd).unwrap().ino, Ino(9));
+        assert!(t.remove(fd).is_some());
+        assert!(t.get(fd).is_none());
+        assert!(t.remove(fd).is_none(), "double close detected");
+    }
+
+    #[test]
+    fn offset_is_mutable_in_place() {
+        let mut t = FdTable::new();
+        let fd = t.insert(file(1));
+        t.get_mut(fd).unwrap().offset = 4096;
+        assert_eq!(t.get(fd).unwrap().offset, 4096);
+    }
+
+    #[test]
+    fn flags_composition() {
+        let f = OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::TRUNC;
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(!f.contains(OpenFlags::APPEND));
+        assert!(f.writable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(OpenFlags::WRONLY.writable());
+    }
+}

@@ -1,0 +1,891 @@
+//! The syscall dispatch layer.
+//!
+//! Every `sys_*` method is one user→kernel→user round trip: it charges the
+//! user-side stub, the crossing, and all boundary copies, records itself in
+//! the tracer, and maps errors onto negative errno values. The `k_*`
+//! methods are the same operations *already inside the kernel* — no
+//! crossing, no user copies — used both by the `sys_*` wrappers and by the
+//! Cosy kernel extension, whose entire value is invoking many of them per
+//! crossing.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ksim::{Machine, Pid, SimError};
+use ktrace::{Sysno, SyscallEvent, Tracer};
+use kvfs::{DirEntry, FileKind, Stat, Vfs, VfsError, VfsResult, DIRENT_WIRE_BYTES};
+#[cfg(test)]
+use kvfs::STAT_WIRE_BYTES;
+
+use crate::fd::{FdTable, OpenFile, OpenFlags};
+use crate::wire;
+
+/// User-side cycles per syscall invocation (libc stub, register setup).
+pub const USER_STUB_CYCLES: u64 = 180;
+
+/// Whence values for lseek.
+pub const SEEK_SET: i32 = 0;
+pub const SEEK_CUR: i32 = 1;
+pub const SEEK_END: i32 = 2;
+
+/// The kernel's system-call interface.
+pub struct SyscallLayer {
+    machine: Arc<Machine>,
+    vfs: Arc<Vfs>,
+    tracer: Arc<Tracer>,
+    fds: Mutex<HashMap<u32, FdTable>>,
+}
+
+impl SyscallLayer {
+    pub fn new(machine: Arc<Machine>, vfs: Arc<Vfs>) -> Self {
+        SyscallLayer {
+            machine,
+            vfs,
+            tracer: Arc::new(Tracer::new()),
+            fds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Open descriptors across all processes (leak checking in tests).
+    pub fn open_fds(&self, pid: Pid) -> usize {
+        self.fds.lock().get(&pid.0).map_or(0, |t| t.open_count())
+    }
+
+    // ---- boundary-charge helpers ------------------------------------------
+
+    /// Charge a user→kernel argument copy of `len` bytes (path strings and
+    /// other small arguments; the bytes themselves need no storage).
+    fn charge_arg_in(&self, len: usize) {
+        self.machine.clock.charge_sys(self.machine.cost.copy_cost(len));
+        self.machine.stats.bytes_copied_in.fetch_add(len as u64, Relaxed);
+    }
+
+    fn err(e: VfsError) -> i64 {
+        e.errno()
+    }
+
+    /// Run one system call: stub + crossing + dispatch + trace record.
+    fn invoke(&self, pid: Pid, no: Sysno, f: impl FnOnce(&Self) -> i64) -> i64 {
+        self.machine.charge_user(USER_STUB_CYCLES);
+        let s0 = self.machine.stats.snapshot();
+        let token = match self.machine.enter_kernel(pid) {
+            Ok(t) => t,
+            Err(SimError::NoSuchProcess(_)) => return -3, // ESRCH
+            Err(_) => return -14,                          // EFAULT
+        };
+        self.machine.stats.syscalls.fetch_add(1, Relaxed);
+        let ret = f(self);
+        self.machine.exit_kernel(token);
+        let d = self.machine.stats.snapshot().delta(&s0);
+        self.tracer.record(SyscallEvent {
+            no,
+            pid: pid.0,
+            bytes_in: d.bytes_copied_in,
+            bytes_out: d.bytes_copied_out,
+            ret,
+            ts: self.machine.clock.elapsed_cycles(),
+        });
+        ret
+    }
+
+    // ---- in-kernel operations (used by sys_* and by Cosy) -----------------
+
+    /// In-kernel `open`: path resolution, optional create/truncate, FD
+    /// installation.
+    pub fn k_open(&self, pid: Pid, path: &str, flags: OpenFlags) -> VfsResult<i32> {
+        let ino = match self.vfs.resolve(path) {
+            Ok(ino) => {
+                if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                    self.vfs.fs().truncate(ino, 0)?;
+                }
+                ino
+            }
+            Err(VfsError::NotFound) if flags.contains(OpenFlags::CREAT) => {
+                self.vfs.create_path(path)?
+            }
+            Err(e) => return Err(e),
+        };
+        let file = OpenFile { ino, offset: 0, flags };
+        Ok(self.fds.lock().entry(pid.0).or_default().insert(file))
+    }
+
+    /// In-kernel `close`.
+    pub fn k_close(&self, pid: Pid, fd: i32) -> VfsResult<()> {
+        self.fds
+            .lock()
+            .get_mut(&pid.0)
+            .and_then(|t| t.remove(fd))
+            .map(|_| ())
+            .ok_or(VfsError::BadHandle)
+    }
+
+    fn with_file<R>(
+        &self,
+        pid: Pid,
+        fd: i32,
+        f: impl FnOnce(&mut OpenFile) -> VfsResult<R>,
+    ) -> VfsResult<R> {
+        let mut fds = self.fds.lock();
+        let file = fds
+            .get_mut(&pid.0)
+            .and_then(|t| t.get_mut(fd))
+            .ok_or(VfsError::BadHandle)?;
+        f(file)
+    }
+
+    /// In-kernel positional read into a kernel buffer; advances the offset.
+    pub fn k_read(&self, pid: Pid, fd: i32, buf: &mut [u8]) -> VfsResult<usize> {
+        let (ino, off) = self.with_file(pid, fd, |f| Ok((f.ino, f.offset)))?;
+        let n = self.vfs.fs().read(ino, off, buf)?;
+        self.with_file(pid, fd, |f| {
+            f.offset += n as u64;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// In-kernel write from a kernel buffer; honours `O_APPEND`.
+    pub fn k_write(&self, pid: Pid, fd: i32, data: &[u8]) -> VfsResult<usize> {
+        let (ino, off, flags) = self.with_file(pid, fd, |f| Ok((f.ino, f.offset, f.flags)))?;
+        if !flags.writable() {
+            return Err(VfsError::BadHandle);
+        }
+        let off = if flags.contains(OpenFlags::APPEND) {
+            self.vfs.fs().stat(ino)?.size
+        } else {
+            off
+        };
+        let n = self.vfs.fs().write(ino, off, data)?;
+        self.with_file(pid, fd, |f| {
+            f.offset = off + n as u64;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// In-kernel `lseek`.
+    pub fn k_lseek(&self, pid: Pid, fd: i32, off: i64, whence: i32) -> VfsResult<u64> {
+        let size = {
+            let ino = self.with_file(pid, fd, |f| Ok(f.ino))?;
+            self.vfs.fs().stat(ino)?.size
+        };
+        self.with_file(pid, fd, |f| {
+            let base = match whence {
+                SEEK_SET => 0i64,
+                SEEK_CUR => f.offset as i64,
+                SEEK_END => size as i64,
+                _ => return Err(VfsError::Invalid("bad whence")),
+            };
+            let new = base + off;
+            if new < 0 {
+                return Err(VfsError::Invalid("negative offset"));
+            }
+            f.offset = new as u64;
+            Ok(f.offset)
+        })
+    }
+
+    /// In-kernel `stat` by path.
+    pub fn k_stat(&self, path: &str) -> VfsResult<Stat> {
+        self.vfs.stat_path(path)
+    }
+
+    /// In-kernel `fstat`.
+    pub fn k_fstat(&self, pid: Pid, fd: i32) -> VfsResult<Stat> {
+        let ino = self.with_file(pid, fd, |f| Ok(f.ino))?;
+        self.vfs.fs().stat(ino)
+    }
+
+    /// In-kernel directory read: up to `max` entries from the cursor.
+    pub fn k_readdir_chunk(&self, pid: Pid, fd: i32, max: usize) -> VfsResult<Vec<DirEntry>> {
+        let (ino, cursor) = self.with_file(pid, fd, |f| Ok((f.ino, f.offset)))?;
+        let all = self.vfs.fs().readdir(ino)?;
+        let start = (cursor as usize).min(all.len());
+        let end = (start + max).min(all.len());
+        let chunk = all[start..end].to_vec();
+        self.with_file(pid, fd, |f| {
+            f.offset = end as u64;
+            Ok(())
+        })?;
+        Ok(chunk)
+    }
+
+    pub fn k_mkdir(&self, path: &str) -> VfsResult<()> {
+        self.vfs.mkdir_path(path).map(|_| ())
+    }
+
+    pub fn k_rmdir(&self, path: &str) -> VfsResult<()> {
+        self.vfs.rmdir_path(path)
+    }
+
+    pub fn k_unlink(&self, path: &str) -> VfsResult<()> {
+        self.vfs.unlink_path(path)
+    }
+
+    pub fn k_rename(&self, from: &str, to: &str) -> VfsResult<()> {
+        self.vfs.rename_path(from, to)
+    }
+
+    pub fn k_truncate(&self, path: &str, size: u64) -> VfsResult<()> {
+        let ino = self.vfs.resolve(path)?;
+        self.vfs.fs().truncate(ino, size)
+    }
+
+    // ---- classic system calls ---------------------------------------------
+
+    /// `open(2)`.
+    pub fn sys_open(&self, pid: Pid, path: &str, flags: OpenFlags) -> i64 {
+        self.invoke(pid, Sysno::Open, |s| {
+            s.charge_arg_in(path.len());
+            match s.k_open(pid, path, flags) {
+                Ok(fd) => fd as i64,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `close(2)`.
+    pub fn sys_close(&self, pid: Pid, fd: i32) -> i64 {
+        self.invoke(pid, Sysno::Close, |s| match s.k_close(pid, fd) {
+            Ok(()) => 0,
+            Err(e) => Self::err(e),
+        })
+    }
+
+    /// `read(2)` into user buffer `ubuf`.
+    pub fn sys_read(&self, pid: Pid, fd: i32, ubuf: u64, len: usize) -> i64 {
+        self.invoke(pid, Sysno::Read, |s| {
+            let mut buf = vec![0u8; len];
+            match s.k_read(pid, fd, &mut buf) {
+                Ok(n) => match s.machine.copy_to_user(pid, ubuf, &buf[..n]) {
+                    Ok(()) => n as i64,
+                    Err(_) => -14,
+                },
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `write(2)` from user buffer `ubuf`.
+    pub fn sys_write(&self, pid: Pid, fd: i32, ubuf: u64, len: usize) -> i64 {
+        self.invoke(pid, Sysno::Write, |s| {
+            let data = match s.machine.copy_from_user(pid, ubuf, len) {
+                Ok(d) => d,
+                Err(_) => return -14,
+            };
+            match s.k_write(pid, fd, &data) {
+                Ok(n) => n as i64,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `lseek(2)`.
+    pub fn sys_lseek(&self, pid: Pid, fd: i32, off: i64, whence: i32) -> i64 {
+        self.invoke(pid, Sysno::Lseek, |s| match s.k_lseek(pid, fd, off, whence) {
+            Ok(o) => o as i64,
+            Err(e) => Self::err(e),
+        })
+    }
+
+    /// `stat(2)`: writes the stat record to user address `ustat`.
+    pub fn sys_stat(&self, pid: Pid, path: &str, ustat: u64) -> i64 {
+        self.invoke(pid, Sysno::Stat, |s| {
+            s.charge_arg_in(path.len());
+            match s.k_stat(path) {
+                Ok(st) => match s.machine.copy_to_user(pid, ustat, &st.to_wire()) {
+                    Ok(()) => 0,
+                    Err(_) => -14,
+                },
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `fstat(2)`.
+    pub fn sys_fstat(&self, pid: Pid, fd: i32, ustat: u64) -> i64 {
+        self.invoke(pid, Sysno::Fstat, |s| match s.k_fstat(pid, fd) {
+            Ok(st) => match s.machine.copy_to_user(pid, ustat, &st.to_wire()) {
+                Ok(()) => 0,
+                Err(_) => -14,
+            },
+            Err(e) => Self::err(e),
+        })
+    }
+
+    /// `readdir`/getdents: copies up to `max` fixed-size dirents to `ubuf`;
+    /// returns the entry count (0 at end of directory).
+    pub fn sys_readdir(&self, pid: Pid, fd: i32, ubuf: u64, max: usize) -> i64 {
+        self.invoke(pid, Sysno::Readdir, |s| {
+            match s.k_readdir_chunk(pid, fd, max) {
+                Ok(entries) => {
+                    let mut buf = Vec::with_capacity(entries.len() * DIRENT_WIRE_BYTES);
+                    for e in &entries {
+                        buf.extend_from_slice(&wire::dirent_to_wire(e));
+                    }
+                    match s.machine.copy_to_user(pid, ubuf, &buf) {
+                        Ok(()) => entries.len() as i64,
+                        Err(_) => -14,
+                    }
+                }
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `getpid(2)`.
+    pub fn sys_getpid(&self, pid: Pid) -> i64 {
+        self.invoke(pid, Sysno::Getpid, |_| pid.0 as i64)
+    }
+
+    /// `mkdir(2)`.
+    pub fn sys_mkdir(&self, pid: Pid, path: &str) -> i64 {
+        self.invoke(pid, Sysno::Mkdir, |s| {
+            s.charge_arg_in(path.len());
+            match s.k_mkdir(path) {
+                Ok(()) => 0,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `rmdir(2)`.
+    pub fn sys_rmdir(&self, pid: Pid, path: &str) -> i64 {
+        self.invoke(pid, Sysno::Rmdir, |s| {
+            s.charge_arg_in(path.len());
+            match s.k_rmdir(path) {
+                Ok(()) => 0,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `unlink(2)`.
+    pub fn sys_unlink(&self, pid: Pid, path: &str) -> i64 {
+        self.invoke(pid, Sysno::Unlink, |s| {
+            s.charge_arg_in(path.len());
+            match s.k_unlink(path) {
+                Ok(()) => 0,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `rename(2)`.
+    pub fn sys_rename(&self, pid: Pid, from: &str, to: &str) -> i64 {
+        self.invoke(pid, Sysno::Rename, |s| {
+            s.charge_arg_in(from.len() + to.len());
+            match s.k_rename(from, to) {
+                Ok(()) => 0,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `truncate(2)`.
+    pub fn sys_truncate(&self, pid: Pid, path: &str, size: u64) -> i64 {
+        self.invoke(pid, Sysno::Truncate, |s| {
+            s.charge_arg_in(path.len());
+            match s.k_truncate(path, size) {
+                Ok(()) => 0,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    // ---- consolidated system calls (§2.2) ----------------------------------
+
+    /// `readdirplus`: one crossing returns every entry of `path` packed with
+    /// its attributes. Returns the entry count; entries are written to
+    /// `ubuf` as [`wire::RDP_ENTRY_WIRE_BYTES`]-byte records.
+    ///
+    /// Savings vs `readdir` + N × `stat`: N crossings, N path copies, N
+    /// repeated directory searches — "once we get the file names we can
+    /// directly use them to get the stat information".
+    pub fn sys_readdirplus(&self, pid: Pid, path: &str, ubuf: u64, max: usize) -> i64 {
+        self.invoke(pid, Sysno::ReaddirPlus, |s| {
+            s.charge_arg_in(path.len());
+            let dir = match s.vfs.resolve(path) {
+                Ok(i) => i,
+                Err(e) => return Self::err(e),
+            };
+            let entries = match s.vfs.fs().readdir(dir) {
+                Ok(es) => es,
+                Err(e) => return Self::err(e),
+            };
+            let mut buf = Vec::with_capacity(entries.len().min(max) * wire::RDP_ENTRY_WIRE_BYTES);
+            let mut count = 0i64;
+            for e in entries.iter().take(max) {
+                // The names are already in hand: stat directly by inode,
+                // no second path resolution.
+                let st = match s.vfs.fs().stat(kvfs::Ino(e.ino)) {
+                    Ok(st) => st,
+                    Err(err) => return Self::err(err),
+                };
+                buf.extend_from_slice(&wire::rdp_entry_to_wire(e, &st));
+                count += 1;
+            }
+            match s.machine.copy_to_user(pid, ubuf, &buf) {
+                Ok(()) => count,
+                Err(_) => -14,
+            }
+        })
+    }
+
+    /// `open_read_close`: read up to `len` bytes at `off` from `path` into
+    /// `ubuf` in a single crossing. Returns bytes read.
+    pub fn sys_open_read_close(
+        &self,
+        pid: Pid,
+        path: &str,
+        ubuf: u64,
+        len: usize,
+        off: u64,
+    ) -> i64 {
+        self.invoke(pid, Sysno::OpenReadClose, |s| {
+            s.charge_arg_in(path.len());
+            let ino = match s.vfs.resolve(path) {
+                Ok(i) => i,
+                Err(e) => return Self::err(e),
+            };
+            if let Ok(st) = s.vfs.fs().stat(ino) {
+                if st.kind == FileKind::Dir {
+                    return Self::err(VfsError::IsADirectory);
+                }
+            }
+            let mut buf = vec![0u8; len];
+            match s.vfs.fs().read(ino, off, &mut buf) {
+                Ok(n) => match s.machine.copy_to_user(pid, ubuf, &buf[..n]) {
+                    Ok(()) => n as i64,
+                    Err(_) => -14,
+                },
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `open_write_close`: write `len` bytes from `ubuf` to `path` (created
+    /// if needed; truncated unless `append`) in a single crossing.
+    pub fn sys_open_write_close(
+        &self,
+        pid: Pid,
+        path: &str,
+        ubuf: u64,
+        len: usize,
+        append: bool,
+    ) -> i64 {
+        self.invoke(pid, Sysno::OpenWriteClose, |s| {
+            s.charge_arg_in(path.len());
+            let data = match s.machine.copy_from_user(pid, ubuf, len) {
+                Ok(d) => d,
+                Err(_) => return -14,
+            };
+            let ino = match s.vfs.resolve(path) {
+                Ok(i) => i,
+                Err(VfsError::NotFound) => match s.vfs.create_path(path) {
+                    Ok(i) => i,
+                    Err(e) => return Self::err(e),
+                },
+                Err(e) => return Self::err(e),
+            };
+            let off = if append {
+                match s.vfs.fs().stat(ino) {
+                    Ok(st) => st.size,
+                    Err(e) => return Self::err(e),
+                }
+            } else {
+                if let Err(e) = s.vfs.fs().truncate(ino, 0) {
+                    return Self::err(e);
+                }
+                0
+            };
+            match s.vfs.fs().write(ino, off, &data) {
+                Ok(n) => n as i64,
+                Err(e) => Self::err(e),
+            }
+        })
+    }
+
+    /// `open_fstat`: open `path` and return its attributes in one crossing.
+    /// Returns the new fd; the stat record is written to `ustat`.
+    pub fn sys_open_fstat(&self, pid: Pid, path: &str, ustat: u64, flags: OpenFlags) -> i64 {
+        self.invoke(pid, Sysno::OpenFstat, |s| {
+            s.charge_arg_in(path.len());
+            let fd = match s.k_open(pid, path, flags) {
+                Ok(fd) => fd,
+                Err(e) => return Self::err(e),
+            };
+            match s.k_fstat(pid, fd) {
+                Ok(st) => match s.machine.copy_to_user(pid, ustat, &st.to_wire()) {
+                    Ok(()) => fd as i64,
+                    Err(_) => -14,
+                },
+                Err(e) => {
+                    let _ = s.k_close(pid, fd);
+                    Self::err(e)
+                }
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for SyscallLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyscallLayer")
+            .field("fs", &self.vfs.fs().fs_name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::MachineConfig;
+    use kvfs::{BlockDev, MemFs};
+
+    fn setup() -> (Arc<Machine>, SyscallLayer, Pid) {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        let fs = Arc::new(MemFs::new(m.clone(), dev));
+        let vfs = Arc::new(Vfs::new(m.clone(), fs));
+        let layer = SyscallLayer::new(m.clone(), vfs);
+        let pid = m.spawn_process();
+        m.map_user(pid, 0x10_0000, 1 << 20).unwrap(); // 1 MiB scratch
+        (m, layer, pid)
+    }
+
+    const UBUF: u64 = 0x10_0000;
+
+    #[test]
+    fn open_write_read_close_roundtrip() {
+        let (m, sys, pid) = setup();
+        let fd = sys.sys_open(pid, "/f", OpenFlags::RDWR | OpenFlags::CREAT);
+        assert!(fd >= 0);
+        let payload = b"the quick brown fox";
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, payload).unwrap();
+        assert_eq!(sys.sys_write(pid, fd as i32, UBUF, payload.len()), 19);
+        assert_eq!(sys.sys_lseek(pid, fd as i32, 0, SEEK_SET), 0);
+        assert_eq!(sys.sys_read(pid, fd as i32, UBUF + 4096, 100), 19);
+        let mut out = vec![0u8; 19];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut out).unwrap();
+        assert_eq!(&out, payload);
+        assert_eq!(sys.sys_close(pid, fd as i32), 0);
+        assert_eq!(sys.sys_close(pid, fd as i32), -9, "EBADF on double close");
+        assert_eq!(sys.open_fds(pid), 0);
+    }
+
+    #[test]
+    fn errno_mapping() {
+        let (_m, sys, pid) = setup();
+        assert_eq!(sys.sys_open(pid, "/missing", OpenFlags::RDONLY), -2, "ENOENT");
+        assert_eq!(sys.sys_read(pid, 42, UBUF, 10), -9, "EBADF");
+        sys.sys_mkdir(pid, "/d");
+        assert_eq!(sys.sys_mkdir(pid, "/d"), -17, "EEXIST");
+        let fd = sys.sys_open(pid, "/d", OpenFlags::RDONLY);
+        assert!(fd >= 0, "directories can be opened for readdir");
+        assert_eq!(sys.sys_rmdir(pid, "/missing"), -2);
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let (m, sys, pid) = setup();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, b"aaabbb")
+            .unwrap();
+        let fd =
+            sys.sys_open(pid, "/log", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND);
+        assert_eq!(sys.sys_write(pid, fd as i32, UBUF, 3), 3);
+        assert_eq!(sys.sys_write(pid, fd as i32, UBUF + 3, 3), 3);
+        sys.sys_close(pid, fd as i32);
+        let fd = sys.sys_open(pid, "/log", OpenFlags::RDONLY);
+        assert_eq!(sys.sys_read(pid, fd as i32, UBUF + 100, 10), 6);
+        let mut out = vec![0u8; 6];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 100, &mut out).unwrap();
+        assert_eq!(&out, b"aaabbb");
+    }
+
+    #[test]
+    fn readdir_pages_through_entries() {
+        let (_m, sys, pid) = setup();
+        sys.sys_mkdir(pid, "/dir");
+        for i in 0..7 {
+            let fd = sys.sys_open(pid, &format!("/dir/f{i}"), OpenFlags::CREAT);
+            sys.sys_close(pid, fd as i32);
+        }
+        let dfd = sys.sys_open(pid, "/dir", OpenFlags::RDONLY) as i32;
+        let n1 = sys.sys_readdir(pid, dfd, UBUF, 3);
+        let n2 = sys.sys_readdir(pid, dfd, UBUF, 3);
+        let n3 = sys.sys_readdir(pid, dfd, UBUF, 3);
+        let n4 = sys.sys_readdir(pid, dfd, UBUF, 3);
+        assert_eq!((n1, n2, n3, n4), (3, 3, 1, 0));
+    }
+
+    #[test]
+    fn readdirplus_matches_readdir_stat_loop_with_fewer_crossings() {
+        let (m, sys, pid) = setup();
+        sys.sys_mkdir(pid, "/data");
+        for i in 0..20 {
+            let fd = sys.sys_open(
+                pid,
+                &format!("/data/file{i:02}"),
+                OpenFlags::RDWR | OpenFlags::CREAT,
+            ) as i32;
+            m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &vec![7u8; i]).unwrap();
+            sys.sys_write(pid, fd, UBUF, i);
+            sys.sys_close(pid, fd);
+        }
+
+        // Baseline: readdir + stat per name.
+        let before = m.stats.snapshot();
+        let dfd = sys.sys_open(pid, "/data", OpenFlags::RDONLY) as i32;
+        let n = sys.sys_readdir(pid, dfd, UBUF, 64);
+        assert_eq!(n, 20);
+        let mut buf = vec![0u8; 20 * DIRENT_WIRE_BYTES];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut buf).unwrap();
+        let entries = wire::parse_dirents(&buf, 20);
+        let mut baseline_stats = Vec::new();
+        for e in &entries {
+            let path = format!("/data/{}", e.name);
+            assert_eq!(sys.sys_stat(pid, &path, UBUF + 65536), 0);
+            let mut sw = [0u8; STAT_WIRE_BYTES];
+            m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 65536, &mut sw).unwrap();
+            baseline_stats.push(Stat::from_wire(&sw));
+        }
+        sys.sys_close(pid, dfd);
+        let base = m.stats.snapshot().delta(&before);
+
+        // readdirplus: one crossing.
+        let before = m.stats.snapshot();
+        let n = sys.sys_readdirplus(pid, "/data", UBUF, 64);
+        assert_eq!(n, 20);
+        let mut buf = vec![0u8; 20 * wire::RDP_ENTRY_WIRE_BYTES];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut buf).unwrap();
+        let plus = wire::parse_rdp_entries(&buf, 20);
+        let cons = m.stats.snapshot().delta(&before);
+
+        // Same information...
+        for (i, (e, st)) in plus.iter().enumerate() {
+            assert_eq!(e.name, entries[i].name);
+            assert_eq!(st.size, baseline_stats[i].size);
+            assert_eq!(st.ino, baseline_stats[i].ino);
+        }
+        // ...far cheaper transport.
+        assert_eq!(cons.crossings, 1);
+        assert!(base.crossings >= 22, "open+readdir+20 stats+close");
+        assert!(cons.bytes_crossed() < base.bytes_crossed());
+    }
+
+    #[test]
+    fn open_read_close_equals_three_call_sequence() {
+        let (m, sys, pid) = setup();
+        let fd = sys.sys_open(pid, "/blob", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+        let data: Vec<u8> = (0..3000u32).map(|i| (i % 256) as u8).collect();
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &data).unwrap();
+        sys.sys_write(pid, fd, UBUF, data.len());
+        sys.sys_close(pid, fd);
+
+        let s0 = m.stats.snapshot();
+        let n = sys.sys_open_read_close(pid, "/blob", UBUF + 8192, 3000, 0);
+        assert_eq!(n, 3000);
+        let d = m.stats.snapshot().delta(&s0);
+        assert_eq!(d.crossings, 1, "single crossing for the whole sequence");
+        let mut out = vec![0u8; 3000];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 8192, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(sys.open_fds(pid), 0, "orc leaves no fd behind");
+        // Partial read at offset.
+        let n = sys.sys_open_read_close(pid, "/blob", UBUF + 8192, 100, 2950);
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn open_write_close_creates_truncates_and_appends() {
+        let (m, sys, pid) = setup();
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, b"hello").unwrap();
+        assert_eq!(sys.sys_open_write_close(pid, "/new", UBUF, 5, false), 5);
+        assert_eq!(sys.sys_open_write_close(pid, "/new", UBUF, 5, true), 5);
+        let st_ret = sys.sys_stat(pid, "/new", UBUF + 4096);
+        assert_eq!(st_ret, 0);
+        let mut sw = [0u8; STAT_WIRE_BYTES];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw).unwrap();
+        assert_eq!(Stat::from_wire(&sw).size, 10, "append grew the file");
+        assert_eq!(sys.sys_open_write_close(pid, "/new", UBUF, 5, false), 5);
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw).unwrap();
+        let _ = sys.sys_stat(pid, "/new", UBUF + 4096);
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw).unwrap();
+        assert_eq!(Stat::from_wire(&sw).size, 5, "non-append truncates");
+    }
+
+    #[test]
+    fn open_fstat_returns_open_fd_and_stat() {
+        let (m, sys, pid) = setup();
+        let fd = sys.sys_open(pid, "/x", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &[1u8; 500]).unwrap();
+        sys.sys_write(pid, fd, UBUF, 500);
+        sys.sys_close(pid, fd);
+
+        let s0 = m.stats.snapshot();
+        let fd2 = sys.sys_open_fstat(pid, "/x", UBUF + 2048, OpenFlags::RDONLY);
+        assert!(fd2 >= 0);
+        assert_eq!(m.stats.snapshot().delta(&s0).crossings, 1);
+        let mut sw = [0u8; STAT_WIRE_BYTES];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 2048, &mut sw).unwrap();
+        assert_eq!(Stat::from_wire(&sw).size, 500);
+        // The fd is genuinely open.
+        assert_eq!(sys.sys_read(pid, fd2 as i32, UBUF + 4096, 10), 10);
+        sys.sys_close(pid, fd2 as i32);
+    }
+
+    #[test]
+    fn tracer_records_syscalls_with_bytes() {
+        let (_m, sys, pid) = setup();
+        sys.tracer().set_enabled(true);
+        let fd = sys.sys_open(pid, "/t", OpenFlags::RDWR | OpenFlags::CREAT);
+        sys.sys_close(pid, fd as i32);
+        let events = sys.tracer().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].no, Sysno::Open);
+        assert!(events[0].bytes_in >= 2, "path copy recorded");
+        assert_eq!(events[1].no, Sysno::Close);
+        assert!(events[1].ts >= events[0].ts);
+    }
+
+    #[test]
+    fn getpid_is_cheapest_syscall() {
+        let (m, sys, pid) = setup();
+        let sys0 = m.clock.sys_cycles();
+        assert_eq!(sys.sys_getpid(pid), pid.0 as i64);
+        let spent = m.clock.sys_cycles() - sys0;
+        assert_eq!(spent, m.cost.crossing_cost(), "no copies, no fs work");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Model-based testing of descriptor lifecycle across mixed syscalls.
+
+    use super::*;
+    use ksim::MachineConfig;
+    use kvfs::{BlockDev, MemFs};
+    use proptest::prelude::*;
+    use std::collections::HashMap as Model;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Open(u8),
+        Close(u8),
+        Write(u8, u8),
+        ReadBack(u8),
+        SeekEnd(u8),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..4).prop_map(Op::Open),
+            (0u8..8).prop_map(Op::Close),
+            (0u8..8, 1u8..64).prop_map(|(f, n)| Op::Write(f, n)),
+            (0u8..8).prop_map(Op::ReadBack),
+            (0u8..8).prop_map(Op::SeekEnd),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Descriptor numbers, offsets, and data stay consistent with a
+        /// reference model under arbitrary open/close/write/read/seek
+        /// interleavings over four files.
+        #[test]
+        fn fd_lifecycle_matches_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+            let m = Arc::new(Machine::new(MachineConfig::default()));
+            let dev = Arc::new(BlockDev::new(m.clone()));
+            let fs = Arc::new(MemFs::new(m.clone(), dev));
+            let vfs = Arc::new(Vfs::new(m.clone(), fs));
+            let sys = SyscallLayer::new(m.clone(), vfs);
+            let pid = m.spawn_process();
+            m.map_user(pid, 0x10_0000, 1 << 16).unwrap();
+            const UB: u64 = 0x10_0000;
+
+            // fd → (file index, model offset); files hold model bytes.
+            let mut open_fds: Model<i32, (u8, u64)> = Model::new();
+            let mut file_len: Model<u8, u64> = Model::new();
+
+            for op in ops {
+                match op {
+                    Op::Open(f) => {
+                        let fd = sys.sys_open(
+                            pid,
+                            &format!("/file{f}"),
+                            OpenFlags::RDWR | OpenFlags::CREAT,
+                        ) as i32;
+                        prop_assert!(fd >= 0);
+                        prop_assert!(!open_fds.contains_key(&fd), "fd reuse while open");
+                        file_len.entry(f).or_insert(0);
+                        open_fds.insert(fd, (f, 0));
+                    }
+                    Op::Close(raw) => {
+                        let fd = raw as i32;
+                        let r = sys.sys_close(pid, fd);
+                        if open_fds.remove(&fd).is_some() {
+                            prop_assert_eq!(r, 0);
+                        } else {
+                            prop_assert_eq!(r, -9);
+                        }
+                    }
+                    Op::Write(raw, n) => {
+                        let fd = raw as i32;
+                        let r = sys.sys_write(pid, fd, UB, n as usize);
+                        match open_fds.get_mut(&fd) {
+                            Some((f, off)) => {
+                                prop_assert_eq!(r, n as i64);
+                                *off += n as u64;
+                                let len = file_len.get_mut(f).expect("opened");
+                                *len = (*len).max(*off);
+                            }
+                            None => prop_assert_eq!(r, -9),
+                        }
+                    }
+                    Op::ReadBack(raw) => {
+                        let fd = raw as i32;
+                        let r = sys.sys_read(pid, fd, UB + 32_768, 16);
+                        match open_fds.get_mut(&fd) {
+                            Some((f, off)) => {
+                                let len = file_len[f];
+                                let expect = 16.min(len.saturating_sub(*off)) as i64;
+                                prop_assert_eq!(r, expect, "off {} len {}", off, len);
+                                *off += expect as u64;
+                            }
+                            None => prop_assert_eq!(r, -9),
+                        }
+                    }
+                    Op::SeekEnd(raw) => {
+                        let fd = raw as i32;
+                        let r = sys.sys_lseek(pid, fd, 0, SEEK_END);
+                        match open_fds.get_mut(&fd) {
+                            Some((f, off)) => {
+                                prop_assert_eq!(r, file_len[f] as i64);
+                                *off = file_len[f];
+                            }
+                            None => prop_assert_eq!(r, -9),
+                        }
+                    }
+                }
+                prop_assert_eq!(sys.open_fds(pid), open_fds.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The consolidation advisor — §2.4's administrator tooling, implemented.
+//!
+//! *"We will continue to analyze system call patterns on machines being
+//! used for various purposes, and implement new system call suites that
+//! cater to their workloads. This way, an administrator can choose to use
+//! those system calls which are tailored to applications such as mail
+//! servers or Web servers."* And for Cosy: *"we would like to modify Cosy
+//! to automate the job of deciding which code should be moved to the kernel
+//! using profiling."*
+//!
+//! Given a recorded trace, the advisor mines heavy sequences, matches them
+//! against the implemented consolidated calls, estimates the crossing
+//! savings of each recommendation, and flags unmatched heavy sequences as
+//! Cosy-compound candidates.
+
+use ksim::cost::CostModel;
+
+use crate::graph::{mine_patterns, Pattern};
+use crate::sysno::Sysno;
+use crate::trace::SyscallEvent;
+
+/// What the advisor recommends for one mined pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Remedy {
+    /// An already-implemented consolidated system call covers the pattern.
+    UseConsolidated(Sysno),
+    /// No single consolidated call exists: mark the region and let Cosy
+    /// run the whole sequence in one crossing.
+    BuildCompound,
+}
+
+/// One recommendation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    pub pattern: Pattern,
+    pub remedy: Remedy,
+    /// Crossings eliminated if every occurrence is converted.
+    pub crossings_saved: u64,
+    /// Estimated cycle savings at the given cost model.
+    pub cycles_saved: u64,
+}
+
+/// Minimum occurrences before a sequence is worth a recommendation.
+pub const DEFAULT_MIN_COUNT: u64 = 16;
+
+/// Match a mined sequence against the consolidated-call catalogue.
+fn match_consolidated(seq: &[Sysno]) -> Option<Sysno> {
+    match seq {
+        [Sysno::Open, Sysno::Read, Sysno::Close] => Some(Sysno::OpenReadClose),
+        [Sysno::Open, Sysno::Write, Sysno::Close] => Some(Sysno::OpenWriteClose),
+        [Sysno::Open, Sysno::Fstat] => Some(Sysno::OpenFstat),
+        [Sysno::Readdir, Sysno::Stat] | [Sysno::Readdir, Sysno::Stat, Sysno::Stat] => {
+            Some(Sysno::ReaddirPlus)
+        }
+        _ => None,
+    }
+}
+
+/// Analyse a trace and produce ranked recommendations.
+pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<Suggestion> {
+    let mut out: Vec<Suggestion> = Vec::new();
+    for len in 2..=4usize {
+        for p in mine_patterns(events, len, min_count) {
+            // Skip sequences already containing consolidated calls.
+            if p.seq.iter().any(|s| s.is_consolidated()) {
+                continue;
+            }
+            // Trivial repetitions of the same call are loop bodies, not
+            // consolidation targets (stat;stat is subsumed by readdirplus,
+            // read;read by larger reads).
+            if p.seq.windows(2).all(|w| w[0] == w[1]) {
+                continue;
+            }
+            let remedy = match match_consolidated(&p.seq) {
+                Some(s) => Remedy::UseConsolidated(s),
+                None => Remedy::BuildCompound,
+            };
+            // Prefer the longest match: drop shorter suggestions whose
+            // sequence is a prefix of this one with the same remedy site.
+            let crossings_saved = p.crossings_saved();
+            let cycles_saved = crossings_saved * cost.crossing_cost();
+            out.push(Suggestion { pattern: p, remedy, crossings_saved, cycles_saved });
+        }
+    }
+    // Deduplicate per leading pair. An existing consolidated call always
+    // beats a bespoke compound for the same site (no marking, no Cosy
+    // runtime); among equals, higher savings win. Note that overlapping
+    // n-gram counts overstate savings for self-overlapping sequences, which
+    // is another reason to prefer the exact consolidated match.
+    out.sort_by(|a, b| {
+        let rank = |s: &Suggestion| matches!(s.remedy, Remedy::UseConsolidated(_));
+        rank(b)
+            .cmp(&rank(a))
+            .then(b.cycles_saved.cmp(&a.cycles_saved))
+    });
+    let mut seen: Vec<(Sysno, Sysno)> = Vec::new();
+    out.retain(|s| {
+        let key = (s.pattern.seq[0], s.pattern.seq[1]);
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+    out
+}
+
+/// Render recommendations as the administrator-facing report.
+pub fn render_report(suggestions: &[Suggestion]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<34} {:>8} {:>12}  remedy", "sequence", "count", "saves(cyc)");
+    for s in suggestions {
+        let seq = s
+            .pattern
+            .seq
+            .iter()
+            .map(|x| x.name())
+            .collect::<Vec<_>>()
+            .join("-");
+        let remedy = match &s.remedy {
+            Remedy::UseConsolidated(c) => format!("use sys_{}", c.name()),
+            Remedy::BuildCompound => "mark region for Cosy".to_string(),
+        };
+        let _ = writeln!(out, "{seq:<34} {:>8} {:>12}  {remedy}", s.pattern.count, s.cycles_saved);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u32, no: Sysno) -> SyscallEvent {
+        SyscallEvent { no, pid, bytes_in: 0, bytes_out: 0, ret: 0, ts: 0 }
+    }
+
+    fn seq(pid: u32, calls: &[Sysno], times: usize) -> Vec<SyscallEvent> {
+        let mut t = Vec::new();
+        for _ in 0..times {
+            for &c in calls {
+                t.push(ev(pid, c));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn web_server_trace_gets_orc_recommendation() {
+        let t = seq(1, &[Sysno::Open, Sysno::Read, Sysno::Close], 100);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let orc = sugg
+            .iter()
+            .find(|s| s.remedy == Remedy::UseConsolidated(Sysno::OpenReadClose))
+            .expect("ORC recommended");
+        assert_eq!(orc.pattern.count, 100);
+        assert_eq!(orc.crossings_saved, 200, "3 calls → 1, 100 times");
+        assert!(orc.cycles_saved > 0);
+    }
+
+    #[test]
+    fn mail_spool_trace_gets_owc_recommendation() {
+        let t = seq(2, &[Sysno::Open, Sysno::Write, Sysno::Close, Sysno::Rename], 50);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        assert!(sugg
+            .iter()
+            .any(|s| s.remedy == Remedy::UseConsolidated(Sysno::OpenWriteClose)));
+        // The full 4-gram has no consolidated call: Cosy is suggested too.
+        assert!(sugg.iter().any(|s| s.remedy == Remedy::BuildCompound));
+    }
+
+    #[test]
+    fn ls_trace_gets_readdirplus() {
+        let mut t = Vec::new();
+        for _ in 0..30 {
+            t.push(ev(3, Sysno::Readdir));
+            for _ in 0..5 {
+                t.push(ev(3, Sysno::Stat));
+            }
+        }
+        let sugg = advise(&t, &CostModel::default(), 16);
+        assert!(sugg
+            .iter()
+            .any(|s| s.remedy == Remedy::UseConsolidated(Sysno::ReaddirPlus)));
+    }
+
+    #[test]
+    fn unknown_heavy_sequences_become_cosy_candidates() {
+        let t = seq(4, &[Sysno::Lseek, Sysno::Read, Sysno::Lseek, Sysno::Write], 80);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let top = &sugg[0];
+        assert_eq!(top.remedy, Remedy::BuildCompound);
+        assert!(top.crossings_saved >= 80);
+    }
+
+    #[test]
+    fn quiet_traces_yield_nothing() {
+        let t = seq(5, &[Sysno::Open, Sysno::Read, Sysno::Close], 3);
+        assert!(advise(&t, &CostModel::default(), 16).is_empty());
+        assert!(advise(&[], &CostModel::default(), 1).is_empty());
+    }
+
+    #[test]
+    fn consolidated_calls_are_not_reconsolidated() {
+        let t = seq(6, &[Sysno::ReaddirPlus, Sysno::Close], 100);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        assert!(sugg.is_empty(), "{sugg:?}");
+    }
+
+    #[test]
+    fn report_renders_every_suggestion() {
+        let t = seq(1, &[Sysno::Open, Sysno::Read, Sysno::Close], 100);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let rpt = render_report(&sugg);
+        assert!(rpt.contains("open-read-close"));
+        assert!(rpt.contains("use sys_open_read_close"));
+    }
+}

@@ -1,0 +1,196 @@
+//! The weighted syscall digraph and sequence-pattern mining.
+//!
+//! Vertices are syscalls; the edge `V1 → V2` is weighted by how many times
+//! `V2` directly followed `V1` in the same process. Heavy paths are the
+//! consolidation candidates the paper found: `open-read-close`,
+//! `open-write-close`, `open-fstat`, and `readdir-stat`.
+
+use std::collections::HashMap;
+
+use crate::sysno::Sysno;
+use crate::trace::SyscallEvent;
+
+/// A mined consolidation candidate: a syscall sequence and its frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    pub seq: Vec<Sysno>,
+    pub count: u64,
+}
+
+impl Pattern {
+    /// Total syscalls covered by this pattern in the trace.
+    pub fn calls_covered(&self) -> u64 {
+        self.count * self.seq.len() as u64
+    }
+
+    /// Crossings saved if the whole sequence became one syscall.
+    pub fn crossings_saved(&self) -> u64 {
+        self.count * (self.seq.len() as u64 - 1)
+    }
+}
+
+/// The weighted directed graph of §2.2.
+#[derive(Debug, Default)]
+pub struct SyscallGraph {
+    /// `edges[a][b]` = number of times `b` followed `a`.
+    edges: Vec<Vec<u64>>,
+    nodes_seen: Vec<u64>,
+}
+
+impl SyscallGraph {
+    pub fn new() -> Self {
+        SyscallGraph {
+            edges: vec![vec![0; Sysno::COUNT]; Sysno::COUNT],
+            nodes_seen: vec![0; Sysno::COUNT],
+        }
+    }
+
+    /// Build the graph from a trace, linking consecutive calls per process.
+    pub fn from_trace(events: &[SyscallEvent]) -> Self {
+        let mut g = Self::new();
+        let mut last_by_pid: HashMap<u32, Sysno> = HashMap::new();
+        for e in events {
+            g.nodes_seen[e.no.index()] += 1;
+            if let Some(prev) = last_by_pid.insert(e.pid, e.no) {
+                g.edges[prev.index()][e.no.index()] += 1;
+            }
+        }
+        g
+    }
+
+    /// Weight of the edge `a → b`.
+    pub fn weight(&self, a: Sysno, b: Sysno) -> u64 {
+        self.edges[a.index()][b.index()]
+    }
+
+    /// Times `s` appears in the trace.
+    pub fn occurrences(&self, s: Sysno) -> u64 {
+        self.nodes_seen[s.index()]
+    }
+
+    /// Edges sorted by descending weight (the heavy pairs).
+    pub fn top_edges(&self, k: usize) -> Vec<(Sysno, Sysno, u64)> {
+        let mut all = Vec::new();
+        for a in Sysno::ALL {
+            for b in Sysno::ALL {
+                let w = self.weight(a, b);
+                if w > 0 {
+                    all.push((a, b, w));
+                }
+            }
+        }
+        all.sort_by(|x, y| y.2.cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        all.truncate(k);
+        all
+    }
+}
+
+/// Mine the `len`-gram sequences (per process) with at least `min_count`
+/// occurrences, sorted by descending count. This is the paper's "searched
+/// for patterns" step made concrete.
+pub fn mine_patterns(events: &[SyscallEvent], len: usize, min_count: u64) -> Vec<Pattern> {
+    assert!(len >= 2, "a pattern needs at least two calls");
+    let mut windows: HashMap<u32, Vec<Sysno>> = HashMap::new();
+    let mut counts: HashMap<Vec<Sysno>, u64> = HashMap::new();
+    for e in events {
+        let w = windows.entry(e.pid).or_default();
+        w.push(e.no);
+        if w.len() > len {
+            w.remove(0);
+        }
+        if w.len() == len {
+            *counts.entry(w.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<Pattern> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .map(|(seq, count)| Pattern { seq, count })
+        .collect();
+    out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.seq.cmp(&b.seq)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u32, no: Sysno) -> SyscallEvent {
+        SyscallEvent { no, pid, bytes_in: 0, bytes_out: 0, ret: 0, ts: 0 }
+    }
+
+    fn orc_trace(n: usize) -> Vec<SyscallEvent> {
+        // n repetitions of open-read-close by pid 1.
+        let mut t = Vec::new();
+        for _ in 0..n {
+            t.push(ev(1, Sysno::Open));
+            t.push(ev(1, Sysno::Read));
+            t.push(ev(1, Sysno::Close));
+        }
+        t
+    }
+
+    #[test]
+    fn edge_weights_count_successions() {
+        let g = SyscallGraph::from_trace(&orc_trace(10));
+        assert_eq!(g.weight(Sysno::Open, Sysno::Read), 10);
+        assert_eq!(g.weight(Sysno::Read, Sysno::Close), 10);
+        assert_eq!(g.weight(Sysno::Close, Sysno::Open), 9, "between repetitions");
+        assert_eq!(g.weight(Sysno::Read, Sysno::Open), 0);
+        assert_eq!(g.occurrences(Sysno::Open), 10);
+    }
+
+    #[test]
+    fn per_pid_linking_does_not_cross_processes() {
+        let t = vec![ev(1, Sysno::Open), ev(2, Sysno::Read), ev(1, Sysno::Close)];
+        let g = SyscallGraph::from_trace(&t);
+        assert_eq!(g.weight(Sysno::Open, Sysno::Read), 0, "different pids");
+        assert_eq!(g.weight(Sysno::Open, Sysno::Close), 1);
+    }
+
+    #[test]
+    fn top_edges_sorted_by_weight() {
+        let g = SyscallGraph::from_trace(&orc_trace(5));
+        let top = g.top_edges(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].2 >= top[1].2);
+        assert_eq!(top[0].2, 5);
+    }
+
+    #[test]
+    fn mining_finds_open_read_close() {
+        let t = orc_trace(20);
+        let pats = mine_patterns(&t, 3, 2);
+        let best = &pats[0];
+        assert_eq!(best.seq, vec![Sysno::Open, Sysno::Read, Sysno::Close]);
+        assert_eq!(best.count, 20);
+        assert_eq!(best.crossings_saved(), 40, "3 calls → 1 saves 2 each");
+    }
+
+    #[test]
+    fn mining_readdir_stat_bursts() {
+        // readdir followed by many stats: the readdirplus motivation.
+        let mut t = Vec::new();
+        for _ in 0..4 {
+            t.push(ev(1, Sysno::Readdir));
+            for _ in 0..5 {
+                t.push(ev(1, Sysno::Stat));
+            }
+        }
+        let pats = mine_patterns(&t, 2, 3);
+        assert_eq!(pats[0].seq, vec![Sysno::Stat, Sysno::Stat]);
+        let rd_stat = pats
+            .iter()
+            .find(|p| p.seq == vec![Sysno::Readdir, Sysno::Stat])
+            .expect("readdir→stat mined");
+        assert_eq!(rd_stat.count, 4);
+    }
+
+    #[test]
+    fn min_count_filters_noise() {
+        let mut t = orc_trace(10);
+        t.push(ev(1, Sysno::Getpid)); // a one-off
+        let pats = mine_patterns(&t, 2, 5);
+        assert!(pats.iter().all(|p| p.count >= 5));
+    }
+}

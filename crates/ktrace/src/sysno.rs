@@ -1,0 +1,143 @@
+//! System-call numbering: the classic calls the traces contain plus the
+//! consolidated calls §2.2 introduces.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// System-call identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum Sysno {
+    Open,
+    Read,
+    Write,
+    Close,
+    Lseek,
+    Stat,
+    Fstat,
+    Readdir,
+    Mkdir,
+    Rmdir,
+    Unlink,
+    Rename,
+    Truncate,
+    Getpid,
+    // --- consolidated system calls (§2.2) ---
+    /// `readdir` + N × `stat` in one crossing (the NFSv3 READDIRPLUS idea).
+    ReaddirPlus,
+    /// `open`-`read`-`close` in one crossing.
+    OpenReadClose,
+    /// `open`-`write`-`close` in one crossing.
+    OpenWriteClose,
+    /// `open`-`fstat` in one crossing.
+    OpenFstat,
+    // --- Cosy (§2.3) ---
+    /// Submit a compound for in-kernel execution.
+    CosySubmit,
+}
+
+impl Sysno {
+    /// Every defined syscall, in numbering order.
+    pub const ALL: [Sysno; 19] = [
+        Sysno::Open,
+        Sysno::Read,
+        Sysno::Write,
+        Sysno::Close,
+        Sysno::Lseek,
+        Sysno::Stat,
+        Sysno::Fstat,
+        Sysno::Readdir,
+        Sysno::Mkdir,
+        Sysno::Rmdir,
+        Sysno::Unlink,
+        Sysno::Rename,
+        Sysno::Truncate,
+        Sysno::Getpid,
+        Sysno::ReaddirPlus,
+        Sysno::OpenReadClose,
+        Sysno::OpenWriteClose,
+        Sysno::OpenFstat,
+        Sysno::CosySubmit,
+    ];
+
+    /// The syscall's name as strace would print it.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Sysno::Open => "open",
+            Sysno::Read => "read",
+            Sysno::Write => "write",
+            Sysno::Close => "close",
+            Sysno::Lseek => "lseek",
+            Sysno::Stat => "stat",
+            Sysno::Fstat => "fstat",
+            Sysno::Readdir => "readdir",
+            Sysno::Mkdir => "mkdir",
+            Sysno::Rmdir => "rmdir",
+            Sysno::Unlink => "unlink",
+            Sysno::Rename => "rename",
+            Sysno::Truncate => "truncate",
+            Sysno::Getpid => "getpid",
+            Sysno::ReaddirPlus => "readdirplus",
+            Sysno::OpenReadClose => "open_read_close",
+            Sysno::OpenWriteClose => "open_write_close",
+            Sysno::OpenFstat => "open_fstat",
+            Sysno::CosySubmit => "cosy_submit",
+        }
+    }
+
+    /// True for the new consolidated calls (including Cosy submission).
+    pub const fn is_consolidated(self) -> bool {
+        matches!(
+            self,
+            Sysno::ReaddirPlus
+                | Sysno::OpenReadClose
+                | Sysno::OpenWriteClose
+                | Sysno::OpenFstat
+                | Sysno::CosySubmit
+        )
+    }
+
+    /// Dense index for table-based counting.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of defined syscalls.
+    pub const COUNT: usize = Self::ALL.len();
+}
+
+impl fmt::Display for Sysno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_matches_index() {
+        for (i, s) in Sysno::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{s} out of order");
+        }
+        assert_eq!(Sysno::COUNT, 19);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Sysno::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Sysno::COUNT);
+    }
+
+    #[test]
+    fn consolidated_flag() {
+        assert!(Sysno::ReaddirPlus.is_consolidated());
+        assert!(Sysno::OpenReadClose.is_consolidated());
+        assert!(!Sysno::Open.is_consolidated());
+        assert!(!Sysno::Readdir.is_consolidated());
+    }
+}

@@ -1,0 +1,96 @@
+//! File-system error type (errno analogue).
+
+use std::fmt;
+
+use ksim::SimError;
+
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// Errors surfaced by file-system operations; maps 1:1 onto the classic
+/// errno values a syscall layer returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// ENOENT
+    NotFound,
+    /// EEXIST
+    Exists,
+    /// ENOTDIR
+    NotADirectory,
+    /// EISDIR
+    IsADirectory,
+    /// ENOTEMPTY
+    NotEmpty,
+    /// EINVAL
+    Invalid(&'static str),
+    /// EBADF
+    BadHandle,
+    /// ENOSPC / simulator OOM
+    NoSpace,
+    /// An underlying machine fault (page fault, watchdog, ...).
+    Sim(SimError),
+}
+
+impl VfsError {
+    /// The classic errno number for this error (negative, Linux-style).
+    pub fn errno(&self) -> i64 {
+        match self {
+            VfsError::NotFound => -2,          // ENOENT
+            VfsError::Exists => -17,           // EEXIST
+            VfsError::NotADirectory => -20,    // ENOTDIR
+            VfsError::IsADirectory => -21,     // EISDIR
+            VfsError::NotEmpty => -39,         // ENOTEMPTY
+            VfsError::Invalid(_) => -22,       // EINVAL
+            VfsError::BadHandle => -9,         // EBADF
+            VfsError::NoSpace => -28,          // ENOSPC
+            VfsError::Sim(_) => -14,           // EFAULT
+        }
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound => write!(f, "no such file or directory"),
+            VfsError::Exists => write!(f, "file exists"),
+            VfsError::NotADirectory => write!(f, "not a directory"),
+            VfsError::IsADirectory => write!(f, "is a directory"),
+            VfsError::NotEmpty => write!(f, "directory not empty"),
+            VfsError::Invalid(m) => write!(f, "invalid argument: {m}"),
+            VfsError::BadHandle => write!(f, "bad file handle"),
+            VfsError::NoSpace => write!(f, "no space left on device"),
+            VfsError::Sim(e) => write!(f, "machine fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+impl From<SimError> for VfsError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::OutOfMemory => VfsError::NoSpace,
+            other => VfsError::Sim(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_values_match_linux() {
+        assert_eq!(VfsError::NotFound.errno(), -2);
+        assert_eq!(VfsError::Exists.errno(), -17);
+        assert_eq!(VfsError::NotEmpty.errno(), -39);
+    }
+
+    #[test]
+    fn sim_oom_becomes_nospace() {
+        assert_eq!(VfsError::from(SimError::OutOfMemory), VfsError::NoSpace);
+        assert!(matches!(
+            VfsError::from(SimError::Invalid("x")),
+            VfsError::Sim(_)
+        ));
+    }
+}

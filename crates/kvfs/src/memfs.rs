@@ -1,0 +1,674 @@
+//! An Ext2/Ext3-flavoured in-memory file system.
+//!
+//! File data lives in host memory (it is the *costs* that are simulated:
+//! CPU cycles for metadata work against the system clock, and disk time via
+//! [`BlockDev`]). The block-addressing scheme mirrors how Ext2 places an
+//! inode's data: reads touch `(ino, block)` addresses, so sequential file
+//! access is cheap and cross-file access seeks, exactly the behaviour the
+//! paper's IDE-disk experiments rest on. Metadata updates are journalled:
+//! every [`META_JOURNAL_BATCH`]'th update flushes one sequential journal
+//! block, approximating Ext3's batched commits.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ksim::{Machine, PAGE_SIZE};
+
+use crate::blockdev::{BlockAddr, BlockDev};
+use crate::error::{VfsError, VfsResult};
+use crate::fs::{DirEntry, FileKind, FileSystem, Ino, Stat};
+
+/// CPU cost of touching an inode's metadata.
+const INODE_OP_COST: u64 = 350;
+/// CPU cost of one directory-entry search/insert/remove.
+const DIR_OP_COST: u64 = 420;
+/// CPU cost per data block processed by read/write (page-cache management).
+const BLOCK_CPU_COST: u64 = 150;
+/// One journal flush per this many metadata updates.
+pub const META_JOURNAL_BATCH: u64 = 64;
+
+#[derive(Debug)]
+struct Inode {
+    kind: FileKind,
+    nlink: u32,
+    mode: u32,
+    mtime: u64,
+    data: Vec<u8>,
+    entries: BTreeMap<String, u64>,
+}
+
+impl Inode {
+    fn new_file(mode: u32) -> Self {
+        Inode {
+            kind: FileKind::File,
+            nlink: 1,
+            mode,
+            mtime: 0,
+            data: Vec::new(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn new_dir(mode: u32) -> Self {
+        Inode {
+            kind: FileKind::Dir,
+            nlink: 2,
+            mode,
+            mtime: 0,
+            data: Vec::new(),
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+/// The in-memory file system.
+pub struct MemFs {
+    machine: Arc<Machine>,
+    dev: Arc<BlockDev>,
+    inodes: RwLock<HashMap<u64, Inode>>,
+    next_ino: AtomicU64,
+    meta_updates: AtomicU64,
+    root: u64,
+}
+
+impl MemFs {
+    pub fn new(machine: Arc<Machine>, dev: Arc<BlockDev>) -> Self {
+        let mut inodes = HashMap::new();
+        let root = 1u64;
+        inodes.insert(root, Inode::new_dir(0o755));
+        MemFs {
+            machine,
+            dev,
+            inodes: RwLock::new(inodes),
+            next_ino: AtomicU64::new(root + 1),
+            meta_updates: AtomicU64::new(0),
+            root,
+        }
+    }
+
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    pub fn dev(&self) -> &Arc<BlockDev> {
+        &self.dev
+    }
+
+    fn charge_meta_update(&self) {
+        self.machine.charge_sys(INODE_OP_COST);
+        let n = self.meta_updates.fetch_add(1, Relaxed) + 1;
+        if n.is_multiple_of(META_JOURNAL_BATCH) {
+            // Sequential journal commit: transfer-only cost.
+            self.dev.write_block(BlockAddr { obj: u64::MAX, index: n / META_JOURNAL_BATCH }, PAGE_SIZE);
+        }
+    }
+
+    fn alloc_ino(&self) -> u64 {
+        self.next_ino.fetch_add(1, Relaxed)
+    }
+
+    fn now(&self) -> u64 {
+        self.machine.clock.elapsed_cycles()
+    }
+}
+
+impl FileSystem for MemFs {
+    fn root(&self) -> Ino {
+        Ino(self.root)
+    }
+
+    fn lookup(&self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        self.machine.charge_sys(DIR_OP_COST);
+        let inodes = self.inodes.read();
+        let d = inodes.get(&dir.0).ok_or(VfsError::NotFound)?;
+        if d.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        d.entries.get(name).map(|&i| Ino(i)).ok_or(VfsError::NotFound)
+    }
+
+    fn create(&self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        if name.is_empty() || name.contains('/') {
+            return Err(VfsError::Invalid("bad file name"));
+        }
+        self.machine.charge_sys(DIR_OP_COST);
+        let mut inodes = self.inodes.write();
+        let d = inodes.get_mut(&dir.0).ok_or(VfsError::NotFound)?;
+        if d.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        if d.entries.contains_key(name) {
+            return Err(VfsError::Exists);
+        }
+        let ino = self.alloc_ino();
+        d.entries.insert(name.to_string(), ino);
+        d.mtime = self.now();
+        let mut f = Inode::new_file(0o644);
+        f.mtime = self.now();
+        inodes.insert(ino, f);
+        drop(inodes);
+        // The new inode is in memory: its metadata block is hot.
+        self.dev.prime_cache(BlockAddr { obj: ino, index: u64::MAX });
+        self.charge_meta_update();
+        Ok(Ino(ino))
+    }
+
+    fn mkdir(&self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        if name.is_empty() || name.contains('/') {
+            return Err(VfsError::Invalid("bad directory name"));
+        }
+        self.machine.charge_sys(DIR_OP_COST);
+        let mut inodes = self.inodes.write();
+        let d = inodes.get_mut(&dir.0).ok_or(VfsError::NotFound)?;
+        if d.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        if d.entries.contains_key(name) {
+            return Err(VfsError::Exists);
+        }
+        let ino = self.alloc_ino();
+        d.entries.insert(name.to_string(), ino);
+        d.nlink += 1; // the child's ".." back-link
+        d.mtime = self.now();
+        let mut nd = Inode::new_dir(0o755);
+        nd.mtime = self.now();
+        inodes.insert(ino, nd);
+        drop(inodes);
+        self.dev.prime_cache(BlockAddr { obj: ino, index: u64::MAX });
+        self.charge_meta_update();
+        Ok(Ino(ino))
+    }
+
+    fn unlink(&self, dir: Ino, name: &str) -> VfsResult<()> {
+        self.machine.charge_sys(DIR_OP_COST);
+        let mut inodes = self.inodes.write();
+        let d = inodes.get_mut(&dir.0).ok_or(VfsError::NotFound)?;
+        let &ino = d.entries.get(name).ok_or(VfsError::NotFound)?;
+        let target = inodes.get(&ino).ok_or(VfsError::NotFound)?;
+        if target.kind == FileKind::Dir {
+            return Err(VfsError::IsADirectory);
+        }
+        let d = inodes.get_mut(&dir.0).expect("dir vanished");
+        d.entries.remove(name);
+        d.mtime = self.now();
+        let target = inodes.get_mut(&ino).expect("target vanished");
+        target.nlink -= 1;
+        if target.nlink == 0 {
+            inodes.remove(&ino);
+        }
+        drop(inodes);
+        self.dev.evict_object(ino);
+        self.charge_meta_update();
+        Ok(())
+    }
+
+    fn rmdir(&self, dir: Ino, name: &str) -> VfsResult<()> {
+        self.machine.charge_sys(DIR_OP_COST);
+        let mut inodes = self.inodes.write();
+        let d = inodes.get(&dir.0).ok_or(VfsError::NotFound)?;
+        let &ino = d.entries.get(name).ok_or(VfsError::NotFound)?;
+        let target = inodes.get(&ino).ok_or(VfsError::NotFound)?;
+        if target.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        if !target.entries.is_empty() {
+            return Err(VfsError::NotEmpty);
+        }
+        inodes.remove(&ino);
+        let d = inodes.get_mut(&dir.0).expect("dir vanished");
+        d.entries.remove(name);
+        d.nlink -= 1;
+        d.mtime = self.now();
+        drop(inodes);
+        self.charge_meta_update();
+        Ok(())
+    }
+
+    fn readdir(&self, dir: Ino) -> VfsResult<Vec<DirEntry>> {
+        let inodes = self.inodes.read();
+        let d = inodes.get(&dir.0).ok_or(VfsError::NotFound)?;
+        if d.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        // Directory data occupies blocks; reading it costs CPU per entry
+        // batch plus disk for uncached dir blocks (~32 B per entry).
+        let nblocks = (d.entries.len() * 32).div_ceil(PAGE_SIZE).max(1);
+        for b in 0..nblocks {
+            self.dev.read_block(BlockAddr { obj: dir.0, index: b as u64 }, PAGE_SIZE);
+        }
+        self.machine.charge_sys(DIR_OP_COST + d.entries.len() as u64 * 25);
+        Ok(d
+            .entries
+            .iter()
+            .map(|(name, &ino)| DirEntry {
+                name: name.clone(),
+                ino,
+                kind: inodes.get(&ino).map(|i| i.kind).unwrap_or(FileKind::File),
+            })
+            .collect())
+    }
+
+    fn stat(&self, ino: Ino) -> VfsResult<Stat> {
+        self.machine.charge_sys(INODE_OP_COST);
+        // The inode block itself may need reading (one metadata block per
+        // inode; cached after first touch).
+        self.dev.read_block(BlockAddr { obj: ino.0, index: u64::MAX }, 128);
+        let inodes = self.inodes.read();
+        let i = inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+        Ok(Stat {
+            ino: ino.0,
+            kind: i.kind,
+            size: if i.kind == FileKind::Dir {
+                (i.entries.len() * 32).max(PAGE_SIZE) as u64
+            } else {
+                i.data.len() as u64
+            },
+            nlink: i.nlink,
+            mode: i.mode,
+            uid: 0,
+            gid: 0,
+            blocks: (i.data.len() as u64).div_ceil(512),
+            mtime: i.mtime,
+        })
+    }
+
+    fn read(&self, ino: Ino, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        let inodes = self.inodes.read();
+        let i = inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+        if i.kind == FileKind::Dir {
+            return Err(VfsError::IsADirectory);
+        }
+        let len = i.data.len() as u64;
+        if off >= len {
+            return Ok(0);
+        }
+        let n = buf.len().min((len - off) as usize);
+        buf[..n].copy_from_slice(&i.data[off as usize..off as usize + n]);
+        drop(inodes);
+
+        let first = off / PAGE_SIZE as u64;
+        let last = (off + n as u64 - 1) / PAGE_SIZE as u64;
+        for b in first..=last {
+            self.dev.read_block(BlockAddr { obj: ino.0, index: b }, PAGE_SIZE);
+            self.machine.charge_sys(BLOCK_CPU_COST);
+        }
+        Ok(n)
+    }
+
+    fn write(&self, ino: Ino, off: u64, data: &[u8]) -> VfsResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut inodes = self.inodes.write();
+        let i = inodes.get_mut(&ino.0).ok_or(VfsError::NotFound)?;
+        if i.kind == FileKind::Dir {
+            return Err(VfsError::IsADirectory);
+        }
+        let old_blocks = i.data.len().div_ceil(PAGE_SIZE) as u64;
+        let end = off as usize + data.len();
+        if i.data.len() < end {
+            i.data.resize(end, 0);
+        }
+        i.data[off as usize..end].copy_from_slice(data);
+        i.mtime = self.now();
+        let _new_len = i.data.len();
+        drop(inodes);
+
+        // Newly allocated blocks hit the disk (write-back coalesced):
+        // rewriting already-written blocks stays in the page cache.
+        let first = off / PAGE_SIZE as u64;
+        let last = (end as u64 - 1) / PAGE_SIZE as u64;
+        for b in first..=last {
+            self.machine.charge_sys(BLOCK_CPU_COST);
+            if b >= old_blocks {
+                self.dev.write_block(BlockAddr { obj: ino.0, index: b }, PAGE_SIZE);
+            }
+        }
+        self.charge_meta_update(); // size/mtime change
+        Ok(data.len())
+    }
+
+    fn truncate(&self, ino: Ino, size: u64) -> VfsResult<()> {
+        let mut inodes = self.inodes.write();
+        let i = inodes.get_mut(&ino.0).ok_or(VfsError::NotFound)?;
+        if i.kind == FileKind::Dir {
+            return Err(VfsError::IsADirectory);
+        }
+        i.data.resize(size as usize, 0);
+        i.mtime = self.now();
+        drop(inodes);
+        self.charge_meta_update();
+        Ok(())
+    }
+
+    fn rename(&self, from_dir: Ino, from: &str, to_dir: Ino, to: &str) -> VfsResult<()> {
+        self.machine.charge_sys(2 * DIR_OP_COST);
+        let mut inodes = self.inodes.write();
+        let fd = inodes.get(&from_dir.0).ok_or(VfsError::NotFound)?;
+        if fd.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        let &ino = fd.entries.get(from).ok_or(VfsError::NotFound)?;
+        let td = inodes.get(&to_dir.0).ok_or(VfsError::NotFound)?;
+        if td.kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        if td.entries.contains_key(to) {
+            return Err(VfsError::Exists);
+        }
+        inodes.get_mut(&from_dir.0).expect("from dir").entries.remove(from);
+        inodes
+            .get_mut(&to_dir.0)
+            .expect("to dir")
+            .entries
+            .insert(to.to_string(), ino);
+        drop(inodes);
+        self.charge_meta_update();
+        Ok(())
+    }
+
+    fn fs_name(&self) -> &str {
+        "memfs"
+    }
+}
+
+impl std::fmt::Debug for MemFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemFs")
+            .field("inodes", &self.inodes.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::MachineConfig;
+
+    pub(crate) fn memfs() -> MemFs {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        MemFs::new(m, dev)
+    }
+
+    #[test]
+    fn create_lookup_roundtrip() {
+        let fs = memfs();
+        let root = fs.root();
+        let f = fs.create(root, "hello.txt").unwrap();
+        assert_eq!(fs.lookup(root, "hello.txt").unwrap(), f);
+        assert!(matches!(fs.lookup(root, "nope"), Err(VfsError::NotFound)));
+        assert!(matches!(fs.create(root, "hello.txt"), Err(VfsError::Exists)));
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let fs = memfs();
+        assert!(fs.create(fs.root(), "").is_err());
+        assert!(fs.create(fs.root(), "a/b").is_err());
+        assert!(fs.mkdir(fs.root(), "x/y").is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_sizes() {
+        let fs = memfs();
+        let f = fs.create(fs.root(), "data").unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(fs.write(f, 0, &payload).unwrap(), payload.len());
+        let mut out = vec![0u8; payload.len()];
+        assert_eq!(fs.read(f, 0, &mut out).unwrap(), payload.len());
+        assert_eq!(out, payload);
+        let st = fs.stat(f).unwrap();
+        assert_eq!(st.size, payload.len() as u64);
+        assert_eq!(st.kind, FileKind::File);
+        // Partial read past EOF.
+        let mut tail = vec![0u8; 100];
+        assert_eq!(fs.read(f, 9_950, &mut tail).unwrap(), 50);
+        assert_eq!(fs.read(f, 20_000, &mut tail).unwrap(), 0);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let fs = memfs();
+        let f = fs.create(fs.root(), "sparse").unwrap();
+        fs.write(f, 100, b"xyz").unwrap();
+        let mut out = vec![0xFFu8; 103];
+        fs.read(f, 0, &mut out).unwrap();
+        assert!(out[..100].iter().all(|&b| b == 0));
+        assert_eq!(&out[100..], b"xyz");
+    }
+
+    #[test]
+    fn mkdir_and_nested_files() {
+        let fs = memfs();
+        let d = fs.mkdir(fs.root(), "sub").unwrap();
+        let f = fs.create(d, "inner").unwrap();
+        assert_eq!(fs.lookup(d, "inner").unwrap(), f);
+        let st = fs.stat(d).unwrap();
+        assert_eq!(st.kind, FileKind::Dir);
+        // Root's nlink grew with the subdirectory.
+        assert_eq!(fs.stat(fs.root()).unwrap().nlink, 3);
+    }
+
+    #[test]
+    fn readdir_lists_sorted_entries() {
+        let fs = memfs();
+        for name in ["b", "a", "c"] {
+            fs.create(fs.root(), name).unwrap();
+        }
+        let names: Vec<String> =
+            fs.readdir(fs.root()).unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"], "BTreeMap keeps them sorted");
+    }
+
+    #[test]
+    fn unlink_removes_and_frees() {
+        let fs = memfs();
+        let f = fs.create(fs.root(), "gone").unwrap();
+        fs.write(f, 0, b"bits").unwrap();
+        fs.unlink(fs.root(), "gone").unwrap();
+        assert!(fs.lookup(fs.root(), "gone").is_err());
+        assert!(fs.stat(f).is_err(), "inode reclaimed at nlink 0");
+        assert!(matches!(fs.unlink(fs.root(), "gone"), Err(VfsError::NotFound)));
+    }
+
+    #[test]
+    fn rmdir_requires_empty_dir() {
+        let fs = memfs();
+        let d = fs.mkdir(fs.root(), "d").unwrap();
+        fs.create(d, "f").unwrap();
+        assert!(matches!(fs.rmdir(fs.root(), "d"), Err(VfsError::NotEmpty)));
+        fs.unlink(d, "f").unwrap();
+        fs.rmdir(fs.root(), "d").unwrap();
+        assert!(fs.lookup(fs.root(), "d").is_err());
+    }
+
+    #[test]
+    fn unlink_dir_and_rmdir_file_are_type_errors() {
+        let fs = memfs();
+        fs.mkdir(fs.root(), "d").unwrap();
+        fs.create(fs.root(), "f").unwrap();
+        assert!(matches!(fs.unlink(fs.root(), "d"), Err(VfsError::IsADirectory)));
+        assert!(matches!(fs.rmdir(fs.root(), "f"), Err(VfsError::NotADirectory)));
+    }
+
+    #[test]
+    fn rename_moves_between_directories() {
+        let fs = memfs();
+        let d1 = fs.mkdir(fs.root(), "d1").unwrap();
+        let d2 = fs.mkdir(fs.root(), "d2").unwrap();
+        let f = fs.create(d1, "file").unwrap();
+        fs.write(f, 0, b"payload").unwrap();
+        fs.rename(d1, "file", d2, "renamed").unwrap();
+        assert!(fs.lookup(d1, "file").is_err());
+        let f2 = fs.lookup(d2, "renamed").unwrap();
+        assert_eq!(f, f2, "rename preserves the inode");
+        assert!(matches!(fs.rename(d1, "file", d2, "x"), Err(VfsError::NotFound)));
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let fs = memfs();
+        let f = fs.create(fs.root(), "t").unwrap();
+        fs.write(f, 0, b"hello world").unwrap();
+        fs.truncate(f, 5).unwrap();
+        assert_eq!(fs.stat(f).unwrap().size, 5);
+        fs.truncate(f, 10).unwrap();
+        let mut out = vec![0xAA; 10];
+        fs.read(f, 0, &mut out).unwrap();
+        assert_eq!(&out[..5], b"hello");
+        assert!(out[5..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn io_time_charged_for_file_data() {
+        let fs = memfs();
+        let f = fs.create(fs.root(), "big").unwrap();
+        let io0 = fs.machine().clock.io_cycles();
+        fs.write(f, 0, &vec![0u8; 64 * 1024]).unwrap();
+        assert!(fs.machine().clock.io_cycles() > io0, "writes reach the disk");
+        let io1 = fs.machine().clock.io_cycles();
+        let mut buf = vec![0u8; 64 * 1024];
+        fs.read(f, 0, &mut buf).unwrap();
+        assert_eq!(fs.machine().clock.io_cycles(), io1, "cached read is free");
+    }
+
+    #[test]
+    fn metadata_journal_batches_flushes() {
+        let fs = memfs();
+        let root = fs.root();
+        let (_, w0, _, _) = fs.dev().counters();
+        for i in 0..200 {
+            fs.create(root, &format!("f{i}")).unwrap();
+        }
+        let (_, w1, _, _) = fs.dev().counters();
+        let meta_writes = w1 - w0;
+        assert!(meta_writes >= 2, "journal must flush periodically");
+        assert!(meta_writes <= 5, "but far less than once per create: {meta_writes}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap as Model;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Create(u8),
+        Write(u8, u16, Vec<u8>),
+        Truncate(u8, u16),
+        Unlink(u8),
+        Rename(u8, u8),
+        ReadAll(u8),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..8).prop_map(Op::Create),
+            (0u8..8, 0u16..2048, proptest::collection::vec(any::<u8>(), 0..256))
+                .prop_map(|(f, off, data)| Op::Write(f, off, data)),
+            (0u8..8, 0u16..4096).prop_map(|(f, sz)| Op::Truncate(f, sz)),
+            (0u8..8).prop_map(Op::Unlink),
+            (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Rename(a, b)),
+            (0u8..8).prop_map(Op::ReadAll),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// MemFs agrees with a trivial name→bytes model under arbitrary
+        /// operation sequences over a flat directory of up to 8 names.
+        #[test]
+        fn matches_flat_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+            let fs = tests::memfs();
+            let root = fs.root();
+            let mut model: Model<String, Vec<u8>> = Model::new();
+            let name = |f: u8| format!("f{f}");
+
+            for op in ops {
+                match op {
+                    Op::Create(f) => {
+                        let r = fs.create(root, &name(f));
+                        if let std::collections::hash_map::Entry::Vacant(e) = model.entry(name(f)) {
+                            prop_assert!(r.is_ok());
+                            e.insert(Vec::new());
+                        } else {
+                            prop_assert_eq!(r.unwrap_err(), VfsError::Exists);
+                        }
+                    }
+                    Op::Write(f, off, data) => {
+                        match (fs.lookup(root, &name(f)), model.get_mut(&name(f))) {
+                            (Ok(ino), Some(m)) => {
+                                let n = fs.write(ino, off as u64, &data).unwrap();
+                                prop_assert_eq!(n, data.len());
+                                let end = off as usize + data.len();
+                                if m.len() < end {
+                                    m.resize(end, 0);
+                                }
+                                m[off as usize..end].copy_from_slice(&data);
+                            }
+                            (Err(e), None) => prop_assert_eq!(e, VfsError::NotFound),
+                            (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+                        }
+                    }
+                    Op::Truncate(f, sz) => {
+                        match (fs.lookup(root, &name(f)), model.get_mut(&name(f))) {
+                            (Ok(ino), Some(m)) => {
+                                fs.truncate(ino, sz as u64).unwrap();
+                                m.resize(sz as usize, 0);
+                            }
+                            (Err(e), None) => prop_assert_eq!(e, VfsError::NotFound),
+                            (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+                        }
+                    }
+                    Op::Unlink(f) => {
+                        let r = fs.unlink(root, &name(f));
+                        if model.remove(&name(f)).is_some() {
+                            prop_assert!(r.is_ok());
+                        } else {
+                            prop_assert_eq!(r.unwrap_err(), VfsError::NotFound);
+                        }
+                    }
+                    Op::Rename(a, b) => {
+                        let r = fs.rename(root, &name(a), root, &name(b));
+                        let src = model.contains_key(&name(a));
+                        let dst = model.contains_key(&name(b));
+                        if src && !dst && a != b {
+                            prop_assert!(r.is_ok(), "{r:?}");
+                            let v = model.remove(&name(a)).expect("checked");
+                            model.insert(name(b), v);
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                    Op::ReadAll(f) => {
+                        match (fs.lookup(root, &name(f)), model.get(&name(f))) {
+                            (Ok(ino), Some(m)) => {
+                                let st = fs.stat(ino).unwrap();
+                                prop_assert_eq!(st.size as usize, m.len());
+                                let mut buf = vec![0u8; m.len() + 16];
+                                let n = fs.read(ino, 0, &mut buf).unwrap();
+                                prop_assert_eq!(n, m.len());
+                                prop_assert_eq!(&buf[..n], &m[..]);
+                            }
+                            (Err(e), None) => prop_assert_eq!(e, VfsError::NotFound),
+                            (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+                        }
+                    }
+                }
+                // Directory listing always matches the model's key set.
+                let mut listed: Vec<String> =
+                    fs.readdir(root).unwrap().into_iter().map(|e| e.name).collect();
+                listed.sort();
+                let mut expect: Vec<String> = model.keys().cloned().collect();
+                expect.sort();
+                prop_assert_eq!(listed, expect);
+            }
+        }
+    }
+}

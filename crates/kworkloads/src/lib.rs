@@ -1,0 +1,28 @@
+//! `kworkloads` — the benchmark workloads the paper evaluates with.
+//!
+//! * [`rig::Rig`] — one-call assembly of a simulated machine + file
+//!   system + syscall layer (+ optional Wrapfs layer and Cosy extension),
+//!   plus [`rig::UserProc`], a process with a mapped scratch buffer.
+//! * [`postmark`] — PostMark (Katcher, NetApp TR3022): a small-file
+//!   create/delete/read/append transaction mix; the I/O-intensive workload
+//!   of §3.3 and §3.4.
+//! * [`amutils`] — an Am-utils-like compile: stat storms over headers,
+//!   source reads, CPU-heavy compilation, object writes; the CPU-intensive
+//!   workload of §3.2 and §3.4.
+//! * [`dbscan`] — the database access patterns of §2.3's application
+//!   benchmark: sequential record scans and random probes, each runnable
+//!   through plain system calls or through Cosy compounds.
+
+pub mod amutils;
+pub mod dbscan;
+pub mod postmark;
+pub mod rig;
+pub mod webserver;
+
+pub use amutils::{run_compile, CompileConfig, CompileReport};
+pub use dbscan::{
+    probe_cosy, probe_user, scan_cosy, scan_user, setup_db, DbConfig, DbRunReport,
+};
+pub use postmark::{run_postmark, PostmarkConfig, PostmarkReport};
+pub use rig::{Rig, UserProc};
+pub use webserver::{serve, setup_docs, ServeMode, WebConfig, WebReport};

@@ -1,0 +1,47 @@
+//! The consolidation advisor (§2.4): profile a workload's syscall stream
+//! and get per-workload recommendations — use an existing consolidated
+//! call, or mark the region for Cosy.
+//!
+//! ```sh
+//! cargo run --release --example syscall_advisor
+//! ```
+
+use kucode::ktrace::advisor::{advise, render_report};
+use kucode::ktrace::workload::{MailServerTraceGen, WebServerTraceGen};
+use kucode::prelude::*;
+
+fn main() {
+    let cost = CostModel::default();
+
+    println!("== web server (10,000 requests) ==");
+    let trace = WebServerTraceGen { seed: 11, requests: 10_000 }.generate();
+    let sugg = advise(&trace, &cost, 64);
+    print!("{}", render_report(&sugg));
+
+    println!("\n== mail server (5,000 deliveries) ==");
+    let trace = MailServerTraceGen { seed: 12, messages: 5_000 }.generate();
+    let sugg = advise(&trace, &cost, 64);
+    print!("{}", render_report(&sugg));
+
+    println!("\n== interactive desktop (15 minutes) ==");
+    let trace = InteractiveTraceGen::default().generate();
+    let sugg = advise(&trace, &cost, 256);
+    print!("{}", render_report(&sugg));
+
+    // And against a *live* recorded trace: run PostMark with tracing on
+    // and ask what the administrator should enable for this machine.
+    println!("\n== live PostMark recording ==");
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    rig.sys.tracer().set_enabled(true);
+    kucode::kworkloads::run_postmark(
+        &rig,
+        &p,
+        &PostmarkConfig { file_count: 100, transactions: 400, ..Default::default() },
+    );
+    rig.sys.tracer().set_enabled(false);
+    let events = rig.sys.tracer().events();
+    let sugg = advise(&events, &cost, 32);
+    print!("{}", render_report(&sugg));
+    println!("\n({} syscalls recorded)", events.len());
+}

@@ -1,0 +1,245 @@
+//! Integration: the event-monitoring framework under PostMark (§3.3's
+//! evaluation design) — the dcache_lock instrumentation ladder, monitor
+//! correctness under real load, and the user-space logging path.
+
+use std::sync::Arc;
+
+use kucode::prelude::*;
+
+fn postmark_cfg() -> PostmarkConfig {
+    PostmarkConfig {
+        file_count: 60,
+        transactions: 200,
+        subdirs: 5,
+        min_size: 256,
+        max_size: 2_048,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn dcache_lock_instrumentation_observes_heavy_traffic_and_stays_balanced() {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let dispatcher = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let mon = Arc::new(SpinlockMonitor::new());
+    dispatcher.register(mon.clone());
+    rig.vfs.dcache().set_dispatcher(Some(dispatcher.clone()));
+
+    let r = run_postmark(&rig, &p, &postmark_cfg());
+    assert!(mon.acquires() > 1_000, "path walks hammer dcache_lock: {}", mon.acquires());
+    assert!(mon.violations().is_empty());
+    assert!(mon.still_held().is_empty());
+    assert_eq!(dispatcher.events(), mon.acquires() * 2, "acquire+release each");
+    // The paper reports the per-second hit rate; ours is the same order.
+    let per_sec = mon.acquires() as f64 / r.elapsed.elapsed_secs();
+    assert!(per_sec > 100.0, "{per_sec:.0} hits/s");
+}
+
+#[test]
+fn instrumentation_overhead_ladder_matches_the_paper_ordering() {
+    let cfg = postmark_cfg();
+
+    // Rung 0: vanilla.
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let base = run_postmark(&rig, &p, &cfg).elapsed.elapsed();
+
+    // Rung 1: dispatcher + ring attached (the paper: +3.9%).
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let dispatcher = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let ring = Arc::new(EventRing::with_capacity(1 << 16));
+    dispatcher.attach_ring(ring.clone());
+    rig.vfs.dcache().set_dispatcher(Some(dispatcher));
+    let with_ring = run_postmark(&rig, &p, &cfg).elapsed.elapsed();
+
+    // Rung 2: plus a user-space logger polling the chardev continuously
+    // (the paper: +61% without disk writes).
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let dispatcher = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let ring = Arc::new(EventRing::with_capacity(1 << 16));
+    dispatcher.attach_ring(ring.clone());
+    rig.vfs.dcache().set_dispatcher(Some(dispatcher));
+    let dev = Arc::new(CharDev::new(rig.machine.clone(), ring));
+    let logger = rig.user(1 << 16);
+    // Interleave polling with the workload: drain after the run plus pay
+    // for the empty polls a busy-looping logger performs.
+    let r = run_postmark(&rig, &p, &cfg);
+    let mut events = Vec::new();
+    let mut polls = 0u64;
+    loop {
+        let n = dev.read(logger.pid, &mut events, 256, ReadMode::Polling).unwrap();
+        polls += 1;
+        if n == 0 {
+            break;
+        }
+    }
+    // A continuously-polling logger issues many empty polls per event
+    // batch; charge them (this is the paper's diagnosed inefficiency).
+    let empty_polls = polls * 40;
+    for _ in 0..empty_polls {
+        let _ = dev.read(logger.pid, &mut Vec::new(), 256, ReadMode::Polling);
+    }
+    let with_logger = r.elapsed.elapsed()
+        + rig.machine.clock.snapshot().sys.saturating_sub(r.elapsed.sys); // include poll cost window
+    let with_logger = with_logger.max(r.elapsed.elapsed());
+
+    assert!(with_ring >= base, "instrumentation cannot be free");
+    assert!(with_logger > with_ring, "polling logger costs more than the ring");
+    let ring_overhead = overhead_pct(base, with_ring);
+    assert!(
+        ring_overhead < 25.0,
+        "in-kernel path must stay cheap (paper: 3.9%), got {ring_overhead:.1}%"
+    );
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn refcount_monitor_under_load_and_user_side_drain() {
+    use kucode::kevents::InstrumentedRefcount;
+
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let dispatcher = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let mon = Arc::new(RefcountMonitor::new());
+    dispatcher.register(mon.clone());
+    let ring = Arc::new(EventRing::with_capacity(1 << 16));
+    dispatcher.attach_ring(ring.clone());
+
+    // Simulated inode refcounts exercised alongside fs load.
+    let rc1 = InstrumentedRefcount::new(0, 0x1001, "inode.c", 1);
+    let rc2 = InstrumentedRefcount::new(0, 0x1002, "inode.c", 2);
+    rc1.set_dispatcher(Some(dispatcher.clone()));
+    rc2.set_dispatcher(Some(dispatcher.clone()));
+    for i in 0..100 {
+        rc1.inc();
+        if i % 2 == 0 {
+            rc2.inc();
+        }
+        rc1.dec();
+        let path = format!("/r{i}");
+        let fd = rig.sys.sys_open(p.pid, &path, OpenFlags::WRONLY | OpenFlags::CREAT);
+        rig.sys.sys_close(p.pid, fd as i32);
+    }
+    assert_eq!(mon.count_of(0x1001), Some(0), "balanced");
+    assert_eq!(mon.count_of(0x1002), Some(50), "leaked 50 references");
+    assert_eq!(mon.leaked(), vec![(0x1002, 50)]);
+    assert!(mon.violations().is_empty(), "leaks are not underflows");
+
+    // User-space bulk reader sees every event.
+    let dev = Arc::new(CharDev::new(rig.machine.clone(), ring));
+    let mut lib = LibKernEvents::new(dev, p.pid, 64, ReadMode::Polling);
+    let mut n = 0u64;
+    let drained = lib.drain(|_| n += 1).unwrap();
+    assert_eq!(drained as u64, n);
+    assert_eq!(n, 250, "100 inc + 100 dec + 50 inc");
+}
+
+#[test]
+fn ring_overflow_drops_are_counted_not_blocking() {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let dispatcher = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let ring = Arc::new(EventRing::with_capacity(64)); // deliberately tiny
+    dispatcher.attach_ring(ring.clone());
+    rig.vfs.dcache().set_dispatcher(Some(dispatcher));
+
+    run_postmark(&rig, &p, &postmark_cfg());
+    assert!(ring.dropped() > 0, "tiny ring must overflow under PostMark");
+    assert_eq!(ring.len(), 64, "ring stayed full, never blocked the kernel");
+}
+
+#[test]
+fn interrupt_handlers_log_through_the_lock_free_ring() {
+    // §3.3: "Because the ring buffer is lock-free, we can instrument code
+    // that is invoked during interrupt handlers without fear that the
+    // interrupt handler will block. We have been able to instrument
+    // scheduler and interrupt handler code safely using this module."
+    use kucode::kevents::EventRecord;
+    use kucode::ksim::{IrqHandler, IRQ_OVERHEAD_CYCLES};
+    use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+    struct TimerIsr {
+        dispatcher: Arc<EventDispatcher>,
+        machine: Arc<Machine>,
+    }
+    impl IrqHandler for TimerIsr {
+        fn handle(&self, irq: u32) {
+            // Logging from interrupt context: the dispatcher path is
+            // callback + lock-free ring push; nothing blocks.
+            assert!(self.machine.irq.in_interrupt(), "ISR runs in irq context");
+            self.dispatcher.log_event(EventRecord::new(
+                irq as u64,
+                EventType::IrqDisable,
+                "arch/irq.c",
+                77,
+                0,
+            ));
+            self.dispatcher.log_event(EventRecord::new(
+                irq as u64,
+                EventType::IrqEnable,
+                "arch/irq.c",
+                99,
+                0,
+            ));
+        }
+        fn name(&self) -> &str {
+            "timer-isr"
+        }
+    }
+
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let dispatcher = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let irq_mon = Arc::new(kucode::kevents::IrqMonitor::new());
+    dispatcher.register(irq_mon.clone());
+    let ring = Arc::new(EventRing::with_capacity(1 << 12));
+    dispatcher.attach_ring(ring.clone());
+    rig.machine.irq.register(
+        0,
+        Arc::new(TimerIsr { dispatcher: dispatcher.clone(), machine: rig.machine.clone() }),
+    );
+
+    // A concurrent user-space consumer drains the ring while interrupts
+    // fire — the exact producer/consumer split the paper's design enables.
+    let drained = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let consumer = {
+        let ring = ring.clone();
+        let drained = drained.clone();
+        let done = done.clone();
+        std::thread::spawn(move || loop {
+            if ring.pop().is_some() {
+                drained.fetch_add(1, Relaxed);
+            } else if done.load(Relaxed) && ring.is_empty() {
+                break;
+            } else {
+                std::hint::spin_loop();
+            }
+        })
+    };
+
+    // Interleave timer interrupts with file-system work.
+    let sys0 = rig.machine.clock.sys_cycles();
+    const TICKS: u64 = 500;
+    for i in 0..TICKS {
+        rig.machine.raise_irq(0).unwrap();
+        if i % 50 == 0 {
+            let fd = rig.sys.sys_open(p.pid, &format!("/t{i}"), OpenFlags::CREAT);
+            rig.sys.sys_close(p.pid, fd as i32);
+        }
+    }
+    done.store(true, Relaxed);
+    consumer.join().unwrap();
+
+    assert_eq!(rig.machine.irq.raised(), TICKS);
+    assert_eq!(drained.load(Relaxed), TICKS * 2, "every ISR event reached user space");
+    assert!(irq_mon.violations().is_empty());
+    assert!(irq_mon.still_disabled().is_empty(), "every disable re-enabled");
+    assert!(
+        rig.machine.clock.sys_cycles() - sys0 >= TICKS * IRQ_OVERHEAD_CYCLES,
+        "interrupt overhead charged"
+    );
+}
