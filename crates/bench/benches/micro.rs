@@ -234,6 +234,47 @@ fn kclang_interp(c: &mut Criterion) {
     g.finish();
 }
 
+fn kclang_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kclang_vm");
+    g.sample_size(30);
+    let src = r#"
+        int work(int n) {
+            int acc = 0;
+            int i;
+            for (i = 0; i < n; i = i + 1) { acc = acc + i * i % 97; }
+            return acc;
+        }
+    "#;
+    let prog = parse_program(src).unwrap();
+    let info = typecheck(&prog).unwrap();
+    g.bench_function("compile", |b| {
+        b.iter(|| black_box(kucode::kclang::bytecode::compile(&prog, &info).unwrap()))
+    });
+
+    let m = Arc::new(Machine::new(MachineConfig::default()));
+    let module = kucode::kclang::bytecode::compile(&prog, &info).unwrap();
+    let asid = m.mem.create_space();
+    for i in 0..8 {
+        m.mem
+            .map_anon(asid, 0x10_0000 + (i * 4096) as u64, kucode::ksim::PteFlags::rw())
+            .unwrap();
+    }
+    g.bench_function("vm_1k_iters", |b| {
+        b.iter(|| {
+            let mut vm = kucode::kclang::Vm::new(
+                &m,
+                &module,
+                ExecConfig::flat(asid),
+                0x10_0000,
+                8 * 4096,
+            )
+            .unwrap();
+            black_box(vm.run("work", &[1_000]).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn cosy_gcc_extraction(c: &mut Criterion) {
     let mut g = c.benchmark_group("cosy_gcc");
     let src = r#"
@@ -282,6 +323,7 @@ criterion_group!(
     readdirplus_wallclock,
     allocators,
     kclang_interp,
+    kclang_vm,
     cosy_gcc_extraction,
 );
 criterion_main!(benches);

@@ -38,6 +38,8 @@ mod a4;
 mod a5;
 #[path = "a6_webserver.rs"]
 mod a6;
+#[path = "a7_bytecode.rs"]
+mod a7;
 
 fn main() {
     let mut report = Report::new();
@@ -54,6 +56,7 @@ fn main() {
     a4::run(&mut report);
     a5::run(&mut report);
     a6::run(&mut report);
+    a7::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

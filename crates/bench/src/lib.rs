@@ -7,10 +7,8 @@
 
 use std::fmt::Display;
 
-use serde::Serialize;
-
 /// One measured quantity with the paper's reported counterpart.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Finding {
     pub experiment: String,
     pub metric: String,
@@ -21,7 +19,7 @@ pub struct Finding {
 }
 
 /// Collects findings for the JSON summary `all` emits.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct Report {
     pub findings: Vec<Finding>,
 }
@@ -68,7 +66,37 @@ impl Report {
     }
 
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialises")
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"experiment\": \"{}\",\n      \"metric\": \"{}\",\n      \
+                 \"paper\": \"{}\",\n      \"measured\": \"{}\",\n      \"shape_holds\": {}\n    }}",
+                esc(&f.experiment),
+                esc(&f.metric),
+                esc(&f.paper),
+                esc(&f.measured),
+                f.shape_holds
+            ));
+        }
+        out.push_str("\n  ]\n}");
+        out
     }
 
     /// True iff every finding preserved the paper's shape.

@@ -21,15 +21,17 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use kclang::bytecode::{CompileError, Module};
 use kclang::{
     parse_program, typecheck, ExecConfig, Interp, InterpError, ParseError, Program, SegMode,
-    TypeError, TypeInfo,
+    TypeError, TypeInfo, Vm,
 };
 use ksim::{Pid, PteFlags, SegKind, Segment, SimError, PAGE_SIZE};
 use ksyscall::{OpenFlags, SyscallLayer};
 use kvfs::VfsError;
 
 use crate::buffers::SharedRegion;
+use crate::cache::{CacheStats, TranslationCache};
 use crate::compound::{Compound, CosyArg, CosyCall, CosyOp, DecodeError};
 
 /// Identifier of a kernel-loaded KC program.
@@ -61,6 +63,13 @@ pub struct CosyOptions {
     /// Step budget for user functions (defence in depth under the
     /// watchdog).
     pub max_steps: Option<u64>,
+    /// Execute user functions on the bytecode VM (pre-compiled at
+    /// [`CosyExtension::load_program`]) instead of the tree-walking
+    /// interpreter. Observable behaviour is identical (the VM is
+    /// differentially tested against the interpreter); this only trades
+    /// per-node dispatch for per-op dispatch. `false` keeps the reference
+    /// tree-walk path.
+    pub use_bytecode: bool,
 }
 
 impl Default for CosyOptions {
@@ -70,6 +79,7 @@ impl Default for CosyOptions {
             watchdog_budget: Some(50_000_000), // ~29 ms of kernel time
             arena_pages: 16,
             max_steps: Some(10_000_000),
+            use_bytecode: true,
         }
     }
 }
@@ -80,6 +90,7 @@ pub enum CosyError {
     Decode(DecodeError),
     Parse(ParseError),
     Type(TypeError),
+    Compile(CompileError),
     Sim(SimError),
     Interp(InterpError),
     Vfs(VfsError),
@@ -95,6 +106,7 @@ impl std::fmt::Display for CosyError {
             CosyError::Decode(e) => write!(f, "{e}"),
             CosyError::Parse(e) => write!(f, "{e}"),
             CosyError::Type(e) => write!(f, "{e}"),
+            CosyError::Compile(e) => write!(f, "{e}"),
             CosyError::Sim(e) => write!(f, "{e}"),
             CosyError::Interp(e) => write!(f, "{e}"),
             CosyError::Vfs(e) => write!(f, "{e}"),
@@ -124,14 +136,27 @@ impl From<DecodeError> for CosyError {
 /// Cycles to decode one compound operation (the paper notes decode overhead
 /// grows with language complexity; this is the per-op constant).
 const DECODE_OP_CYCLES: u64 = 90;
+/// Cycles to hash the submission bytes and probe the translation cache.
+/// Charged on every submission; a hit charges nothing else, replacing the
+/// whole `DECODE_OP_CYCLES * len` translation cost.
+const CACHE_PROBE_CYCLES: u64 = 30;
 /// In-kernel data movement between the page cache and the shared buffer,
 /// per 16-byte block (no access_ok setup, no double copy).
 const KCOPY_BLOCK16_CYCLES: u64 = 16;
 
+/// A kernel-loaded program: source-level forms for the reference
+/// interpreter, plus the bytecode module compiled once at load time.
+struct LoadedProgram {
+    prog: Program,
+    info: TypeInfo,
+    module: Arc<Module>,
+}
+
 /// The kernel extension.
 pub struct CosyExtension {
     sys: Arc<SyscallLayer>,
-    programs: RwLock<Vec<(Program, TypeInfo)>>,
+    programs: RwLock<Vec<LoadedProgram>>,
+    cache: TranslationCache,
     arena_cursor: AtomicU64,
 }
 
@@ -140,6 +165,7 @@ impl CosyExtension {
         CosyExtension {
             sys,
             programs: RwLock::new(Vec::new()),
+            cache: TranslationCache::new(),
             arena_cursor: AtomicU64::new(0xffff_f000_0000_0000),
         }
     }
@@ -148,13 +174,28 @@ impl CosyExtension {
         &self.sys
     }
 
+    /// Translation-cache hit/miss/entry counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached translations (e.g. under memory pressure). Counters
+    /// keep accumulating; subsequent submissions decode from scratch.
+    pub fn clear_translation_cache(&self) {
+        self.cache.clear();
+    }
+
     /// Load a KC program into the kernel (parse + typecheck happen here:
-    /// code that does not compile is never executed).
+    /// code that does not compile is never executed). The bytecode module
+    /// is compiled once, up front — submissions execute the pre-compiled
+    /// form.
     pub fn load_program(&self, src: &str) -> Result<ProgramId, CosyError> {
         let prog = parse_program(src).map_err(CosyError::Parse)?;
         let info = typecheck(&prog).map_err(CosyError::Type)?;
+        let module =
+            Arc::new(kclang::bytecode::compile(&prog, &info).map_err(CosyError::Compile)?);
         let mut programs = self.programs.write();
-        programs.push((prog, info));
+        programs.push(LoadedProgram { prog, info, module });
         Ok(ProgramId(programs.len() as u32 - 1))
     }
 
@@ -194,9 +235,23 @@ impl CosyExtension {
         // Decode directly from the shared compound buffer: zero copies.
         let mut bytes = vec![0u8; compound_buf.len()];
         compound_buf.kern_read(0, &mut bytes)?;
-        let compound = Compound::decode(&bytes)?;
-        compound.validate()?;
-        machine.charge_sys(DECODE_OP_CYCLES * compound.len() as u64);
+
+        // Translation cache: identical submission bytes have already been
+        // decoded and validated — reuse that work. Only a compound that
+        // survives both steps is inserted, so a cached entry is always a
+        // well-formed compound. Execution-time checks (buffer ranges,
+        // watchdog) still run below on every submission.
+        machine.charge_sys(CACHE_PROBE_CYCLES);
+        let cached = match self.cache.lookup(&bytes) {
+            Some(entry) => entry,
+            None => {
+                let compound = Compound::decode(&bytes)?;
+                compound.validate()?;
+                machine.charge_sys(DECODE_OP_CYCLES * compound.len() as u64);
+                self.cache.insert(bytes, compound)
+            }
+        };
+        let compound = cached.compound();
 
         let mut results: Vec<i64> = Vec::with_capacity(compound.len());
         for (i, op) in compound.ops.iter().enumerate() {
@@ -398,7 +453,7 @@ impl CosyExtension {
     ) -> Result<i64, CosyError> {
         let machine = self.sys.machine().clone();
         let programs = self.programs.read();
-        let (prog, info) = programs
+        let loaded = programs
             .get(prog_id as usize)
             .ok_or(CosyError::BadProgram(prog_id))?;
 
@@ -444,18 +499,33 @@ impl CosyExtension {
         cfg.max_steps = opts.max_steps;
 
         let run_result = (|| {
-            let mut interp =
-                Interp::new(&machine, prog, info, cfg, arena, pages * PAGE_SIZE)
-                    .map_err(CosyError::Interp)?;
             let host = crate::hosts::KernelHost { sys: self.sys.clone(), pid };
-            interp.set_host(&host);
             let m2 = machine.clone();
             let ticker = move |_steps: u64| {
                 m2.preempt_tick(pid)
                     .map_err(|e| InterpError::Killed(e.to_string()))
             };
-            interp.set_ticker(&ticker);
-            interp.run(func, args).map_err(CosyError::Interp)
+            if opts.use_bytecode {
+                let mut vm =
+                    Vm::new(&machine, &loaded.module, cfg, arena, pages * PAGE_SIZE)
+                        .map_err(CosyError::Interp)?;
+                vm.set_host(&host);
+                vm.set_ticker(&ticker);
+                vm.run(func, args).map_err(CosyError::Interp)
+            } else {
+                let mut interp = Interp::new(
+                    &machine,
+                    &loaded.prog,
+                    &loaded.info,
+                    cfg,
+                    arena,
+                    pages * PAGE_SIZE,
+                )
+                .map_err(CosyError::Interp)?;
+                interp.set_host(&host);
+                interp.set_ticker(&ticker);
+                interp.run(func, args).map_err(CosyError::Interp)
+            }
         })();
 
         machine.charge_sys(entry_cost); // mode A: far return
@@ -745,6 +815,185 @@ mod tests {
             Err(CosyError::Type(_))
         ));
     }
+
+    #[test]
+    fn translation_cache_skips_decode_on_repeat_submissions() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        let mut b = CompoundBuilder::new(&cb, &db);
+        for _ in 0..4 {
+            b.syscall(CosyCall::Getpid, vec![]);
+        }
+        b.finish().unwrap();
+
+        let submit = || {
+            let s0 = m.clock.sys_cycles();
+            let r = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+            (r, m.clock.sys_cycles() - s0)
+        };
+        let (r1, cost1) = submit();
+        assert_eq!(ext.cache_stats().hits, 0);
+        assert_eq!(ext.cache_stats().misses, 1);
+
+        let (r2, cost2) = submit();
+        let (r3, cost3) = submit();
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+        let stats = ext.cache_stats();
+        assert_eq!(stats.hits, 2, "repeat submissions must hit");
+        assert_eq!(stats.misses, 1, "only the first submission decodes");
+        assert_eq!(stats.entries, 1);
+        // A hit replaces the per-op decode charge with the probe constant
+        // (the first submission additionally pays cold-TLB translation, so
+        // the saving is at least the decode cost).
+        assert!(
+            cost1 - cost2 >= DECODE_OP_CYCLES * 4,
+            "cost1={cost1} cost2={cost2}"
+        );
+        // Steady state: identical hits charge identical cycles.
+        assert_eq!(cost2, cost3);
+    }
+
+    #[test]
+    fn different_compounds_do_not_alias_in_the_cache() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+
+        let build = |n: i64| {
+            let mut b = CompoundBuilder::new(&cb, &db);
+            b.syscall(
+                CosyCall::Lseek,
+                vec![
+                    CompoundBuilder::lit(n),
+                    CompoundBuilder::lit(0),
+                    CompoundBuilder::lit(0),
+                ],
+            );
+            b.finish().unwrap();
+        };
+
+        build(1);
+        let r1 = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        build(2);
+        let r2 = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        // Both lseeks fail (bad fd) but on *their own* fd argument — the
+        // second submission must not be served the first's compound.
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1);
+        let stats = ext.cache_stats();
+        assert_eq!(stats.misses, 2, "different bytes are different entries");
+        assert_eq!(stats.hits, 0);
+        // Resubmitting the first bytes again hits its own entry.
+        build(1);
+        let r1b = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        assert_eq!(r1, r1b);
+        assert_eq!(ext.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_submission_matches_fresh_decode_with_user_functions() {
+        let src = r#"
+            int sum_squares(int n) {
+                int i;
+                int acc = 0;
+                for (i = 1; i <= n; i = i + 1) { acc = acc + i * i; }
+                return acc;
+            }
+        "#;
+        let build = |ext: &CosyExtension, cb: &SharedRegion, db: &SharedRegion| {
+            ext.load_program(src).unwrap();
+            let mut b = CompoundBuilder::new(cb, db);
+            b.syscall(CosyCall::Getpid, vec![]);
+            b.call_user(0, "sum_squares", vec![CompoundBuilder::lit(10)]);
+            b.finish().unwrap();
+        };
+
+        // Warm extension: second submission executes from the cache.
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        build(&ext, &cb, &db);
+        let fresh = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        let cached = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+        assert_eq!(ext.cache_stats().hits, 1);
+        assert_eq!(fresh, cached);
+
+        // Cold extension on an identical machine decodes from scratch and
+        // agrees with the cache-served execution.
+        let (m2, _sys2, ext2, pid2) = setup();
+        let (cb2, db2) = regions(&m2, pid2);
+        build(&ext2, &cb2, &db2);
+        let cold = ext2.submit(pid2, &cb2, &db2, &CosyOptions::default()).unwrap();
+        assert_eq!(cold, cached);
+        assert_eq!(cached[1], 385);
+    }
+
+    #[test]
+    fn bytecode_and_treewalk_user_functions_agree_exactly() {
+        // Twin machines: the same submission on each, differing only in the
+        // execution tier, must return the same results and charge
+        // bit-identical cycles (the simulated cost model counts steps and
+        // memory behaviour, not host time).
+        let run = |use_bytecode: bool| {
+            let (m, _sys, ext, pid) = setup();
+            let (cb, db) = regions(&m, pid);
+            ext.load_program(
+                r#"
+                int work(int n) {
+                    int a[8];
+                    int i;
+                    int acc = 0;
+                    for (i = 0; i < 8; i = i + 1) { a[i] = i * n; }
+                    int *p = malloc(32);
+                    p[0] = a[7];
+                    acc = p[0] + a[3];
+                    free(p);
+                    return acc;
+                }
+                "#,
+            )
+            .unwrap();
+            let mut b = CompoundBuilder::new(&cb, &db);
+            b.call_user(0, "work", vec![CompoundBuilder::lit(5)]);
+            b.finish().unwrap();
+            let opts = CosyOptions { use_bytecode, ..CosyOptions::default() };
+            let s0 = m.clock.sys_cycles();
+            let r = ext.submit(pid, &cb, &db, &opts).unwrap();
+            (r, m.clock.sys_cycles() - s0)
+        };
+        let (r_tw, cost_tw) = run(false);
+        let (r_vm, cost_vm) = run(true);
+        assert_eq!(r_tw, r_vm);
+        assert_eq!(r_vm, vec![50]);
+        assert_eq!(cost_tw, cost_vm, "tiers must charge identical cycles");
+    }
+
+    #[test]
+    fn isolation_still_contains_escapes_on_the_bytecode_tier() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        ext.load_program(
+            r#"
+            int poke() {
+                int *p = 99999999999;
+                *p = 7;
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        for mode in [IsolationMode::A, IsolationMode::B] {
+            let mut b = CompoundBuilder::new(&cb, &db);
+            b.call_user(0, "poke", vec![]);
+            b.finish().unwrap();
+            let opts = CosyOptions { isolation: mode, ..CosyOptions::default() };
+            assert!(opts.use_bytecode);
+            let err = ext.submit(pid, &cb, &db, &opts).unwrap_err();
+            assert!(
+                matches!(err, CosyError::Interp(InterpError::Segment { .. })),
+                "{mode:?} must contain the escape on the VM, got {err:?}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -859,6 +1108,68 @@ mod equivalence_proptests {
 
             prop_assert_eq!(&results, &direct_results);
             prop_assert_eq!(sys_c.k_stat("/f").unwrap().size, direct_size);
+        }
+
+        /// A cache-hit execution must be indistinguishable from a fresh
+        /// decode+validate of the same bytes against the same machine
+        /// state. Twin machines submit the same compound twice; one clears
+        /// the translation cache in between (forcing a re-decode), the
+        /// other hits. Results and file state must match exactly.
+        #[test]
+        fn cached_submission_equals_fresh_decode(ops in proptest::collection::vec(arb_op(), 1..16)) {
+            let run_twice = |clear_between: bool| {
+                let (m, sys, ext, pid) = setup();
+                let cb = SharedRegion::new(m.clone(), pid, 2, 0).unwrap();
+                let db = SharedRegion::new(m.clone(), pid, 4, 1).unwrap();
+                let fd = sys.k_open(pid, "/f", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+                let mut b = CompoundBuilder::new(&cb, &db);
+                let data = b.stage_bytes(&[0xABu8; 64]).unwrap();
+                let CosyArg::BufRef { offset: data_off, .. } = data else { unreachable!() };
+                for op in &ops {
+                    match op {
+                        FileOp::Write(n) => {
+                            b.syscall(CosyCall::Write, vec![
+                                CompoundBuilder::lit(fd as i64),
+                                CosyArg::BufRef { offset: data_off, len: *n as u32 },
+                                CompoundBuilder::lit(*n as i64),
+                            ]);
+                        }
+                        FileOp::SeekSet(off) => {
+                            b.syscall(CosyCall::Lseek, vec![
+                                CompoundBuilder::lit(fd as i64),
+                                CompoundBuilder::lit(*off as i64),
+                                CompoundBuilder::lit(0),
+                            ]);
+                        }
+                        FileOp::Read(n) => {
+                            let buf = b.alloc_buf(*n as u32).unwrap();
+                            b.syscall(CosyCall::Read, vec![
+                                CompoundBuilder::lit(fd as i64),
+                                buf,
+                                CompoundBuilder::lit(*n as i64),
+                            ]);
+                        }
+                    }
+                }
+                b.finish().unwrap();
+                let r1 = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+                if clear_between {
+                    ext.clear_translation_cache();
+                }
+                let r2 = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap();
+                let stats = ext.cache_stats();
+                (r1, r2, sys.k_stat("/f").unwrap().size, stats)
+            };
+
+            let (h1, h2, h_size, h_stats) = run_twice(false); // second submit hits
+            let (f1, f2, f_size, f_stats) = run_twice(true);  // second submit re-decodes
+            prop_assert_eq!(h_stats.hits, 1);
+            prop_assert_eq!(h_stats.misses, 1);
+            prop_assert_eq!(f_stats.hits, 0);
+            prop_assert_eq!(f_stats.misses, 2);
+            prop_assert_eq!(h1, f1);
+            prop_assert_eq!(h2, f2, "cache hit diverged from fresh decode");
+            prop_assert_eq!(h_size, f_size);
         }
     }
 }

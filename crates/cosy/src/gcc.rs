@@ -160,14 +160,14 @@ pub fn extract_compound(prog: &Program, func: &str) -> Result<ExtractedRegion, C
     // globals.
     let mut var_types: HashMap<String, Type> = HashMap::new();
     for g in &prog.globals {
-        var_types.insert(g.name.clone(), g.ty.clone());
+        var_types.insert(g.name.to_string(), g.ty.clone());
     }
     for (n, t) in &f.params {
-        var_types.insert(n.clone(), t.clone());
+        var_types.insert(n.to_string(), t.clone());
     }
     for s in &f.body.stmts {
         if let Stmt::Decl(d) = s {
-            var_types.insert(d.name.clone(), d.ty.clone());
+            var_types.insert(d.name.to_string(), d.ty.clone());
         }
     }
 
@@ -179,7 +179,7 @@ pub fn extract_compound(prog: &Program, func: &str) -> Result<ExtractedRegion, C
         let (target, call_expr) = match stmt {
             Stmt::Expr(e) => match &e.kind {
                 ExprKind::Assign(lhs, rhs) => match (&lhs.kind, &rhs.kind) {
-                    (ExprKind::Var(v), ExprKind::Call(_, _)) => (Some(v.clone()), rhs.as_ref()),
+                    (ExprKind::Var(v), ExprKind::Call(_, _)) => (Some(v.to_string()), rhs.as_ref()),
                     _ => {
                         return Err(CosyGccError::Unsupported {
                             loc: e.loc,
@@ -197,7 +197,7 @@ pub fn extract_compound(prog: &Program, func: &str) -> Result<ExtractedRegion, C
             },
             Stmt::Decl(d) => match &d.init {
                 Some(init) if matches!(init.kind, ExprKind::Call(_, _)) => {
-                    (Some(d.name.clone()), init)
+                    (Some(d.name.to_string()), init)
                 }
                 _ => {
                     return Err(CosyGccError::Unsupported {
@@ -230,7 +230,7 @@ pub fn extract_compound(prog: &Program, func: &str) -> Result<ExtractedRegion, C
             out.ops.push(TemplateOp::Syscall { call, args: targs, result_var: target.clone() });
         } else if prog.func(name).is_some() {
             out.ops.push(TemplateOp::CallUser {
-                func: name.clone(),
+                func: name.to_string(),
                 args: targs,
                 result_var: target.clone(),
             });
@@ -290,26 +290,27 @@ fn encode_arg(
             _ => Err(CosyGccError::BadArg { loc: e.loc, what: "non-constant negation".into() }),
         },
         ExprKind::Var(name) => {
-            if bound.contains(name) {
+            let name: &str = name;
+            if bound.iter().any(|b| b == name) {
                 // Output of an earlier op: the dependency resolution.
-                return Ok(TemplateArg::ResultVar(name.clone()));
+                return Ok(TemplateArg::ResultVar(name.to_string()));
             }
             let ty = var_types
                 .get(name)
-                .ok_or_else(|| CosyGccError::UnknownVar(name.clone()))?;
+                .ok_or_else(|| CosyGccError::UnknownVar(name.to_string()))?;
             match ty {
                 Type::Array(_, _) => {
                     let len = ty.size() as u32;
                     if !out.buffers.iter().any(|(n, _)| n == name) {
-                        out.buffers.push((name.clone(), len));
+                        out.buffers.push((name.to_string(), len));
                     }
-                    Ok(TemplateArg::Buf { var: name.clone(), len })
+                    Ok(TemplateArg::Buf { var: name.to_string(), len })
                 }
                 _ => {
-                    if !out.captures.contains(name) {
-                        out.captures.push(name.clone());
+                    if !out.captures.iter().any(|c| c == name) {
+                        out.captures.push(name.to_string());
                     }
-                    Ok(TemplateArg::Capture(name.clone()))
+                    Ok(TemplateArg::Capture(name.to_string()))
                 }
             }
         }

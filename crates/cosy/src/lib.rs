@@ -27,6 +27,7 @@
 
 pub mod buffers;
 pub mod builder;
+pub mod cache;
 pub mod compound;
 pub mod exec;
 pub mod gcc;
@@ -34,6 +35,7 @@ pub mod hosts;
 
 pub use buffers::SharedRegion;
 pub use builder::CompoundBuilder;
+pub use cache::{CacheStats, TranslationCache};
 pub use compound::{Compound, CosyArg, CosyCall, CosyOp};
 pub use exec::{CosyError, CosyExtension, CosyOptions, IsolationMode, ProgramId};
 pub use gcc::{extract_compound, CosyGccError, ExtractedRegion};

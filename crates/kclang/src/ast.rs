@@ -6,6 +6,7 @@
 //! keys the type table produced by [`crate::types::typecheck`].
 
 pub use crate::lexer::Loc as SourceLoc;
+pub use crate::sym::Sym;
 
 /// KC types.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,7 +105,7 @@ pub enum ExprKind {
     /// A string literal; evaluates to the address of a NUL-terminated
     /// byte array in the execution arena.
     StrLit(String),
-    Var(String),
+    Var(Sym),
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// `target = value`; evaluates to `value`.
@@ -112,13 +113,13 @@ pub enum ExprKind {
     /// `base[index]`.
     Index(Box<Expr>, Box<Expr>),
     /// Function or intrinsic call.
-    Call(String, Vec<Expr>),
+    Call(Sym, Vec<Expr>),
 }
 
 /// A variable declaration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decl {
-    pub name: String,
+    pub name: Sym,
     pub ty: Type,
     pub init: Option<Expr>,
     pub loc: SourceLoc,
@@ -171,8 +172,8 @@ pub struct Block {
 /// A function definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Func {
-    pub name: String,
-    pub params: Vec<(String, Type)>,
+    pub name: Sym,
+    pub params: Vec<(Sym, Type)>,
     pub ret: Type,
     pub body: Block,
     pub loc: SourceLoc,

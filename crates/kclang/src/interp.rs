@@ -138,6 +138,10 @@ pub struct MemCtx<'a> {
 }
 
 impl<'a> MemCtx<'a> {
+    pub(crate) fn new(machine: &'a Machine, asid: AsId, seg: SegMode) -> MemCtx<'a> {
+        MemCtx { machine, asid, seg }
+    }
+
     fn seg_check(&self, addr: u64, len: usize) -> Result<(), InterpError> {
         if let SegMode::Segmented(sel) = self.seg {
             let seg = self.machine.segs.get(sel)?;
@@ -225,8 +229,8 @@ pub struct Interp<'a> {
     data_ptr: u64,
     heap_ptr: u64,
     stack_ptr: u64,
-    globals: HashMap<String, Binding>,
-    scopes: Vec<HashMap<String, Binding>>,
+    globals: HashMap<Sym, Binding>,
+    scopes: Vec<HashMap<Sym, Binding>>,
     strings: HashMap<u32, u64>,
     heap_live: HashMap<u64, usize>,
     depth: u32,
@@ -317,7 +321,7 @@ impl<'a> Interp<'a> {
         for g in &self.prog.globals {
             let addr = self.alloc_data(g.ty.size())?;
             self.hook.on_alloc(addr, g.ty.size(), false);
-            self.globals.insert(g.name.clone(), Binding { addr, ty: g.ty.clone() });
+            self.globals.insert(g.name, Binding { addr, ty: g.ty.clone() });
             if let Some(init) = &g.init {
                 let v = self.eval(init)?;
                 self.store_scalar(addr, &g.ty, v, init.id)?;
@@ -449,7 +453,7 @@ impl<'a> Interp<'a> {
             for ((pname, pty), &v) in func.params.iter().zip(args) {
                 let addr = self.alloc_stack(pty.size())?;
                 self.hook.on_alloc(addr, pty.size(), false);
-                self.declare_local(pname, pty.clone(), addr);
+                self.declare_local(*pname, pty.clone(), addr);
                 self.store_scalar(addr, pty, v, u32::MAX)?;
             }
             match self.exec_block_inner(&func.body)? {
@@ -482,21 +486,21 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn declare_local(&mut self, name: &str, ty: Type, addr: u64) {
+    fn declare_local(&mut self, name: Sym, ty: Type, addr: u64) {
         self.scopes
             .last_mut()
             .expect("active scope")
-            .insert(name.to_string(), Binding { addr, ty });
+            .insert(name, Binding { addr, ty });
     }
 
-    fn lookup(&self, name: &str) -> Result<Binding, InterpError> {
+    fn lookup(&self, name: Sym) -> Result<Binding, InterpError> {
         for s in self.scopes.iter().rev() {
-            if let Some(b) = s.get(name) {
+            if let Some(b) = s.get(&name) {
                 return Ok(b.clone());
             }
         }
         self.globals
-            .get(name)
+            .get(&name)
             .cloned()
             .ok_or_else(|| InterpError::UndefinedVar(name.to_string()))
     }
@@ -538,7 +542,7 @@ impl<'a> Interp<'a> {
             Stmt::Decl(d) => {
                 let addr = self.alloc_stack(d.ty.size())?;
                 self.hook.on_alloc(addr, d.ty.size(), false);
-                self.declare_local(&d.name, d.ty.clone(), addr);
+                self.declare_local(d.name, d.ty.clone(), addr);
                 if let Some(init) = &d.init {
                     let v = self.eval(init)?;
                     self.store_scalar(addr, &d.ty, v, init.id)?;
@@ -611,7 +615,7 @@ impl<'a> Interp<'a> {
     fn eval_lvalue(&mut self, e: &Expr) -> Result<(u64, Type), InterpError> {
         match &e.kind {
             ExprKind::Var(name) => {
-                let b = self.lookup(name)?;
+                let b = self.lookup(*name)?;
                 Ok((b.addr, b.ty))
             }
             ExprKind::Unary(UnOp::Deref, inner) => {
@@ -661,7 +665,7 @@ impl<'a> Interp<'a> {
                 Ok(addr as i64)
             }
             ExprKind::Var(name) => {
-                let b = self.lookup(name)?;
+                let b = self.lookup(*name)?;
                 match b.ty {
                     // Arrays decay to their base address (no load, no check).
                     Type::Array(_, _) => Ok(b.addr as i64),

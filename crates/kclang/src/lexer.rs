@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::sym::Sym;
+
 /// A position in the source text (1-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Loc {
@@ -22,7 +24,7 @@ pub enum TokenKind {
     Int(i64),
     CharLit(u8),
     Str(String),
-    Ident(String),
+    Ident(Sym),
     // keywords
     KwInt,
     KwChar,
@@ -164,7 +166,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     "continue" => TokenKind::KwContinue,
                     "COSY_START" => TokenKind::KwCosyStart,
                     "COSY_END" => TokenKind::KwCosyEnd,
-                    _ => TokenKind::Ident(word.to_string()),
+                    _ => TokenKind::Ident(Sym::intern(word)),
                 };
                 toks.push(Token { kind, loc });
             }

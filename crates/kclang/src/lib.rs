@@ -36,18 +36,24 @@
 //! ```
 
 pub mod ast;
+pub mod bytecode;
 pub mod hooks;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod sym;
 pub mod types;
+pub mod vm;
 
 pub use ast::{
     BinOp, Block, Decl, Expr, ExprKind, Func, Program, SourceLoc, Stmt, Type, UnOp,
 };
+pub use bytecode::{compile_with_filter, CompileError, Module};
+pub use sym::Sym;
 pub use hooks::{CheckViolation, MemHook, ViolationKind};
 pub use interp::{ExecConfig, ExecOutcome, Interp, InterpError, MemCtx, SegMode, SyscallHost};
+pub use vm::Vm;
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse_program, ParseError};
 pub use pretty::{ast_eq, pretty_program};

@@ -118,7 +118,7 @@ impl Parser {
     }
 
     /// Parse `*`s, the identifier, and trailing `[n]`s.
-    fn declarator(&mut self, mut ty: Type) -> Result<(String, Type), ParseError> {
+    fn declarator(&mut self, mut ty: Type) -> Result<(Sym, Type), ParseError> {
         while self.peek() == &TokenKind::Star {
             self.bump();
             ty = Type::Ptr(Box::new(ty));
@@ -145,7 +145,7 @@ impl Parser {
         Ok((name, ty))
     }
 
-    fn func_def(&mut self, name: String, ret: Type, loc: Loc) -> Result<Func, ParseError> {
+    fn func_def(&mut self, name: Sym, ret: Type, loc: Loc) -> Result<Func, ParseError> {
         self.expect(&TokenKind::LParen, "'('")?;
         let mut params = Vec::new();
         if self.peek() != &TokenKind::RParen {
@@ -402,7 +402,7 @@ impl Parser {
                 TokenKind::LParen => {
                     let loc = self.loc();
                     let name = match &e.kind {
-                        ExprKind::Var(n) => n.clone(),
+                        ExprKind::Var(n) => *n,
                         _ => {
                             return Err(ParseError {
                                 loc,
@@ -495,7 +495,7 @@ mod tests {
         assert_eq!(p.funcs.len(), 1);
         let f = &p.funcs[0];
         assert_eq!(f.name, "fib");
-        assert_eq!(f.params, vec![("n".to_string(), Type::Int)]);
+        assert_eq!(f.params, vec![("n".into(), Type::Int)]);
         assert_eq!(f.ret, Type::Int);
         assert_eq!(f.body.stmts.len(), 2);
     }

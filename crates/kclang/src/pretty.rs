@@ -178,7 +178,7 @@ pub fn expr(e: &Expr) -> String {
             q.push('"');
             q
         }
-        ExprKind::Var(n) => n.clone(),
+        ExprKind::Var(n) => n.to_string(),
         ExprKind::Unary(op, inner) => {
             let sym = match op {
                 UnOp::Neg => "-",

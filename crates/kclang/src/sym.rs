@@ -1,0 +1,162 @@
+//! Interned identifiers.
+//!
+//! Every identifier the lexer produces is interned into a process-global
+//! table and carried through the AST, type tables, and interpreter scopes
+//! as a copyable [`Sym`] (a `u32` id). This removes the per-node `String`
+//! clone and string-hashing cost from the interpreter's hot variable-lookup
+//! path; scope maps hash a single word instead.
+//!
+//! The table leaks its strings deliberately: symbols must stay valid for
+//! the life of the process because ASTs, check plans, and cached bytecode
+//! modules all hold `Sym`s with no back-reference to a specific program.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner { by_name: HashMap::new(), names: Vec::new() })
+    })
+}
+
+/// An interned identifier: copyable, word-sized, O(1) equality and hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Intern `name`, returning its stable symbol.
+    pub fn intern(name: &str) -> Sym {
+        if let Some(&id) = table().read().by_name.get(name) {
+            return Sym(id);
+        }
+        let mut t = table().write();
+        if let Some(&id) = t.by_name.get(name) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(t.names.len()).expect("interner overflow");
+        t.names.push(leaked);
+        t.by_name.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The identifier's text.
+    pub fn as_str(self) -> &'static str {
+        table().read().names[self.0 as usize]
+    }
+
+    /// The raw table index (dense, assigned in interning order).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Deref for Sym {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Sym> for str {
+    fn eq(&self, other: &Sym) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_deduplicated() {
+        let a = Sym::intern("alpha_test_sym");
+        let b = Sym::intern("alpha_test_sym");
+        let c = Sym::intern("beta_test_sym");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "alpha_test_sym");
+        assert_eq!(a, "alpha_test_sym");
+        assert_eq!("beta_test_sym", c);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let s: Sym = "gamma_test_sym".into();
+        assert_eq!(s.to_string(), "gamma_test_sym");
+        assert_eq!(format!("{s:?}"), "\"gamma_test_sym\"");
+        let owned: Sym = String::from("gamma_test_sym").into();
+        assert_eq!(s, owned);
+        // Deref gives str methods directly.
+        assert!(s.starts_with("gamma"));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..64).map(|j| Sym::intern(&format!("t{}_{}", i % 2, j))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(all[0], all[2], "same names intern to same syms across threads");
+    }
+}

@@ -58,7 +58,7 @@ impl TypeInfo {
 struct Checker<'p> {
     prog: &'p Program,
     info: TypeInfo,
-    scopes: Vec<HashMap<String, Type>>,
+    scopes: Vec<HashMap<Sym, Type>>,
     loop_depth: u32,
 }
 
@@ -98,12 +98,12 @@ pub fn typecheck(prog: &Program) -> Result<TypeInfo, TypeError> {
         if let Some(init) = &g.init {
             c.expr(init)?;
         }
-        c.declare(&g.name, g.ty.clone(), g.loc)?;
+        c.declare(g.name, g.ty.clone(), g.loc)?;
     }
     for f in &prog.funcs {
         c.scopes.push(HashMap::new());
         for (name, ty) in &f.params {
-            c.declare(name, ty.clone(), f.loc)?;
+            c.declare(*name, ty.clone(), f.loc)?;
         }
         c.block(&f.body)?;
         c.scopes.pop();
@@ -112,17 +112,17 @@ pub fn typecheck(prog: &Program) -> Result<TypeInfo, TypeError> {
 }
 
 impl<'p> Checker<'p> {
-    fn declare(&mut self, name: &str, ty: Type, loc: SourceLoc) -> Result<(), TypeError> {
+    fn declare(&mut self, name: Sym, ty: Type, loc: SourceLoc) -> Result<(), TypeError> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
-        if scope.contains_key(name) {
+        if scope.contains_key(&name) {
             return Err(TypeError { loc, msg: format!("redeclaration of '{name}'") });
         }
-        scope.insert(name.to_string(), ty);
+        scope.insert(name, ty);
         Ok(())
     }
 
-    fn lookup(&self, name: &str) -> Option<&Type> {
-        self.scopes.iter().rev().find_map(|s| s.get(name))
+    fn lookup(&self, name: Sym) -> Option<&Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(&name))
     }
 
     fn block(&mut self, b: &Block) -> Result<(), TypeError> {
@@ -154,7 +154,7 @@ impl<'p> Checker<'p> {
                         });
                     }
                 }
-                self.declare(&d.name, d.ty.clone(), d.loc)
+                self.declare(d.name, d.ty.clone(), d.loc)
             }
             Stmt::Expr(e) => self.expr(e).map(|_| ()),
             Stmt::If { cond, then, els, .. } => {
@@ -207,7 +207,7 @@ impl<'p> Checker<'p> {
             ExprKind::CharLit(_) => Type::Char,
             ExprKind::StrLit(_) => Type::Ptr(Box::new(Type::Char)),
             ExprKind::Var(name) => self
-                .lookup(name)
+                .lookup(*name)
                 .cloned()
                 .ok_or_else(|| TypeError {
                     loc: e.loc,

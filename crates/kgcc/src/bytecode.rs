@@ -1,0 +1,334 @@
+//! KGCC on the bytecode tier.
+//!
+//! With the tree-walking interpreter, check elimination is a *runtime*
+//! decision: the hook is called at every site and consults the plan before
+//! doing work. On the bytecode tier the plan is applied at **compile
+//! time** — [`compile_planned`] emits hook calls only at enabled sites, so
+//! a disabled check costs literally nothing per execution.
+//!
+//! Dynamic deinstrumentation (§3.5) follows the same shift. The paper
+//! describes removing a check from compiled code once its confidence
+//! threshold is reached ("replacing the call instruction with a no-op").
+//! [`apply_deinstrumentation`] does exactly that to a [`Module`]: every op
+//! whose site the [`Deinstrument`] policy has disabled is patched in place
+//! to its unchecked form. Until a module is (re)patched, the hook still
+//! consults the policy per call, so behaviour is correct either way —
+//! patching just removes the residual call overhead.
+
+use kclang::bytecode::{compile_with_filter, CompileError, Module};
+use kclang::{Program, TypeInfo};
+
+use crate::deinstrument::Deinstrument;
+use crate::plan::CheckPlan;
+
+/// Compile `prog` with checks emitted only at sites `plan` enables.
+/// Running the result under a [`crate::KgccHook`] built from the same plan
+/// is observably equivalent to the instrumented interpreter, except that
+/// plan-disabled sites no longer bump the hook's `checks_skipped` counter
+/// (there is no call to skip).
+pub fn compile_planned(
+    prog: &Program,
+    info: &TypeInfo,
+    plan: &CheckPlan,
+) -> Result<Module, CompileError> {
+    compile_with_filter(prog, info, &|site| plan.is_enabled(site))
+}
+
+/// Patch `module` in place: disarm every check op whose site `policy` has
+/// deinstrumented. Returns the number of ops patched. Call this after
+/// enough clean executions have accumulated (e.g. between compound
+/// submissions in Cosy); it is idempotent and monotonic.
+pub fn apply_deinstrumentation(module: &mut Module, policy: &Deinstrument) -> usize {
+    module.patch_sites(&|site| policy.is_disabled(site))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{KgccConfig, KgccHook};
+    use kclang::{
+        parse_program, typecheck, ExecConfig, InterpError, Vm, ViolationKind,
+    };
+    use ksim::{Machine, MachineConfig, PteFlags, PAGE_SIZE};
+    use std::sync::Arc;
+
+    const ARENA: u64 = 0x200_0000;
+    const PAGES: usize = 32;
+
+    fn machine() -> Arc<Machine> {
+        Arc::new(Machine::new(MachineConfig::small_free()))
+    }
+
+    fn arena(m: &Machine) -> ksim::AsId {
+        let asid = m.mem.create_space();
+        for i in 0..PAGES {
+            m.mem.map_anon(asid, ARENA + (i * PAGE_SIZE) as u64, PteFlags::rw()).unwrap();
+        }
+        asid
+    }
+
+    /// Compile with `plan`, run on the VM under a KgccHook with the same
+    /// plan, return (result, report).
+    fn run_planned(
+        m: &Arc<Machine>,
+        src: &str,
+        func: &str,
+        args: &[i64],
+        optimized: bool,
+        deinstrument: Option<Deinstrument>,
+    ) -> (Result<i64, InterpError>, crate::hook::KgccReport) {
+        let prog = parse_program(src).unwrap();
+        let info = typecheck(&prog).unwrap();
+        let plan = if optimized {
+            CheckPlan::optimized(&prog, &info)
+        } else {
+            CheckPlan::all_enabled(&prog, &info)
+        };
+        let module = compile_planned(&prog, &info, &plan).unwrap();
+        let hook = KgccHook::new(
+            m.clone(),
+            KgccConfig { charge_sys: false, plan, deinstrument },
+        );
+        let asid = arena(m);
+        let mut vm =
+            Vm::new(m, &module, ExecConfig::flat(asid), ARENA, PAGES * PAGE_SIZE).unwrap();
+        vm.set_hook(hook.as_ref());
+        let r = vm.run(func, args).map(|o| o.ret);
+        (r, hook.report())
+    }
+
+    #[test]
+    fn instrumented_vm_matches_uninstrumented_results() {
+        let m = machine();
+        let src = r#"
+            int f(int n) {
+                int a[8];
+                int i;
+                int acc = 0;
+                for (i = 0; i < 8; i = i + 1) { a[i] = i * n; }
+                int *p = &a[0];
+                for (i = 0; i < 8; i = i + 1) { acc = acc + *(p + i); }
+                return acc;
+            }
+        "#;
+        // Uninstrumented: plain full compile, no hook.
+        let prog = parse_program(src).unwrap();
+        let info = typecheck(&prog).unwrap();
+        let module = kclang::bytecode::compile(&prog, &info).unwrap();
+        let asid = arena(&m);
+        let mut vm =
+            Vm::new(&m, &module, ExecConfig::flat(asid), ARENA, PAGES * PAGE_SIZE).unwrap();
+        let plain = vm.run("f", &[3]).unwrap().ret;
+
+        let (full, rep_full) = run_planned(&m, src, "f", &[3], false, None);
+        let (opt, rep_opt) = run_planned(&m, src, "f", &[3], true, None);
+        assert_eq!(plain, full.unwrap());
+        assert_eq!(plain, opt.unwrap());
+        assert!(
+            rep_opt.checks_executed < rep_full.checks_executed,
+            "plan specialisation must drop executed checks: {} vs {}",
+            rep_opt.checks_executed,
+            rep_full.checks_executed
+        );
+        assert_eq!(rep_full.violations, 0);
+    }
+
+    #[test]
+    fn violations_still_fire_on_the_bytecode_tier() {
+        let m = machine();
+        // Out of bounds.
+        let (r, _) = run_planned(
+            &m,
+            "int f(int n) { int a[8]; int i; for (i = 0; i <= n; i = i + 1) { a[i] = i; } return a[0]; }",
+            "f",
+            &[8],
+            false,
+            None,
+        );
+        let InterpError::Check(v) = r.unwrap_err() else { panic!("expected check") };
+        assert!(matches!(v.kind, ViolationKind::OutOfBounds | ViolationKind::DerefOob));
+
+        // Use after free.
+        let (r, _) = run_planned(
+            &m,
+            "int f() { int *p = malloc(64); p[0] = 42; free(p); return p[0]; }",
+            "f",
+            &[],
+            false,
+            None,
+        );
+        let InterpError::Check(v) = r.unwrap_err() else { panic!("expected check") };
+        assert_eq!(v.kind, ViolationKind::UseAfterFree);
+
+        // Bad free.
+        let (r, _) = run_planned(
+            &m,
+            "int f() { int *p = malloc(64); int *q = p + 2; free(q); return 0; }",
+            "f",
+            &[],
+            false,
+            None,
+        );
+        let InterpError::Check(v) = r.unwrap_err() else { panic!("expected check") };
+        assert_eq!(v.kind, ViolationKind::BadFree);
+
+        // Peer (OOB) dereference.
+        let (r, _) = run_planned(
+            &m,
+            "int f(int i) { int a[8]; int *p = &a[0]; int *tmp = p + i; return *tmp; }",
+            "f",
+            &[100],
+            false,
+            None,
+        );
+        let InterpError::Check(v) = r.unwrap_err() else { panic!("expected check") };
+        assert_eq!(v.kind, ViolationKind::DerefOob);
+
+        // And the peer round trip is still legal.
+        let (r, _) = run_planned(
+            &m,
+            r#"
+            int f(int i, int j) {
+                int a[8];
+                a[3] = 77;
+                int *p = &a[0];
+                int *tmp = p + i;
+                int *back = tmp - j;
+                return *back;
+            }
+            "#,
+            "f",
+            &[100, 97],
+            false,
+            None,
+        );
+        assert_eq!(r.unwrap(), 77);
+    }
+
+    #[test]
+    fn deinstrumentation_patches_bytecode_in_place() {
+        let m = machine();
+        let src = r#"
+            int f() {
+                int a[8];
+                int i;
+                int acc = 0;
+                for (i = 0; i < 8; i = i + 1) { a[i] = i; }
+                for (i = 0; i < 8; i = i + 1) { acc = acc + a[i]; }
+                return acc;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let info = typecheck(&prog).unwrap();
+        let plan = CheckPlan::all_enabled(&prog, &info);
+        let policy = Deinstrument::new(3, prog.max_expr_id as usize);
+        let mut module = compile_planned(&prog, &info, &plan).unwrap();
+        let hook = KgccHook::new(
+            m.clone(),
+            KgccConfig { charge_sys: false, plan, deinstrument: Some(policy.clone()) },
+        );
+
+        let armed_before = module.checked_ops();
+        assert!(armed_before > 0);
+
+        // Warm up: three clean runs push every exercised site past the
+        // confidence threshold.
+        let asid = arena(&m);
+        let mut vm =
+            Vm::new(&m, &module, ExecConfig::flat(asid), ARENA, PAGES * PAGE_SIZE).unwrap();
+        vm.set_hook(hook.as_ref());
+        for _ in 0..3 {
+            assert_eq!(vm.run("f", &[]).unwrap().ret, 28);
+        }
+        // The hook owns the live policy (cloning snapshots counters).
+        let live = hook.deinstrument().unwrap();
+        assert!(live.disabled_count() > 0, "threshold reached for hot sites");
+
+        // §3.5: patch the compiled code — check ops become unchecked.
+        let patched = apply_deinstrumentation(&mut module, live);
+        assert!(patched > 0);
+        assert!(module.checked_ops() < armed_before);
+
+        // The patched module still computes the same result, and executes
+        // no further checks at the patched sites.
+        let executed_before = hook.report().checks_executed;
+        let asid2 = arena(&m);
+        let mut vm2 =
+            Vm::new(&m, &module, ExecConfig::flat(asid2), ARENA, PAGES * PAGE_SIZE).unwrap();
+        vm2.set_hook(hook.as_ref());
+        assert_eq!(vm2.run("f", &[]).unwrap().ret, 28);
+        assert_eq!(
+            hook.report().checks_executed,
+            executed_before,
+            "patched sites must not execute checks"
+        );
+    }
+
+    #[test]
+    fn deinstrumentation_reduces_check_cost() {
+        let m = machine();
+        let src = r#"
+            int f() {
+                int a[16];
+                int i;
+                int acc = 0;
+                for (i = 0; i < 16; i = i + 1) { a[i] = i; acc = acc + a[i]; }
+                return acc;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let info = typecheck(&prog).unwrap();
+        let plan = CheckPlan::all_enabled(&prog, &info);
+        let policy = Deinstrument::new(1, prog.max_expr_id as usize);
+        let mut module = compile_planned(&prog, &info, &plan).unwrap();
+        let hook = KgccHook::new(
+            m.clone(),
+            KgccConfig { charge_sys: false, plan, deinstrument: Some(policy.clone()) },
+        );
+
+        let asid = arena(&m);
+        let mut vm =
+            Vm::new(&m, &module, ExecConfig::flat(asid), ARENA, PAGES * PAGE_SIZE).unwrap();
+        vm.set_hook(hook.as_ref());
+        vm.run("f", &[]).unwrap();
+        apply_deinstrumentation(&mut module, hook.deinstrument().unwrap());
+
+        // Compare with fresh full-check hooks (no deinstrumentation), so
+        // the armed run really executes its checks: the patched module must
+        // charge strictly fewer cycles.
+        let fresh_hook = || {
+            KgccHook::new(
+                m.clone(),
+                KgccConfig {
+                    charge_sys: false,
+                    plan: CheckPlan::all_enabled(&prog, &info),
+                    deinstrument: None,
+                },
+            )
+        };
+        let asid_a = arena(&m);
+        let hook_a = fresh_hook();
+        let u0 = m.clock.user_cycles();
+        let full_module = kclang::bytecode::compile(&prog, &info).unwrap();
+        let mut armed =
+            Vm::new(&m, &full_module, ExecConfig::flat(asid_a), ARENA, PAGES * PAGE_SIZE)
+                .unwrap();
+        armed.set_hook(hook_a.as_ref());
+        armed.run("f", &[]).unwrap();
+        let armed_cycles = m.clock.user_cycles() - u0;
+
+        let asid_p = arena(&m);
+        let hook_p = fresh_hook();
+        let u1 = m.clock.user_cycles();
+        let mut patched =
+            Vm::new(&m, &module, ExecConfig::flat(asid_p), ARENA, PAGES * PAGE_SIZE).unwrap();
+        patched.set_hook(hook_p.as_ref());
+        patched.run("f", &[]).unwrap();
+        let patched_cycles = m.clock.user_cycles() - u1;
+
+        assert!(
+            patched_cycles < armed_cycles,
+            "patched {patched_cycles} must beat armed {armed_cycles}"
+        );
+    }
+}

@@ -89,6 +89,14 @@ impl KgccHook {
         self.map.lock().live_objects()
     }
 
+    /// The live deinstrumentation policy this hook consults, if any.
+    /// (`Deinstrument::clone` snapshots counters, so callers that want to
+    /// observe accumulated confidence — or patch bytecode from it — must
+    /// use this handle, not their own copy.)
+    pub fn deinstrument(&self) -> Option<&Deinstrument> {
+        self.cfg.deinstrument.as_ref()
+    }
+
     /// Should this site run its check right now?
     fn site_enabled(&self, site: u32) -> bool {
         if site == u32::MAX {

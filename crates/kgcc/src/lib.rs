@@ -29,6 +29,7 @@
 //!   "reclaiming performance quickly as the confidence level for
 //!   frequently-executed code becomes acceptable".
 
+pub mod bytecode;
 pub mod deinstrument;
 pub mod hook;
 pub mod objmap;
@@ -36,6 +37,7 @@ pub mod plan;
 pub mod rules;
 pub mod splay;
 
+pub use bytecode::{apply_deinstrumentation, compile_planned};
 pub use deinstrument::Deinstrument;
 pub use hook::{KgccConfig, KgccHook, KgccReport};
 pub use objmap::{ObjKind, Object, ObjectMap};

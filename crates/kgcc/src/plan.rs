@@ -52,10 +52,10 @@ impl CheckPlan {
         let mut plan = Self::all_enabled(prog, info);
         for f in &prog.funcs {
             // Array dimensions of locals/params/globals in scope.
-            let mut arrays: HashMap<String, usize> = HashMap::new();
+            let mut arrays: HashMap<kclang::Sym, usize> = HashMap::new();
             for g in &prog.globals {
                 if let Type::Array(_, n) = &g.ty {
-                    arrays.insert(g.name.clone(), *n);
+                    arrays.insert(g.name, *n);
                 }
             }
             collect_arrays(&f.body, &mut arrays);
@@ -122,12 +122,12 @@ fn mark_checkable(block: &Block, info: &TypeInfo, plan: &mut CheckPlan) {
     });
 }
 
-fn collect_arrays(block: &Block, arrays: &mut HashMap<String, usize>) {
+fn collect_arrays(block: &Block, arrays: &mut HashMap<kclang::Sym, usize>) {
     for s in &block.stmts {
         match s {
             Stmt::Decl(d) => {
                 if let Type::Array(_, n) = &d.ty {
-                    arrays.insert(d.name.clone(), *n);
+                    arrays.insert(d.name, *n);
                 }
             }
             Stmt::If { then, els, .. } => {
@@ -145,7 +145,7 @@ fn collect_arrays(block: &Block, arrays: &mut HashMap<String, usize>) {
 
 fn eliminate_in_block(
     block: &Block,
-    arrays: &HashMap<String, usize>,
+    arrays: &HashMap<kclang::Sym, usize>,
     plan: &mut CheckPlan,
 ) {
     for s in &block.stmts {
@@ -182,7 +182,7 @@ fn eliminate_in_block(
 
 /// A statement is our CSE window (a conservative stand-in for the basic
 /// block): identical access shapes within it are checked once.
-fn eliminate_in_stmt(e: &Expr, arrays: &HashMap<String, usize>, plan: &mut CheckPlan) {
+fn eliminate_in_stmt(e: &Expr, arrays: &HashMap<kclang::Sym, usize>, plan: &mut CheckPlan) {
     let mut seen: HashSet<String> = HashSet::new();
     kclang::ast::visit_expr(e, &mut |node| {
         match &node.kind {
@@ -222,11 +222,11 @@ fn eliminate_in_stmt(e: &Expr, arrays: &HashMap<String, usize>, plan: &mut Check
 /// A textual shape for CSE matching: `base[i]`, `base[3]`.
 fn access_shape(base: &Expr, idx: &Expr) -> Option<String> {
     let b = match &base.kind {
-        ExprKind::Var(n) => n.clone(),
+        ExprKind::Var(n) => n.to_string(),
         _ => return None,
     };
     let i = match &idx.kind {
-        ExprKind::Var(n) => n.clone(),
+        ExprKind::Var(n) => n.to_string(),
         ExprKind::IntLit(v) => v.to_string(),
         _ => return None,
     };

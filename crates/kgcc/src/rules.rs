@@ -174,7 +174,7 @@ pub fn collect_sites(prog: &Program, info: &TypeInfo) -> Vec<SiteInfo> {
 
 fn base_var(e: &Expr) -> Option<String> {
     match &e.kind {
-        ExprKind::Var(n) => Some(n.clone()),
+        ExprKind::Var(n) => Some(n.to_string()),
         ExprKind::Index(b, _) => base_var(b),
         ExprKind::Unary(UnOp::Deref, i) => base_var(i),
         ExprKind::Binary(_, l, _) => base_var(l),

@@ -15,7 +15,10 @@
 //!   and this model is what makes that overhead appear in our numbers.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{
+    fence, AtomicU64, AtomicU8,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -122,21 +125,46 @@ pub trait FaultHandler: Send + Sync {
     }
 }
 
+/// Words per 4 KiB frame in the flat guest-RAM array.
+const WORDS_PER_FRAME: usize = PAGE_SIZE / 8;
+
+// The flat RAM is allocated as zeroed `u64`s and viewed as `AtomicU64`s;
+// that view is only sound while the two types share size and alignment.
+const _: () = assert!(
+    std::mem::size_of::<AtomicU64>() == std::mem::size_of::<u64>()
+        && std::mem::align_of::<AtomicU64>() == std::mem::align_of::<u64>()
+);
+
 /// Simulated physical memory: a pool of 4 KiB frames.
-#[derive(Debug)]
+///
+/// Guest RAM is a single flat array of relaxed atomic words, so the
+/// load/store fast path — the hottest operation in the whole simulator —
+/// takes no lock at all. A per-frame allocation byte turns accesses to
+/// unallocated frames into panics (those are simulator bugs, not guest
+/// errors). Racing guest threads see word-level tearing at worst, the same
+/// guarantee real hardware gives racing CPUs. The backing allocation comes
+/// from the zeroed allocator, so untouched frames cost no resident memory.
 pub struct PhysMemory {
-    frames: RwLock<Vec<Option<Box<[u8]>>>>,
+    ram: Box<[AtomicU64]>,
+    /// 1 = allocated, 0 = free.
+    state: Box<[AtomicU8]>,
     free: Mutex<Vec<u32>>,
     allocated: AtomicU64,
     high_water: AtomicU64,
 }
 
 impl PhysMemory {
-    /// Create a pool with `nframes` frames (lazily materialised).
+    /// Create a pool with `nframes` frames (lazily committed by the OS).
     pub fn new(nframes: usize) -> Self {
         let free: Vec<u32> = (0..nframes as u32).rev().collect();
+        // `vec![0u64; n]` goes through the zeroed allocator (no page is
+        // touched until written); the size/align assertion above makes the
+        // reinterpretation as atomic words valid.
+        let words = Box::into_raw(vec![0u64; nframes * WORDS_PER_FRAME].into_boxed_slice());
+        let ram = unsafe { Box::from_raw(words as *mut [AtomicU64]) };
         PhysMemory {
-            frames: RwLock::new((0..nframes).map(|_| None).collect()),
+            ram,
+            state: (0..nframes).map(|_| AtomicU8::new(0)).collect(),
             free: Mutex::new(free),
             allocated: AtomicU64::new(0),
             high_water: AtomicU64::new(0),
@@ -145,7 +173,7 @@ impl PhysMemory {
 
     /// Number of frames in the pool.
     pub fn capacity(&self) -> usize {
-        self.frames.read().len()
+        self.state.len()
     }
 
     /// Frames currently allocated.
@@ -161,10 +189,11 @@ impl PhysMemory {
     /// Allocate one zeroed frame.
     pub fn alloc_frame(&self) -> SimResult<Pfn> {
         let idx = self.free.lock().pop().ok_or(SimError::OutOfMemory)?;
-        {
-            let mut frames = self.frames.write();
-            frames[idx as usize] = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        let base = idx as usize * WORDS_PER_FRAME;
+        for w in &self.ram[base..base + WORDS_PER_FRAME] {
+            w.store(0, Relaxed);
         }
+        self.state[idx as usize].store(1, Release);
         let now = self.allocated.fetch_add(1, Relaxed) + 1;
         self.high_water.fetch_max(now, Relaxed);
         Ok(Pfn(idx))
@@ -175,31 +204,97 @@ impl PhysMemory {
     /// # Panics
     /// Panics on double free — that is a simulator bug, not a guest error.
     pub fn free_frame(&self, pfn: Pfn) {
-        let mut frames = self.frames.write();
-        let slot = &mut frames[pfn.0 as usize];
-        assert!(slot.is_some(), "double free of frame {:?}", pfn);
-        *slot = None;
-        drop(frames);
+        let was = self.state[pfn.0 as usize].swap(0, AcqRel);
+        assert!(was == 1, "double free of frame {:?}", pfn);
         self.allocated.fetch_sub(1, Relaxed);
         self.free.lock().push(pfn.0);
     }
 
-    /// Run `f` over the frame's bytes (read-only view).
-    pub fn with_frame<R>(&self, pfn: Pfn, f: impl FnOnce(&[u8]) -> R) -> R {
-        let frames = self.frames.read();
-        let frame = frames[pfn.0 as usize]
-            .as_deref()
-            .unwrap_or_else(|| panic!("access to unallocated frame {pfn:?}"));
-        f(frame)
+    /// First word index of `pfn`, panicking if the frame is not allocated.
+    #[inline]
+    fn base_word(&self, pfn: Pfn) -> usize {
+        assert!(
+            self.state[pfn.0 as usize].load(Acquire) == 1,
+            "access to unallocated frame {pfn:?}"
+        );
+        pfn.0 as usize * WORDS_PER_FRAME
     }
 
-    /// Run `f` over the frame's bytes (mutable view).
-    pub fn with_frame_mut<R>(&self, pfn: Pfn, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let mut frames = self.frames.write();
-        let frame = frames[pfn.0 as usize]
-            .as_deref_mut()
-            .unwrap_or_else(|| panic!("access to unallocated frame {pfn:?}"));
-        f(frame)
+    /// Copy `dst.len()` bytes out of the frame, starting at byte `offset`.
+    pub fn read_frame(&self, pfn: Pfn, offset: usize, dst: &mut [u8]) {
+        assert!(offset + dst.len() <= PAGE_SIZE, "frame read out of range");
+        let base = self.base_word(pfn);
+        // Aligned-word fast path: interpreter/VM scalars.
+        if dst.len() == 8 && offset & 7 == 0 {
+            let w = self.ram[base + (offset >> 3)].load(Relaxed);
+            dst.copy_from_slice(&w.to_le_bytes());
+            return;
+        }
+        let (mut o, mut i) = (offset, 0);
+        while i < dst.len() && o & 7 != 0 {
+            let w = self.ram[base + (o >> 3)].load(Relaxed);
+            dst[i] = (w >> ((o & 7) * 8)) as u8;
+            o += 1;
+            i += 1;
+        }
+        while dst.len() - i >= 8 {
+            let w = self.ram[base + (o >> 3)].load(Relaxed);
+            dst[i..i + 8].copy_from_slice(&w.to_le_bytes());
+            o += 8;
+            i += 8;
+        }
+        while i < dst.len() {
+            let w = self.ram[base + (o >> 3)].load(Relaxed);
+            dst[i] = (w >> ((o & 7) * 8)) as u8;
+            o += 1;
+            i += 1;
+        }
+    }
+
+    /// Copy `src` into the frame, starting at byte `offset`. Sub-word edges
+    /// are read-modify-write: racing byte-granularity guest writes to one
+    /// word may tear, exactly as on real hardware.
+    pub fn write_frame(&self, pfn: Pfn, offset: usize, src: &[u8]) {
+        assert!(offset + src.len() <= PAGE_SIZE, "frame write out of range");
+        let base = self.base_word(pfn);
+        if src.len() == 8 && offset & 7 == 0 {
+            let w = u64::from_le_bytes(src.try_into().unwrap());
+            self.ram[base + (offset >> 3)].store(w, Relaxed);
+            return;
+        }
+        let put_byte = |o: usize, b: u8| {
+            let cell = &self.ram[base + (o >> 3)];
+            let shift = (o & 7) * 8;
+            let w = cell.load(Relaxed);
+            cell.store((w & !(0xffu64 << shift)) | ((b as u64) << shift), Relaxed);
+        };
+        let (mut o, mut i) = (offset, 0);
+        while i < src.len() && o & 7 != 0 {
+            put_byte(o, src[i]);
+            o += 1;
+            i += 1;
+        }
+        while src.len() - i >= 8 {
+            let w = u64::from_le_bytes(src[i..i + 8].try_into().unwrap());
+            self.ram[base + (o >> 3)].store(w, Relaxed);
+            o += 8;
+            i += 8;
+        }
+        while i < src.len() {
+            put_byte(o, src[i]);
+            o += 1;
+            i += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMemory")
+            .field("capacity", &self.capacity())
+            .field("allocated", &self.allocated())
+            .field("high_water", &self.high_water())
+            .finish()
     }
 }
 
@@ -238,19 +333,49 @@ impl AddressSpace {
 
 const TLB_WAYS: usize = 64;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct TlbEntry {
-    valid: bool,
-    asid: u32,
-    vpn: u64,
-    pfn: u32,
-    write_ok: bool,
+/// One direct-mapped TLB slot, published through a tiny seqlock so the hit
+/// path — taken once per simulated memory access — is lock-free. `tag`
+/// packs `vpn << 2 | write_ok << 1 | valid`; `data` packs `asid << 32 | pfn`.
+#[derive(Default)]
+struct TlbSlot {
+    seq: AtomicU64,
+    tag: AtomicU64,
+    data: AtomicU64,
+}
+
+impl TlbSlot {
+    /// Read a consistent (tag, data) snapshot.
+    #[inline]
+    fn read(&self) -> (u64, u64) {
+        loop {
+            let s0 = self.seq.load(Acquire);
+            let tag = self.tag.load(Relaxed);
+            let data = self.data.load(Relaxed);
+            fence(Acquire);
+            if s0 & 1 == 0 && self.seq.load(Relaxed) == s0 {
+                return (tag, data);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Publish a new (tag, data) pair. Callers serialise through
+    /// [`Tlb::write_side`].
+    fn publish(&self, tag: u64, data: u64) {
+        let s = self.seq.load(Relaxed);
+        self.seq.store(s.wrapping_add(1), Relaxed);
+        fence(Release);
+        self.tag.store(tag, Relaxed);
+        self.data.store(data, Relaxed);
+        self.seq.store(s.wrapping_add(2), Release);
+    }
 }
 
 /// A small direct-mapped TLB with cycle accounting.
-#[derive(Debug)]
 pub struct Tlb {
-    entries: Mutex<[TlbEntry; TLB_WAYS]>,
+    slots: [TlbSlot; TLB_WAYS],
+    /// Serialises insert/invalidate/flush; lookups never take it.
+    write_side: Mutex<()>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -258,7 +383,8 @@ pub struct Tlb {
 impl Default for Tlb {
     fn default() -> Self {
         Tlb {
-            entries: Mutex::new([TlbEntry::default(); TLB_WAYS]),
+            slots: std::array::from_fn(|_| TlbSlot::default()),
+            write_side: Mutex::new(()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -272,14 +398,13 @@ impl Tlb {
 
     /// Look up a translation; returns the cached pfn on a hit.
     fn lookup(&self, asid: AsId, vpn: u64, access: AccessKind) -> Option<Pfn> {
-        let entries = self.entries.lock();
-        let e = entries[Self::slot(asid, vpn)];
-        if e.valid && e.asid == asid.0 && e.vpn == vpn {
-            if access == AccessKind::Write && !e.write_ok {
+        let (tag, data) = self.slots[Self::slot(asid, vpn)].read();
+        if tag & 1 != 0 && tag >> 2 == vpn && (data >> 32) as u32 == asid.0 {
+            if access == AccessKind::Write && tag & 2 == 0 {
                 return None; // permission upgrade requires a walk
             }
             self.hits.fetch_add(1, Relaxed);
-            Some(Pfn(e.pfn))
+            Some(Pfn(data as u32))
         } else {
             None
         }
@@ -287,25 +412,28 @@ impl Tlb {
 
     fn insert(&self, asid: AsId, vpn: u64, pfn: Pfn, write_ok: bool) {
         self.misses.fetch_add(1, Relaxed);
-        let mut entries = self.entries.lock();
-        entries[Self::slot(asid, vpn)] =
-            TlbEntry { valid: true, asid: asid.0, vpn, pfn: pfn.0, write_ok };
+        let _g = self.write_side.lock();
+        let tag = vpn << 2 | (write_ok as u64) << 1 | 1;
+        let data = (asid.0 as u64) << 32 | pfn.0 as u64;
+        self.slots[Self::slot(asid, vpn)].publish(tag, data);
     }
 
     /// Invalidate one translation (on unmap/protect: a TLB shootdown).
     pub fn invalidate(&self, asid: AsId, vpn: u64) {
-        let mut entries = self.entries.lock();
-        let e = &mut entries[Self::slot(asid, vpn)];
-        if e.valid && e.asid == asid.0 && e.vpn == vpn {
-            e.valid = false;
+        let _g = self.write_side.lock();
+        let slot = &self.slots[Self::slot(asid, vpn)];
+        let tag = slot.tag.load(Relaxed);
+        let data = slot.data.load(Relaxed);
+        if tag & 1 != 0 && tag >> 2 == vpn && (data >> 32) as u32 == asid.0 {
+            slot.publish(tag & !1, data);
         }
     }
 
     /// Invalidate everything (address-space teardown).
     pub fn flush(&self) {
-        let mut entries = self.entries.lock();
-        for e in entries.iter_mut() {
-            e.valid = false;
+        let _g = self.write_side.lock();
+        for slot in &self.slots {
+            slot.publish(slot.tag.load(Relaxed) & !1, slot.data.load(Relaxed));
         }
     }
 
@@ -315,6 +443,16 @@ impl Tlb {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Tlb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tlb")
+            .field("ways", &TLB_WAYS)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
     }
 }
 
@@ -447,7 +585,14 @@ impl MemSys {
         Ok(())
     }
 
-    fn walk(&self, asid: AsId, vpn: u64, access: AccessKind) -> SimResult<Result<Pfn, FaultKind>> {
+    /// Walk the page table; on success also reports whether the PTE permits
+    /// writes (cached in the TLB so later write hits skip the walk).
+    fn walk(
+        &self,
+        asid: AsId,
+        vpn: u64,
+        access: AccessKind,
+    ) -> SimResult<Result<(Pfn, bool), FaultKind>> {
         self.with_space(asid, |s| match s.lookup(vpn) {
             None => Err(FaultKind::NotPresent),
             Some(pte) => {
@@ -464,7 +609,7 @@ impl MemSys {
                 if !permitted {
                     return Err(FaultKind::Protection);
                 }
-                pte.pfn.ok_or(FaultKind::NotPresent)
+                pte.pfn.map(|p| (p, pte.flags.write)).ok_or(FaultKind::NotPresent)
             }
         })
     }
@@ -484,10 +629,7 @@ impl MemSys {
         const MAX_FAULT_RETRIES: usize = 8;
         for _ in 0..=MAX_FAULT_RETRIES {
             match self.walk(asid, vpn, access)? {
-                Ok(pfn) => {
-                    let write_ok = self
-                        .with_space(asid, |s| s.lookup(vpn).map(|p| p.flags.write))?
-                        .unwrap_or(false);
+                Ok((pfn, write_ok)) => {
                     self.tlb.insert(asid, vpn, pfn, write_ok);
                     return Ok(pfn);
                 }
@@ -527,15 +669,20 @@ impl MemSys {
 
     /// Read `buf.len()` bytes from `vaddr` in `asid`.
     pub fn read_virt(&self, asid: AsId, vaddr: u64, buf: &mut [u8]) -> SimResult<()> {
+        let off = (vaddr as usize) & (PAGE_SIZE - 1);
+        if !buf.is_empty() && buf.len() <= PAGE_SIZE - off {
+            // Single-page fast path: one translation, one frame copy.
+            let pfn = self.translate(asid, vaddr, AccessKind::Read)?;
+            self.phys.read_frame(pfn, off, buf);
+            return Ok(());
+        }
         let mut done = 0usize;
         while done < buf.len() {
             let va = vaddr + done as u64;
             let off = (va as usize) & (PAGE_SIZE - 1);
             let chunk = (PAGE_SIZE - off).min(buf.len() - done);
             let pfn = self.translate(asid, va, AccessKind::Read)?;
-            self.phys.with_frame(pfn, |frame| {
-                buf[done..done + chunk].copy_from_slice(&frame[off..off + chunk]);
-            });
+            self.phys.read_frame(pfn, off, &mut buf[done..done + chunk]);
             done += chunk;
         }
         Ok(())
@@ -543,15 +690,19 @@ impl MemSys {
 
     /// Write `buf` to `vaddr` in `asid`.
     pub fn write_virt(&self, asid: AsId, vaddr: u64, buf: &[u8]) -> SimResult<()> {
+        let off = (vaddr as usize) & (PAGE_SIZE - 1);
+        if !buf.is_empty() && buf.len() <= PAGE_SIZE - off {
+            let pfn = self.translate(asid, vaddr, AccessKind::Write)?;
+            self.phys.write_frame(pfn, off, buf);
+            return Ok(());
+        }
         let mut done = 0usize;
         while done < buf.len() {
             let va = vaddr + done as u64;
             let off = (va as usize) & (PAGE_SIZE - 1);
             let chunk = (PAGE_SIZE - off).min(buf.len() - done);
             let pfn = self.translate(asid, va, AccessKind::Write)?;
-            self.phys.with_frame_mut(pfn, |frame| {
-                frame[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
-            });
+            self.phys.write_frame(pfn, off, &buf[done..done + chunk]);
             done += chunk;
         }
         Ok(())
@@ -588,13 +739,16 @@ mod tests {
         let b = phys.alloc_frame().unwrap();
         assert_ne!(a, b);
         assert_eq!(phys.allocated(), 2);
-        phys.with_frame_mut(a, |f| f[0] = 0xAB);
-        phys.with_frame(a, |f| assert_eq!(f[0], 0xAB));
+        phys.write_frame(a, 0, &[0xAB]);
+        let mut b0 = [0u8; 1];
+        phys.read_frame(a, 0, &mut b0);
+        assert_eq!(b0[0], 0xAB);
         phys.free_frame(a);
         assert_eq!(phys.allocated(), 1);
-        // Freed frames are reusable.
+        // Freed frames are reusable — and zeroed again on alloc.
         let c = phys.alloc_frame().unwrap();
-        phys.with_frame(c, |f| assert_eq!(f[0], 0, "frames are zeroed on alloc"));
+        phys.read_frame(c, 0, &mut b0);
+        assert_eq!(b0[0], 0, "frames are zeroed on alloc");
         assert_eq!(phys.high_water(), 2);
     }
 

@@ -31,5 +31,5 @@ pub use advisor::{advise, render_report, Remedy, Suggestion};
 pub use analyze::{estimate_consolidation, ConsolidationEstimate};
 pub use graph::{mine_patterns, Pattern, SyscallGraph};
 pub use sysno::Sysno;
-pub use trace::{SyscallEvent, TraceSummary, Tracer};
+pub use trace::{SyscallEvent, TraceParseError, TraceSummary, Tracer};
 pub use workload::{InteractiveTraceGen, TraceGen};

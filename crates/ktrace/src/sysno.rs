@@ -3,10 +3,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// System-call identifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u16)]
 pub enum Sysno {
     Open,
@@ -103,6 +101,11 @@ impl Sysno {
         self as usize
     }
 
+    /// Inverse of [`Sysno::name`], for loading archived traces.
+    pub fn from_name(name: &str) -> Option<Sysno> {
+        Sysno::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
     /// Number of defined syscalls.
     pub const COUNT: usize = Self::ALL.len();
 }
@@ -131,6 +134,14 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Sysno::COUNT);
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for s in Sysno::ALL {
+            assert_eq!(Sysno::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Sysno::from_name("bogus"), None);
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The trace recorder — strace / Linux 2.6 audit analogue.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use crate::sysno::Sysno;
 
 /// One recorded system call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyscallEvent {
     pub no: Sysno,
     pub pid: u32,
@@ -96,23 +96,121 @@ impl Tracer {
     }
 }
 
+/// A malformed line in an archived trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
 /// Serialise a trace to JSON-lines (one event per line) for archival and
 /// offline analysis with external tooling.
 pub fn save_jsonl(events: &[SyscallEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 64);
+    let mut out = String::with_capacity(events.len() * 96);
     for e in events {
-        out.push_str(&serde_json::to_string(e).expect("events serialise"));
-        out.push('\n');
+        out.push_str(&format!(
+            "{{\"no\":\"{}\",\"pid\":{},\"bytes_in\":{},\"bytes_out\":{},\"ret\":{},\"ts\":{}}}\n",
+            e.no.name(),
+            e.pid,
+            e.bytes_in,
+            e.bytes_out,
+            e.ret,
+            e.ts
+        ));
     }
     out
 }
 
 /// Load a JSON-lines trace.
-pub fn load_jsonl(text: &str) -> Result<Vec<SyscallEvent>, serde_json::Error> {
+pub fn load_jsonl(text: &str) -> Result<Vec<SyscallEvent>, TraceParseError> {
     text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(serde_json::from_str)
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            parse_event_line(l).map_err(|reason| TraceParseError { line: i + 1, reason })
+        })
         .collect()
+}
+
+/// Parse one JSON object with the event's six fields (any field order,
+/// arbitrary whitespace; unknown fields rejected).
+fn parse_event_line(line: &str) -> Result<SyscallEvent, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("expected a JSON object")?;
+
+    let (mut no, mut pid, mut bytes_in, mut bytes_out, mut ret, mut ts) =
+        (None, None, None, None, None, None);
+    for field in split_top_level_commas(body) {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field.split_once(':').ok_or("expected \"key\": value")?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or("keys must be quoted")?;
+        let value = value.trim();
+        match key {
+            "no" => {
+                let name = value
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or("\"no\" must be a string")?;
+                no = Some(
+                    Sysno::from_name(name).ok_or_else(|| format!("unknown syscall {name:?}"))?,
+                );
+            }
+            "pid" => pid = Some(value.parse::<u32>().map_err(|e| format!("pid: {e}"))?),
+            "bytes_in" => {
+                bytes_in = Some(value.parse::<u64>().map_err(|e| format!("bytes_in: {e}"))?)
+            }
+            "bytes_out" => {
+                bytes_out = Some(value.parse::<u64>().map_err(|e| format!("bytes_out: {e}"))?)
+            }
+            "ret" => ret = Some(value.parse::<i64>().map_err(|e| format!("ret: {e}"))?),
+            "ts" => ts = Some(value.parse::<u64>().map_err(|e| format!("ts: {e}"))?),
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    Ok(SyscallEvent {
+        no: no.ok_or("missing \"no\"")?,
+        pid: pid.ok_or("missing \"pid\"")?,
+        bytes_in: bytes_in.ok_or("missing \"bytes_in\"")?,
+        bytes_out: bytes_out.ok_or("missing \"bytes_out\"")?,
+        ret: ret.ok_or("missing \"ret\"")?,
+        ts: ts.ok_or("missing \"ts\"")?,
+    })
+}
+
+/// Split on commas outside string literals (syscall names are quoted).
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let (mut start, mut in_str) = (0, false);
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
 }
 
 /// Summarise any event slice.

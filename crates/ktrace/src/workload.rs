@@ -124,13 +124,13 @@ impl TraceGen for InteractiveTraceGen {
                 85..=90 => {
                     let libs = e.rng.gen_range(2..=4);
                     for _ in 0..libs {
-                        let size = e.rng.gen_range(1..=4) * 4096;
+                        let size = e.rng.gen_range(1..=4u64) * 4096;
                         e.open_read_close(size);
                     }
                 }
                 // Editing and saving files.
                 91..=95 => {
-                    let size = e.rng.gen_range(1..=4) * 2048;
+                    let size = e.rng.gen_range(1..=4u64) * 2048;
                     e.open_read_close(size);
                     e.open_write_close(size);
                 }
@@ -186,7 +186,7 @@ impl TraceGen for WebServerTraceGen {
         let mut e = Emitter::new(self.seed, 300, 50_000);
         for _ in 0..self.requests {
             e.push(Sysno::Stat, PATH_BYTES, STAT_BYTES); // If-Modified-Since
-            let size = e.rng.gen_range(1..=32) * 1024;
+            let size = e.rng.gen_range(1..=32u64) * 1024;
             e.open_read_close(size);
             e.push(Sysno::Write, 96, 0); // access log line
         }
@@ -208,7 +208,7 @@ impl TraceGen for MailServerTraceGen {
     fn generate(&mut self) -> Vec<SyscallEvent> {
         let mut e = Emitter::new(self.seed, 400, 80_000);
         for i in 0..self.messages {
-            let size = e.rng.gen_range(1..=20) * 1024;
+            let size = e.rng.gen_range(1..=20u64) * 1024;
             e.open_write_close(size); // deliver to tmp
             e.push(Sysno::Rename, 2 * PATH_BYTES, 0); // tmp → new
             if i % 3 == 0 {

@@ -69,7 +69,7 @@ pub mod prelude {
         CosyOptions, IsolationMode, SharedRegion,
     };
     pub use kalloc::{KernelAllocator, SlabAllocator, VfreeIndex, Vmalloc};
-    pub use kclang::{parse_program, typecheck, ExecConfig, Interp, InterpError};
+    pub use kclang::{parse_program, typecheck, ExecConfig, Interp, InterpError, Vm};
     pub use kefence::{Kefence, OnViolation, Protect};
     pub use kevents::{
         CharDev, EventDispatcher, EventRecord, EventRing, EventType, LibKernEvents, ReadMode,

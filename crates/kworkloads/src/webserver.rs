@@ -133,7 +133,7 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
             left -= n as usize;
         }
     }
-    p.stage(rig, &vec![b'L'; 128]);
+    p.stage(rig, &[b'L'; 128]);
 
     // Cosy setup: shared regions sized for the biggest document.
     let doc_pages = cfg.doc_max.div_ceil(ksim::PAGE_SIZE) + 1;

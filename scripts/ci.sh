@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full CI pass: build, test, lint, and a quick benchmark smoke run.
+#
+# Everything runs offline against the vendored shim crates — CI machines
+# need the Rust toolchain and nothing else.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace --offline
+
+echo "== tests =="
+cargo test --workspace --offline --quiet
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== bench smoke: bytecode VM + translation cache =="
+./target/release/a7_bytecode --quick
+
+echo "CI pass complete."
