@@ -40,6 +40,8 @@ mod a5;
 mod a6;
 #[path = "a7_bytecode.rs"]
 mod a7;
+#[path = "a8_faultsweep.rs"]
+mod a8;
 
 fn main() {
     let mut report = Report::new();
@@ -57,6 +59,7 @@ fn main() {
     a5::run(&mut report);
     a6::run(&mut report);
     a7::run(&mut report);
+    a8::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

@@ -154,7 +154,7 @@ mod tests {
         let (_m, cb, db) = regions();
         let mut b = CompoundBuilder::new(&cb, &db);
         let CosyArg::BufRef { offset, len } = b.stage_path("/x/y").unwrap() else {
-            panic!()
+            panic!("stage_path must return a BufRef")
         };
         assert_eq!(len, 5, "path + NUL");
         let mut buf = vec![0u8; 5];
@@ -170,7 +170,7 @@ mod tests {
         let c = b.alloc_buf(10).unwrap();
         let (CosyArg::BufRef { offset: o1, .. }, CosyArg::BufRef { offset: o2, .. }) = (a, c)
         else {
-            panic!()
+            panic!("alloc_buf must return BufRefs")
         };
         assert!(o2 >= o1 + 10);
         assert_eq!(o2 % 8, 0, "aligned");

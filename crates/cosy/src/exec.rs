@@ -26,13 +26,15 @@ use kclang::{
     parse_program, typecheck, ExecConfig, Interp, InterpError, ParseError, Program, SegMode,
     TypeError, TypeInfo, Vm,
 };
+use kevents::{EventDispatcher, EventRecord, OOPS_EVENT};
 use ksim::{Pid, PteFlags, SegKind, Segment, SimError, PAGE_SIZE};
-use ksyscall::{OpenFlags, SyscallLayer};
-use kvfs::VfsError;
+use ksyscall::{OpenFile, OpenFlags, SyscallLayer};
+use kvfs::{FileKind, FileSystem, Ino, Vfs, VfsError, VfsResult};
 
 use crate::buffers::SharedRegion;
 use crate::cache::{CacheStats, TranslationCache};
 use crate::compound::{Compound, CosyArg, CosyCall, CosyOp, DecodeError};
+use crate::txn::{UndoEntry, UndoLog};
 
 /// Identifier of a kernel-loaded KC program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,18 @@ pub enum IsolationMode {
     /// Data-only segment, code stays in the kernel segment: no call
     /// overhead, but self-modifying/hand-crafted code is not contained.
     B,
+}
+
+/// Degradation path after a failed — and rolled-back — compound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Fail the submission; the caller sees the original error.
+    None,
+    /// Re-execute the compound op-by-op through the plain syscall layer
+    /// (one crossing per op, as if Cosy were not in use), retrying an
+    /// operation that failed on a transient injected fault up to
+    /// `max_retries` times with `backoff_cycles` charged between attempts.
+    Replay { max_retries: u32, backoff_cycles: u64 },
 }
 
 /// Per-submission execution options.
@@ -70,6 +84,8 @@ pub struct CosyOptions {
     /// per-node dispatch for per-op dispatch. `false` keeps the reference
     /// tree-walk path.
     pub use_bytecode: bool,
+    /// What to do when a compound fails and has been rolled back.
+    pub fallback: FallbackMode,
 }
 
 impl Default for CosyOptions {
@@ -80,6 +96,7 @@ impl Default for CosyOptions {
             arena_pages: 16,
             max_steps: Some(10_000_000),
             use_bytecode: true,
+            fallback: FallbackMode::None,
         }
     }
 }
@@ -158,6 +175,7 @@ pub struct CosyExtension {
     programs: RwLock<Vec<LoadedProgram>>,
     cache: TranslationCache,
     arena_cursor: AtomicU64,
+    oops_sink: RwLock<Option<Arc<EventDispatcher>>>,
 }
 
 impl CosyExtension {
@@ -167,7 +185,16 @@ impl CosyExtension {
             programs: RwLock::new(Vec::new()),
             cache: TranslationCache::new(),
             arena_cursor: AtomicU64::new(0xffff_f000_0000_0000),
+            oops_sink: RwLock::new(None),
         }
+    }
+
+    /// Route unexpected execution failures to the event dispatcher as
+    /// structured oops records ([`kevents::OOPS_EVENT`]), so monitors and
+    /// user-space tooling observe them instead of a host panic or a
+    /// silently dropped error.
+    pub fn set_oops_sink(&self, sink: Arc<EventDispatcher>) {
+        *self.oops_sink.write() = Some(sink);
     }
 
     pub fn syscalls(&self) -> &Arc<SyscallLayer> {
@@ -202,6 +229,12 @@ impl CosyExtension {
     /// Submit the compound encoded in `compound_buf` for execution, with
     /// `data_buf` as the shared data buffer. One boundary crossing total.
     /// Returns each operation's result.
+    ///
+    /// Compounds are **atomic**: if execution fails part-way — watchdog
+    /// kill, memory fault, injected error — the file system, descriptor
+    /// table, and shared data buffer are restored to their pre-submit
+    /// state before the error is returned (or the [`FallbackMode`]
+    /// degradation path runs).
     pub fn submit(
         &self,
         pid: Pid,
@@ -210,17 +243,55 @@ impl CosyExtension {
         opts: &CosyOptions,
     ) -> Result<Vec<i64>, CosyError> {
         let machine = self.sys.machine().clone();
+
+        // Pre-submit snapshots: the descriptor table and the shared data
+        // buffer are small enough to save wholesale; file-system effects
+        // are covered op-by-op through the undo log.
+        let fd_snap = self.sys.fd_snapshot(pid);
+        let mut data_snap = vec![0u8; data_buf.len()];
+        data_buf.kern_read(0, &mut data_snap)?;
+
         let token = machine.enter_kernel(pid)?;
         machine.stats.compounds.fetch_add(1, Relaxed);
         if let Some(b) = opts.watchdog_budget {
             machine.set_kernel_budget(pid, Some(b))?;
         }
 
-        let result = self.run_compound(pid, compound_buf, data_buf, opts);
+        let mut undo = UndoLog::new();
+        let result = self.run_compound(pid, compound_buf, data_buf, opts, &mut undo);
 
         machine.set_kernel_budget(pid, None).ok();
-        machine.exit_kernel(token);
-        result
+        match result {
+            Ok(results) => {
+                machine.exit_kernel(token);
+                Ok(results)
+            }
+            Err(err) => {
+                // All-or-nothing: unwind before leaving the kernel. This
+                // works even when the watchdog already killed the process
+                // — the undo log speaks to the VFS directly.
+                self.rollback(pid, &mut undo, data_buf, &data_snap, fd_snap);
+                machine.exit_kernel(token);
+                self.capture_oops(pid, &err);
+                match opts.fallback {
+                    // A dead process cannot replay anything on its own
+                    // behalf; a watchdog kill is final.
+                    FallbackMode::Replay { max_retries, backoff_cycles }
+                        if !matches!(err, CosyError::WatchdogKilled { .. }) =>
+                    {
+                        self.replay_fallback(
+                            pid,
+                            compound_buf,
+                            data_buf,
+                            opts,
+                            max_retries,
+                            backoff_cycles,
+                        )
+                    }
+                    _ => Err(err),
+                }
+            }
+        }
     }
 
     fn run_compound(
@@ -229,6 +300,7 @@ impl CosyExtension {
         compound_buf: &SharedRegion,
         data_buf: &SharedRegion,
         opts: &CosyOptions,
+        undo: &mut UndoLog,
     ) -> Result<Vec<i64>, CosyError> {
         let machine = self.sys.machine().clone();
 
@@ -262,7 +334,7 @@ impl CosyExtension {
             machine.stats.compound_ops.fetch_add(1, Relaxed);
             let ret = match op {
                 CosyOp::Syscall { call, args } => {
-                    self.exec_syscall(pid, *call, args, &results, data_buf)?
+                    self.exec_syscall(pid, *call, args, &results, data_buf, undo)?
                 }
                 CosyOp::CallUser { prog, func, args } => {
                     let scalars = args
@@ -291,6 +363,7 @@ impl CosyExtension {
         args: &[CosyArg],
         results: &[i64],
         data_buf: &SharedRegion,
+        undo: &mut UndoLog,
     ) -> Result<i64, CosyError> {
         let machine = self.sys.machine().clone();
         machine
@@ -311,23 +384,63 @@ impl CosyExtension {
             Ok(String::from_utf8_lossy(&bytes[..end]).into_owned())
         };
 
-        fn errno(e: VfsError) -> i64 {
-            e.errno()
-        }
+        // A VFS error is normally an errno *result* (the compound keeps
+        // going, exactly like a sequence of plain syscalls would). But an
+        // error produced by an injected fault aborts the compound so the
+        // undo log can restore atomicity — a legitimate ENOENT and an
+        // injected EIO are different events. With the plane disarmed the
+        // fired count never moves and this is plain errno conversion.
+        let fired0 = machine.faults.fired_count();
+        let errno = |e: VfsError| -> Result<i64, CosyError> {
+            if machine.faults.fired_count() > fired0 {
+                Err(CosyError::Vfs(e))
+            } else {
+                Ok(e.errno())
+            }
+        };
 
         Ok(match call {
             CosyCall::Getpid => pid.0 as i64,
             CosyCall::Open => {
                 let p = path(&args[0])?;
                 let flags = OpenFlags(scalar(&args[1])? as u32);
+                // Capture what this open may destroy *before* it runs: a
+                // TRUNC discards content, a CREAT may add a file.
+                let pre = match s.vfs().resolve(&p) {
+                    Ok(ino) if flags.contains(OpenFlags::TRUNC) && flags.writable() => {
+                        match read_whole(s.vfs().fs().as_ref(), ino) {
+                            Ok(content) => {
+                                Some(UndoEntry::RestoreContent { path: p.clone(), content })
+                            }
+                            Err(e) => {
+                                errno(e)?;
+                                None
+                            }
+                        }
+                    }
+                    Ok(_) => None,
+                    Err(VfsError::NotFound) if flags.contains(OpenFlags::CREAT) => {
+                        Some(UndoEntry::CreatedFile { path: p.clone() })
+                    }
+                    Err(e) => {
+                        // k_open will fail the same way; let it set errno.
+                        errno(e)?;
+                        None
+                    }
+                };
                 match s.k_open(pid, &p, flags) {
-                    Ok(fd) => fd as i64,
-                    Err(e) => errno(e),
+                    Ok(fd) => {
+                        if let Some(entry) = pre {
+                            undo.record(entry);
+                        }
+                        fd as i64
+                    }
+                    Err(e) => errno(e)?,
                 }
             }
             CosyCall::Close => match s.k_close(pid, scalar(&args[0])? as i32) {
                 Ok(()) => 0,
-                Err(e) => errno(e),
+                Err(e) => errno(e)?,
             },
             CosyCall::Read => {
                 let fd = scalar(&args[0])? as i32;
@@ -345,7 +458,7 @@ impl CosyExtension {
                         machine.charge_sys((n as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES);
                         n as i64
                     }
-                    Err(e) => errno(e),
+                    Err(e) => errno(e)?,
                 }
             }
             CosyCall::Write => {
@@ -358,9 +471,23 @@ impl CosyExtension {
                 let mut buf = vec![0u8; want as usize];
                 data_buf.kern_read(offset as usize, &mut buf)?;
                 machine.charge_sys((want as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES);
+                // Save the bytes this write will clobber (and the size it
+                // may grow past) before any of it hits the file system.
+                if want > 0 {
+                    if let Some(f) = s.fd_peek(pid, fd) {
+                        if f.flags.writable() {
+                            match write_undo(s.vfs().fs().as_ref(), &f, want as u64) {
+                                Ok(entry) => undo.record(entry),
+                                Err(e) => {
+                                    errno(e)?;
+                                }
+                            }
+                        }
+                    }
+                }
                 match s.k_write(pid, fd, &buf) {
                     Ok(n) => n as i64,
-                    Err(e) => errno(e),
+                    Err(e) => errno(e)?,
                 }
             }
             CosyCall::Lseek => {
@@ -371,7 +498,7 @@ impl CosyExtension {
                     scalar(&args[2])? as i32,
                 ) {
                     Ok(o) => o as i64,
-                    Err(e) => errno(e),
+                    Err(e) => errno(e)?,
                 }
             }
             CosyCall::Stat => {
@@ -388,7 +515,7 @@ impl CosyExtension {
                         data_buf.kern_write(offset as usize, &st.to_wire())?;
                         0
                     }
-                    Err(e) => errno(e),
+                    Err(e) => errno(e)?,
                 }
             }
             CosyCall::Fstat => {
@@ -405,7 +532,7 @@ impl CosyExtension {
                         data_buf.kern_write(offset as usize, &st.to_wire())?;
                         0
                     }
-                    Err(e) => errno(e),
+                    Err(e) => errno(e)?,
                 }
             }
             CosyCall::Readdir => {
@@ -429,18 +556,186 @@ impl CosyExtension {
                         );
                         entries.len() as i64
                     }
-                    Err(e) => errno(e),
+                    Err(e) => errno(e)?,
                 }
             }
-            CosyCall::Mkdir => match s.k_mkdir(&path(&args[0])?) {
-                Ok(()) => 0,
-                Err(e) => errno(e),
-            },
-            CosyCall::Unlink => match s.k_unlink(&path(&args[0])?) {
-                Ok(()) => 0,
-                Err(e) => errno(e),
-            },
+            CosyCall::Mkdir => {
+                let p = path(&args[0])?;
+                let missing = matches!(s.vfs().resolve(&p), Err(VfsError::NotFound));
+                match s.k_mkdir(&p) {
+                    Ok(()) => {
+                        if missing {
+                            undo.record(UndoEntry::CreatedDir { path: p });
+                        }
+                        0
+                    }
+                    Err(e) => errno(e)?,
+                }
+            }
+            CosyCall::Unlink => {
+                let p = path(&args[0])?;
+                // Save the doomed file's identity and bytes first.
+                let pre = match unlink_undo(s.vfs(), &p) {
+                    Ok(entry) => entry,
+                    Err(e) => {
+                        errno(e)?;
+                        None
+                    }
+                };
+                match s.k_unlink(&p) {
+                    Ok(()) => {
+                        if let Some(entry) = pre {
+                            undo.record(entry);
+                        }
+                        0
+                    }
+                    Err(e) => errno(e)?,
+                }
+            }
         })
+    }
+
+    /// Restore the pre-submit state: undo log against the VFS, then the
+    /// wholesale snapshots of the shared data buffer and descriptor table.
+    /// The fault plane is masked throughout — recovery paths are not
+    /// injection targets (a sabotaged rollback could never terminate).
+    fn rollback(
+        &self,
+        pid: Pid,
+        undo: &mut UndoLog,
+        data_buf: &SharedRegion,
+        data_snap: &[u8],
+        fd_snap: Vec<Option<OpenFile>>,
+    ) {
+        let machine = self.sys.machine();
+        let was_armed = machine.faults.suspend();
+        let vfs_result = undo.rollback(self.sys.vfs());
+        let buf_result = data_buf.kern_write(0, data_snap);
+        self.sys.fd_restore(pid, fd_snap);
+        machine.faults.resume(was_armed);
+        if vfs_result.is_err() || buf_result.is_err() {
+            // A failed rollback is the one event that must not pass
+            // silently — and must still not panic the host.
+            if let Some(sink) = self.oops_sink.read().as_ref() {
+                sink.log_event(EventRecord::new(
+                    pid.0 as u64,
+                    OOPS_EVENT,
+                    "cosy/rollback",
+                    0,
+                    -1,
+                ));
+            }
+        }
+    }
+
+    /// Emit a structured oops record for an unexpected failure class. A
+    /// watchdog kill is the safety contract working as designed and is
+    /// not an oops.
+    fn capture_oops(&self, pid: Pid, err: &CosyError) {
+        if matches!(err, CosyError::WatchdogKilled { .. }) {
+            return;
+        }
+        if let Some(sink) = self.oops_sink.read().as_ref() {
+            let code: i64 = match err {
+                CosyError::Vfs(e) => e.errno(),
+                CosyError::Sim(_) => -1,
+                CosyError::Interp(_) => -2,
+                _ => -3,
+            };
+            sink.log_event(EventRecord::new(pid.0 as u64, OOPS_EVENT, "cosy/exec", 0, code));
+        }
+    }
+
+    /// Graceful degradation: after a rollback, re-execute the compound
+    /// op-by-op through the plain syscall path (one crossing per op —
+    /// correctness preserved, the Cosy speedup forfeited). Operations that
+    /// fail on a *transient* injected fault are retried with backoff; the
+    /// whole replay is its own transaction, so a second failure still
+    /// leaves the caller at the pre-submit state.
+    fn replay_fallback(
+        &self,
+        pid: Pid,
+        compound_buf: &SharedRegion,
+        data_buf: &SharedRegion,
+        opts: &CosyOptions,
+        max_retries: u32,
+        backoff_cycles: u64,
+    ) -> Result<Vec<i64>, CosyError> {
+        let machine = self.sys.machine().clone();
+        let faults = machine.faults.clone();
+
+        // Decode host-side: the encoded compound still sits in the shared
+        // buffer, unchanged by the rollback.
+        let mut bytes = vec![0u8; compound_buf.len()];
+        compound_buf.kern_read(0, &mut bytes)?;
+        let compound = Compound::decode(&bytes)?;
+        compound.validate()?;
+
+        let fd_snap = self.sys.fd_snapshot(pid);
+        let mut data_snap = vec![0u8; data_buf.len()];
+        data_buf.kern_read(0, &mut data_snap)?;
+        let mut undo = UndoLog::new();
+
+        let mut results: Vec<i64> = Vec::with_capacity(compound.len());
+        'ops: for (i, op) in compound.ops.iter().enumerate() {
+            let mut attempts = 0u32;
+            loop {
+                let mark = undo.mark();
+                let fired_before = faults.fired_count();
+                let step = (|results: &[i64], undo: &mut UndoLog| -> Result<i64, CosyError> {
+                    let token = machine.enter_kernel(pid)?;
+                    if let Some(b) = opts.watchdog_budget {
+                        machine.set_kernel_budget(pid, Some(b)).ok();
+                    }
+                    let r = match op {
+                        CosyOp::Syscall { call, args } => {
+                            self.exec_syscall(pid, *call, args, results, data_buf, undo)
+                        }
+                        CosyOp::CallUser { prog, func, args } => args
+                            .iter()
+                            .map(|a| resolve_scalar(a, results))
+                            .collect::<Result<Vec<_>, _>>()
+                            .and_then(|scalars| {
+                                self.exec_user_func(pid, *prog, func, &scalars, opts)
+                            })
+                            .map_err(|e| match e {
+                                CosyError::Interp(InterpError::Killed(_)) => {
+                                    CosyError::WatchdogKilled { op_index: i }
+                                }
+                                other => other,
+                            }),
+                    };
+                    machine.set_kernel_budget(pid, None).ok();
+                    machine.exit_kernel(token);
+                    r
+                })(&results, &mut undo);
+                match step {
+                    Ok(v) => {
+                        results.push(v);
+                        continue 'ops;
+                    }
+                    Err(e) => {
+                        let transient = faults.fired_count() > fired_before
+                            && faults.last_fired().is_some_and(|ev| {
+                                kfault::classify(ev.site) == kfault::FaultClass::Transient
+                            });
+                        if transient && attempts < max_retries {
+                            attempts += 1;
+                            // Undo the failed attempt's partial effects,
+                            // back off, and retry the op in isolation.
+                            let was_armed = faults.suspend();
+                            let _ = undo.rollback_to(mark, self.sys.vfs());
+                            faults.resume(was_armed);
+                            machine.charge_sys(backoff_cycles);
+                            continue;
+                        }
+                        self.rollback(pid, &mut undo, data_buf, &data_snap, fd_snap);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(results)
     }
 
     fn exec_user_func(
@@ -557,6 +852,48 @@ fn resolve_scalar(a: &CosyArg, results: &[i64]) -> Result<i64, CosyError> {
     }
 }
 
+/// A file's full content (undo capture for TRUNC opens and unlinks).
+fn read_whole(fs: &dyn FileSystem, ino: Ino) -> VfsResult<Vec<u8>> {
+    let st = fs.stat(ino)?;
+    let mut buf = vec![0u8; st.size as usize];
+    if !buf.is_empty() {
+        let n = fs.read(ino, 0, &mut buf)?;
+        buf.truncate(n);
+    }
+    Ok(buf)
+}
+
+/// The inverse of an upcoming `want`-byte write through `f`: the prior
+/// bytes in the overwritten window and the size to truncate back to.
+fn write_undo(fs: &dyn FileSystem, f: &OpenFile, want: u64) -> VfsResult<UndoEntry> {
+    let st = fs.stat(f.ino)?;
+    let off = if f.flags.contains(OpenFlags::APPEND) { st.size } else { f.offset };
+    let end = (off + want).min(st.size);
+    let mut prior = vec![0u8; end.saturating_sub(off) as usize];
+    if !prior.is_empty() {
+        let n = fs.read(f.ino, off, &mut prior)?;
+        prior.truncate(n);
+    }
+    Ok(UndoEntry::FileWrite { ino: f.ino, old_size: st.size, off, prior })
+}
+
+/// The inverse of an upcoming unlink: the file's identity and bytes.
+/// `None` when the target is not a regular file (the unlink will fail and
+/// mutate nothing).
+fn unlink_undo(vfs: &Vfs, path: &str) -> VfsResult<Option<UndoEntry>> {
+    let ino = vfs.resolve(path)?;
+    let st = vfs.fs().stat(ino)?;
+    if st.kind != FileKind::File {
+        return Ok(None);
+    }
+    let mut content = vec![0u8; st.size as usize];
+    if !content.is_empty() {
+        let n = vfs.fs().read(ino, 0, &mut content)?;
+        content.truncate(n);
+    }
+    Ok(Some(UndoEntry::Unlinked { path: path.to_string(), old_ino: ino.0, content }))
+}
+
 impl std::fmt::Debug for CosyExtension {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CosyExtension")
@@ -598,7 +935,9 @@ mod tests {
         let mut b = CompoundBuilder::new(&cb, &db);
         let path = b.stage_path("/cosy-file").unwrap();
         let data = b.alloc_buf(64).unwrap();
-        let CosyArg::BufRef { offset, .. } = data else { panic!() };
+        let CosyArg::BufRef { offset, .. } = data else {
+            panic!("alloc_buf must return a BufRef")
+        };
         db.user_write(offset as usize, b"hello compound syscalls!").unwrap();
 
         let fd = b.syscall(CosyCall::Open, vec![path, CompoundBuilder::lit(0x42)]); // CREAT|RDWR
@@ -629,7 +968,9 @@ mod tests {
         assert_eq!(results[1], 24, "wrote 24 bytes");
         assert_eq!(results[3], 24, "read them back");
 
-        let CosyArg::BufRef { offset: ro, .. } = readbuf else { panic!() };
+        let CosyArg::BufRef { offset: ro, .. } = readbuf else {
+            panic!("alloc_buf must return a BufRef")
+        };
         let mut back = vec![0u8; 24];
         db.user_read(ro as usize, &mut back).unwrap();
         assert_eq!(&back, b"hello compound syscalls!");
@@ -965,6 +1306,194 @@ mod tests {
         assert_eq!(r_tw, r_vm);
         assert_eq!(r_vm, vec![50]);
         assert_eq!(cost_tw, cost_vm, "tiers must charge identical cycles");
+    }
+
+    #[test]
+    fn injected_fault_mid_compound_rolls_back_everything() {
+        let (m, sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        // A pre-existing file the compound will modify.
+        let fd = sys.k_open(pid, "/keep", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+        sys.k_write(pid, fd, b"persistent data").unwrap();
+        sys.k_close(pid, fd).unwrap();
+
+        let mut b = CompoundBuilder::new(&cb, &db);
+        let keep = b.stage_path("/keep").unwrap();
+        let fresh = b.stage_path("/fresh").unwrap();
+        let payload = b.stage_bytes(&[0x5A; 32]).unwrap();
+        let CosyArg::BufRef { offset: pay, .. } = payload else {
+            panic!("stage_bytes must return a BufRef")
+        };
+        let buf = |len| CosyArg::BufRef { offset: pay, len };
+        let f1 = b.syscall(CosyCall::Open, vec![keep, CompoundBuilder::lit(2)]); // RDWR
+        b.syscall(
+            CosyCall::Write,
+            vec![CompoundBuilder::result_of(f1), buf(32), CompoundBuilder::lit(32)],
+        );
+        let f2 = b.syscall(CosyCall::Open, vec![fresh, CompoundBuilder::lit(0x42)]); // CREAT|RDWR
+        b.syscall(
+            CosyCall::Write,
+            vec![CompoundBuilder::result_of(f2), buf(32), CompoundBuilder::lit(32)],
+        );
+        b.finish().unwrap();
+
+        let pre = kvfs::VfsSnapshot::capture(sys.vfs().fs().as_ref()).unwrap();
+        let pre_fds = sys.open_fds(pid);
+        let mut pre_db = vec![0u8; db.len()];
+        db.user_read(0, &mut pre_db).unwrap();
+
+        // nospc consults: op2's write (#1), op3's create (#2), op4's
+        // write (#3). Fail the last: three ops' effects must unwind.
+        m.faults.arm(0xC0FFEE);
+        m.faults.add_policy(Some("kvfs.nospc"), kfault::Policy::FailNth(3));
+        let err = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+        m.faults.disarm();
+
+        assert!(matches!(err, CosyError::Vfs(VfsError::NoSpace)), "got {err:?}");
+        assert_eq!(m.faults.fired_count(), 1);
+        let post = kvfs::VfsSnapshot::capture(sys.vfs().fs().as_ref()).unwrap();
+        assert_eq!(pre.hash(), post.hash(), "vfs diff: {:?}", pre.diff(&post));
+        assert_eq!(sys.open_fds(pid), pre_fds, "descriptor table restored");
+        let mut post_db = vec![0u8; db.len()];
+        db.user_read(0, &mut post_db).unwrap();
+        assert_eq!(pre_db, post_db, "shared data buffer restored");
+        // And the file still reads back its original bytes end-to-end.
+        assert_eq!(sys.k_stat("/keep").unwrap().size, 15);
+        assert!(sys.k_stat("/fresh").is_err(), "created file removed");
+    }
+
+    #[test]
+    fn watchdog_killed_cached_compound_rolls_back_and_cache_survives() {
+        let (m, sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        ext.load_program(
+            "int spin(int n) { int i; for (i = 0; i < n; i = i + 1) { } return 0; }",
+        )
+        .unwrap();
+
+        let build = |cb: &SharedRegion, db: &SharedRegion| {
+            let mut b = CompoundBuilder::new(cb, db);
+            let p = b.stage_path("/log").unwrap();
+            let payload = b.stage_bytes(&[0x41; 16]).unwrap();
+            let CosyArg::BufRef { offset, .. } = payload else {
+                panic!("stage_bytes must return a BufRef")
+            };
+            // CREAT|RDWR|APPEND: each run appends 16 bytes, then spins.
+            let fd = b.syscall(CosyCall::Open, vec![p, CompoundBuilder::lit(0x442)]);
+            b.syscall(
+                CosyCall::Write,
+                vec![
+                    CompoundBuilder::result_of(fd),
+                    CosyArg::BufRef { offset, len: 16 },
+                    CompoundBuilder::lit(16),
+                ],
+            );
+            b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+            b.call_user(0, "spin", vec![CompoundBuilder::lit(1_000_000)]);
+            b.finish().unwrap();
+        };
+        build(&cb, &db);
+
+        // First submission: no budget, completes, decodes + caches.
+        let free = CosyOptions { watchdog_budget: None, ..CosyOptions::default() };
+        let r1 = ext.submit(pid, &cb, &db, &free).unwrap();
+        assert_eq!(sys.k_stat("/log").unwrap().size, 16);
+        assert_eq!(ext.cache_stats().misses, 1);
+
+        // Second submission: cache hit, then the watchdog kills the spin.
+        // The append (a completed op within the compound!) must unwind.
+        let tight = CosyOptions { watchdog_budget: Some(200_000), ..CosyOptions::default() };
+        let err = ext.submit(pid, &cb, &db, &tight).unwrap_err();
+        assert!(matches!(err, CosyError::WatchdogKilled { op_index: 3 }), "got {err:?}");
+        assert_eq!(ext.cache_stats().hits, 1, "killed run executed from the cache");
+        assert_eq!(sys.k_stat("/log").unwrap().size, 16, "append rolled back");
+
+        // The cache entry stays valid: a fresh process replays the same
+        // bytes from the cache and the append lands.
+        let pid2 = m.spawn_process();
+        let (cb2, db2) = regions(&m, pid2);
+        build(&cb2, &db2);
+        let r2 = ext.submit(pid2, &cb2, &db2, &free).unwrap();
+        assert_eq!(ext.cache_stats().hits, 2);
+        assert_eq!(ext.cache_stats().misses, 1, "no re-decode after the kill");
+        assert_eq!(r1, r2);
+        assert_eq!(sys.k_stat("/log").unwrap().size, 32);
+    }
+
+    #[test]
+    fn fallback_replay_matches_the_no_fault_run() {
+        let run = |with_fault: bool| {
+            let (m, sys, ext, pid) = setup();
+            let (cb, db) = regions(&m, pid);
+            let mut b = CompoundBuilder::new(&cb, &db);
+            let p = b.stage_path("/f").unwrap();
+            let payload = b.stage_bytes(b"fallback-payload").unwrap();
+            let CosyArg::BufRef { offset, .. } = payload else {
+                panic!("stage_bytes must return a BufRef")
+            };
+            let fd = b.syscall(CosyCall::Open, vec![p, CompoundBuilder::lit(0x42)]);
+            b.syscall(
+                CosyCall::Write,
+                vec![
+                    CompoundBuilder::result_of(fd),
+                    CosyArg::BufRef { offset, len: 16 },
+                    CompoundBuilder::lit(16),
+                ],
+            );
+            b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+            b.finish().unwrap();
+            if with_fault {
+                // Fires on the compound's write, aborting it, and again on
+                // the fallback's first write attempt — exercising both the
+                // rollback and the per-op retry.
+                m.faults.arm(7);
+                m.faults.add_policy(Some("kvfs.nospc"), kfault::Policy::EveryNth(2));
+            }
+            let opts = CosyOptions {
+                fallback: FallbackMode::Replay { max_retries: 2, backoff_cycles: 500 },
+                ..CosyOptions::default()
+            };
+            let r = ext.submit(pid, &cb, &db, &opts).unwrap();
+            m.faults.disarm();
+            let size = sys.k_stat("/f").unwrap().size;
+            let fired = m.faults.fired_count();
+            (r, size, fired)
+        };
+
+        let (clean, clean_size, fired0) = run(false);
+        let (faulty, faulty_size, fired) = run(true);
+        assert_eq!(fired0, 0);
+        assert_eq!(fired, 2, "compound abort + one fallback retry");
+        assert_eq!(clean, faulty, "degraded path must be transparent");
+        assert_eq!(clean_size, faulty_size);
+    }
+
+    #[test]
+    fn oops_sink_records_unexpected_failures() {
+        let (m, _sys, ext, pid) = setup();
+        let (cb, db) = regions(&m, pid);
+        let disp = Arc::new(kevents::EventDispatcher::new(m.clone()));
+        let ring = Arc::new(kevents::EventRing::with_capacity(16));
+        disp.attach_ring(ring.clone());
+        ext.set_oops_sink(disp);
+
+        let mut b = CompoundBuilder::new(&cb, &db);
+        let p = b.stage_path("/x").unwrap();
+        b.syscall(CosyCall::Open, vec![p, CompoundBuilder::lit(0x42)]);
+        b.finish().unwrap();
+
+        m.faults.arm(1);
+        m.faults.add_policy(Some("kvfs.nospc"), kfault::Policy::FailNth(1));
+        let err = ext.submit(pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+        m.faults.disarm();
+        assert!(matches!(err, CosyError::Vfs(VfsError::NoSpace)), "got {err:?}");
+
+        let mut out = Vec::new();
+        ring.pop_bulk(&mut out, 16);
+        assert_eq!(out.len(), 1, "one oops record for the failed compound");
+        assert_eq!(out[0].event, kevents::OOPS_EVENT);
+        assert_eq!(out[0].obj, pid.0 as u64);
+        assert_eq!(out[0].value, VfsError::NoSpace.errno());
     }
 
     #[test]

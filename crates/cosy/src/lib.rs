@@ -32,11 +32,15 @@ pub mod compound;
 pub mod exec;
 pub mod gcc;
 pub mod hosts;
+pub mod txn;
 
 pub use buffers::SharedRegion;
 pub use builder::CompoundBuilder;
 pub use cache::{CacheStats, TranslationCache};
 pub use compound::{Compound, CosyArg, CosyCall, CosyOp};
-pub use exec::{CosyError, CosyExtension, CosyOptions, IsolationMode, ProgramId};
+pub use exec::{
+    CosyError, CosyExtension, CosyOptions, FallbackMode, IsolationMode, ProgramId,
+};
 pub use gcc::{extract_compound, CosyGccError, ExtractedRegion};
 pub use hosts::{KernelHost, UserHost};
+pub use txn::{UndoEntry, UndoLog};

@@ -80,6 +80,9 @@ impl SlabAllocator {
             return Err(SimError::Invalid("kmalloc(0)"));
         }
         let ci = Self::class_for(size).ok_or(SimError::Invalid("kmalloc size > 4096"))?;
+        if self.machine.faults.should_fail(kfault::sites::KALLOC_SLAB) {
+            return Err(SimError::OutOfMemory);
+        }
         self.machine.charge_sys(self.machine.cost.kmalloc_op);
 
         let addr = {

@@ -101,6 +101,9 @@ impl Vmalloc {
         if size == 0 {
             return Err(SimError::Invalid("vmalloc(0)"));
         }
+        if self.machine.faults.should_fail(kfault::sites::KALLOC_VMALLOC) {
+            return Err(SimError::OutOfMemory);
+        }
         let npages = size.div_ceil(PAGE_SIZE);
         let va = self.va.alloc(npages, gap_pages)?;
         let m = &self.machine;

@@ -106,6 +106,10 @@ struct Allocation {
     /// VA of the guardian page.
     guard: u64,
     freed: bool,
+    /// LogRo: a denied write to this guard page has already been logged.
+    /// Further denied writes repeat silently so a retry loop cannot flood
+    /// the violation log.
+    ro_write_logged: bool,
 }
 
 #[derive(Debug, Default)]
@@ -184,15 +188,27 @@ impl FaultHandler for KefenceFaultHandler {
             return FaultResolution::NotMine;
         };
 
-        self.state.report(KefenceViolation {
-            kind,
-            addr: fault.vaddr,
-            alloc_base: alloc.addr,
-            size: alloc.size,
-            access: fault.access,
-        });
-
         let mode = *self.state.mode.read();
+        // LogRo write dedup: every write to the read-only auto-mapped page
+        // is denied, but only the first one per page is reported.
+        let already_logged = mode == OnViolation::LogRo
+            && fault.access == AccessKind::Write
+            && kind != ViolationKind::UseAfterFree
+            && {
+                let mut allocs = self.state.allocs.lock();
+                let a = allocs.get_mut(&alloc.range_base).expect("allocation vanished");
+                std::mem::replace(&mut a.ro_write_logged, true)
+            };
+        if !already_logged {
+            self.state.report(KefenceViolation {
+                kind,
+                addr: fault.vaddr,
+                alloc_base: alloc.addr,
+                size: alloc.size,
+                access: fault.access,
+            });
+        }
+
         match (mode, kind) {
             (OnViolation::Crash, _) => FaultResolution::Deny,
             // Use-after-free pages are gone; only guard pages can be
@@ -334,7 +350,15 @@ impl Kefence {
 
         self.state.allocs.lock().insert(
             range,
-            Allocation { range_base: range, npages, addr, size, guard, freed: false },
+            Allocation {
+                range_base: range,
+                npages,
+                addr,
+                size,
+                guard,
+                freed: false,
+                ro_write_logged: false,
+            },
         );
         self.state.stats.allocs.fetch_add(1, Relaxed);
         self.state.stats.bytes_requested.fetch_add(size as u64, Relaxed);
@@ -482,6 +506,28 @@ mod tests {
         assert!(read(&m, a + 64, 4).is_ok(), "OOB read tolerated");
         assert!(write(&m, a + 64, &[1]).is_err(), "OOB write still denied");
         assert!(k.violations().len() >= 2);
+    }
+
+    #[test]
+    fn log_ro_mode_logs_denied_writes_exactly_once_per_page() {
+        let (m, k) = setup(OnViolation::LogRo, Protect::Overflow);
+        let a = k.kefence_alloc(64).unwrap();
+        let b = k.kefence_alloc(64).unwrap();
+        // Reads auto-map both guard pages read-only (one logged read each).
+        assert!(read(&m, a + 64, 4).is_ok());
+        assert!(read(&m, b + 64, 4).is_ok());
+        // Hammer the mapped pages with writes: all denied, one log apiece.
+        for _ in 0..5 {
+            assert!(write(&m, a + 64, &[1]).is_err(), "OOB write still denied");
+            assert!(write(&m, b + 64, &[1]).is_err());
+        }
+        let writes: Vec<_> = k
+            .violations()
+            .into_iter()
+            .filter(|v| v.access == AccessKind::Write)
+            .collect();
+        assert_eq!(writes.len(), 2, "one write violation per guard page");
+        assert_ne!(writes[0].alloc_base, writes[1].alloc_base);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use ksim::{Machine, Pid, SimResult};
 
-use crate::record::EventRecord;
+use crate::record::{EventRecord, RECORDS_LOST_EVENT};
 use crate::ring::EventRing;
 
 /// Bytes per record as copied to user space (the paper's compact entry:
@@ -38,6 +38,22 @@ pub struct CharDev {
     reads: AtomicU64,
     empty_reads: AtomicU64,
     records_read: AtomicU64,
+    /// Ring drops already surfaced to the reader via a synthetic
+    /// [`RECORDS_LOST_EVENT`] record.
+    lost_reported: AtomicU64,
+}
+
+/// Point-in-time counters for the device and its ring, so user-space
+/// monitors can see loss without racing the ring's own counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharDevStats {
+    pub reads: u64,
+    pub empty_reads: u64,
+    pub records_read: u64,
+    /// Events the ring dropped (full ring or injected ring-full fault).
+    pub ring_dropped: u64,
+    /// Drops already reported to the reader through a synthetic record.
+    pub lost_reported: u64,
 }
 
 impl CharDev {
@@ -48,6 +64,7 @@ impl CharDev {
             reads: AtomicU64::new(0),
             empty_reads: AtomicU64::new(0),
             records_read: AtomicU64::new(0),
+            lost_reported: AtomicU64::new(0),
         }
     }
 
@@ -85,7 +102,24 @@ impl CharDev {
             }
         }
 
-        let n = self.ring.pop_bulk(out, max);
+        let mut n = self.ring.pop_bulk(out, max);
+        // Surface ring overflow: the first read after new drops delivers one
+        // synthetic "records lost" entry whose value is the number lost
+        // since the previous report (the classic /dev/kmsg contract — the
+        // reader learns about the gap in-band, not from a side channel).
+        let dropped = self.ring.dropped();
+        let reported = self.lost_reported.load(Relaxed);
+        if dropped > reported && n < max {
+            self.lost_reported.store(dropped, Relaxed);
+            out.push(EventRecord::new(
+                0,
+                RECORDS_LOST_EVENT,
+                "chardev",
+                0,
+                (dropped - reported) as i64,
+            ));
+            n += 1;
+        }
         if n == 0 {
             self.empty_reads.fetch_add(1, Relaxed);
         } else {
@@ -106,6 +140,17 @@ impl CharDev {
             self.empty_reads.load(Relaxed),
             self.records_read.load(Relaxed),
         )
+    }
+
+    /// Full counter snapshot, including ring-level loss.
+    pub fn stats(&self) -> CharDevStats {
+        CharDevStats {
+            reads: self.reads.load(Relaxed),
+            empty_reads: self.empty_reads.load(Relaxed),
+            records_read: self.records_read.load(Relaxed),
+            ring_dropped: self.ring.dropped(),
+            lost_reported: self.lost_reported.load(Relaxed),
+        }
     }
 
     pub fn ring(&self) -> &Arc<EventRing> {
@@ -260,6 +305,49 @@ mod tests {
         let (reads, _, recs) = dev.counters();
         assert_eq!(recs, 10);
         assert!(reads >= 4);
+    }
+
+    #[test]
+    fn ring_overflow_surfaces_as_a_synthetic_lost_record() {
+        let (_m, ring, dev, pid) = setup();
+        // 64-slot ring: overfill by 3.
+        for i in 0..67 {
+            ring.push(rec(i));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let mut out = Vec::new();
+        let mut total = 0;
+        while dev.read(pid, &mut out, 16, ReadMode::Polling).unwrap() > 0 {
+            total += out.len();
+            out.clear();
+        }
+        assert_eq!(total, 65, "64 real records + 1 synthetic loss marker");
+        let st = dev.stats();
+        assert_eq!(st.ring_dropped, 3);
+        assert_eq!(st.lost_reported, 3);
+    }
+
+    #[test]
+    fn lost_marker_reports_only_new_drops_once() {
+        let (_m, ring, dev, pid) = setup();
+        for i in 0..66 {
+            ring.push(rec(i));
+        }
+        // A full batch has no room for the marker: it is deferred, not lost.
+        let mut out = Vec::new();
+        let n = dev.read(pid, &mut out, 4, ReadMode::Polling).unwrap();
+        assert_eq!(n, 4);
+        assert!(out.iter().all(|e| e.event != RECORDS_LOST_EVENT));
+        // The next read with spare room delivers it, with the loss count.
+        out.clear();
+        let n = dev.read(pid, &mut out, 100, ReadMode::Polling).unwrap();
+        assert_eq!(n, 61, "60 remaining records plus the loss marker");
+        let marker = out.iter().find(|e| e.event == RECORDS_LOST_EVENT).unwrap();
+        assert_eq!(marker.value, 2, "two events were lost");
+        // Subsequent reads with no new drops carry no marker.
+        out.clear();
+        dev.read(pid, &mut out, 100, ReadMode::Polling).unwrap();
+        assert!(out.iter().all(|e| e.event != RECORDS_LOST_EVENT));
     }
 
     #[test]

@@ -98,7 +98,13 @@ impl EventDispatcher {
             cb.on_event(&rec);
         }
         if let Some(ring) = self.ring.read().as_ref() {
-            ring.push(rec);
+            // Injected ring-full: the record is lost exactly as if a real
+            // burst had filled the ring — counted, never blocking.
+            if self.machine.faults.should_fail(kfault::sites::KEVENTS_RING_FULL) {
+                ring.note_dropped();
+            } else {
+                ring.push(rec);
+            }
         }
     }
 }

@@ -40,10 +40,10 @@ pub mod monitors;
 pub mod record;
 pub mod ring;
 
-pub use chardev::{CharDev, LibKernEvents, ReadMode};
+pub use chardev::{CharDev, CharDevStats, LibKernEvents, ReadMode};
 pub use dispatch::{EventDispatcher, EventMonitor};
 pub use instrument::{InstrumentedRefcount, InstrumentedSemaphore, InstrumentedSpinLock};
 pub use monitors::{IrqMonitor, RefcountMonitor, SemaphoreMonitor, SpinlockMonitor, Violation};
 pub use logfile::{read_log, replay, write_log, LoggedEvent};
-pub use record::{EventRecord, EventType};
+pub use record::{EventRecord, EventType, OOPS_EVENT, RECORDS_LOST_EVENT};
 pub use ring::EventRing;

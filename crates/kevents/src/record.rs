@@ -59,6 +59,14 @@ impl Default for EventRecord {
     }
 }
 
+/// Synthetic record class the chardev inserts into a read batch when events
+/// were dropped since the last drain; `value` carries how many were lost.
+pub const RECORDS_LOST_EVENT: EventType = EventType::Custom(0xFD);
+
+/// Record class for a captured kernel oops: an unexpected machine fault
+/// converted into an event instead of a host panic (see `cosy`).
+pub const OOPS_EVENT: EventType = EventType::Custom(0xFA);
+
 /// Build an [`EventRecord`] capturing the current source location, the way
 /// the paper's C macros capture `__FILE__`/`__LINE__`.
 #[macro_export]

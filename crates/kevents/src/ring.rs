@@ -164,6 +164,14 @@ impl EventRing {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Count a drop that happened upstream of the ring — e.g. the
+    /// dispatcher hit an injected ring-full fault before attempting the
+    /// push. Keeps the loss visible through the same counter readers
+    /// already consult.
+    pub fn note_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Events successfully pushed.
     pub fn pushed(&self) -> u64 {
         self.pushed.load(Ordering::Relaxed)

@@ -53,6 +53,8 @@ pub mod proc;
 pub mod seg;
 pub mod stats;
 
+pub use kfault;
+
 pub use clock::Clock;
 pub use cost::{CostModel, CYCLES_PER_SEC};
 pub use error::{SimError, SimResult};

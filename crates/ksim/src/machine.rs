@@ -69,6 +69,9 @@ pub struct Machine {
     /// The interrupt controller; handlers run in interrupt context where
     /// only lock-free structures may be touched (§3.3's constraint).
     pub irq: IrqController,
+    /// The fault-injection plane shared by every instrumented layer.
+    /// Disarmed by default; the fault sweep arms it per episode.
+    pub faults: Arc<kfault::FaultPlane>,
     kernel_asid: AsId,
     procs: RwLock<Vec<Option<Process>>>,
     sched: Mutex<Scheduler>,
@@ -78,7 +81,14 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         let clock = Arc::new(Clock::new());
         let stats = Arc::new(Stats::default());
-        let mem = MemSys::new(config.phys_frames, config.cost.clone(), clock.clone(), stats.clone());
+        let faults = Arc::new(kfault::FaultPlane::new());
+        let mem = MemSys::new(
+            config.phys_frames,
+            config.cost.clone(),
+            clock.clone(),
+            stats.clone(),
+            faults.clone(),
+        );
         let kernel_asid = mem.create_space();
         Machine {
             cost: config.cost,
@@ -87,6 +97,7 @@ impl Machine {
             mem,
             segs: SegmentTable::new(),
             irq: IrqController::new(),
+            faults,
             kernel_asid,
             procs: RwLock::new(Vec::new()),
             sched: Mutex::new(Scheduler::new()),
@@ -179,8 +190,14 @@ impl Machine {
             if !p.in_kernel {
                 return None;
             }
-            let budget = p.kernel_budget?;
             let used = self.clock.sys_cycles().saturating_sub(p.kernel_entry_sys);
+            // Injected kill: the watchdog fires regardless of budget (a
+            // fatal fault — the process is dead, exactly as on a genuine
+            // budget overrun).
+            if self.faults.should_fail(kfault::sites::KSIM_PREEMPT_TICK) {
+                return Some((used, 0));
+            }
+            let budget = p.kernel_budget?;
             (used > budget).then_some((used, budget))
         })?;
         if let Some((used, budget)) = verdict {

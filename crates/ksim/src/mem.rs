@@ -463,18 +463,26 @@ pub struct MemSys {
     cost: CostModel,
     clock: Arc<Clock>,
     stats: Arc<Stats>,
+    faults: Arc<kfault::FaultPlane>,
     spaces: RwLock<Vec<Option<AddressSpace>>>,
     handlers: RwLock<Vec<Arc<dyn FaultHandler>>>,
 }
 
 impl MemSys {
-    pub fn new(nframes: usize, cost: CostModel, clock: Arc<Clock>, stats: Arc<Stats>) -> Self {
+    pub fn new(
+        nframes: usize,
+        cost: CostModel,
+        clock: Arc<Clock>,
+        stats: Arc<Stats>,
+        faults: Arc<kfault::FaultPlane>,
+    ) -> Self {
         MemSys {
             phys: PhysMemory::new(nframes),
             tlb: Tlb::default(),
             cost,
             clock,
             stats,
+            faults,
             spaces: RwLock::new(Vec::new()),
             handlers: RwLock::new(Vec::new()),
         }
@@ -550,6 +558,9 @@ impl MemSys {
 
     /// Allocate a zeroed frame and map it read-write at `vaddr`.
     pub fn map_anon(&self, asid: AsId, vaddr: u64, flags: PteFlags) -> SimResult<Pfn> {
+        if self.faults.should_fail(kfault::sites::KSIM_FRAME_ALLOC) {
+            return Err(SimError::OutOfMemory);
+        }
         let pfn = self.phys.alloc_frame()?;
         self.map_page(asid, vaddr, Pte { pfn: Some(pfn), flags })?;
         Ok(pfn)
@@ -625,6 +636,12 @@ impl MemSys {
             return Ok(pfn);
         }
         self.clock.charge_sys(self.cost.tlb_miss);
+        // Injected TLB-fill failure: surfaces as a spurious memory fault
+        // without consulting the handler chain (a hardware-level error, not
+        // a page-table condition a handler could fix).
+        if self.faults.should_fail(kfault::sites::KSIM_TLB_FILL) {
+            return Err(SimError::MemFault { kind: FaultKind::NotPresent, access, vaddr });
+        }
 
         const MAX_FAULT_RETRIES: usize = 8;
         for _ in 0..=MAX_FAULT_RETRIES {
@@ -729,6 +746,7 @@ mod tests {
             CostModel::default(),
             Arc::new(Clock::new()),
             Arc::new(Stats::default()),
+            Arc::new(kfault::FaultPlane::new()),
         )
     }
 

@@ -95,6 +95,17 @@ impl FdTable {
     pub fn open_count(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
+
+    /// Copy of the raw slot vector — descriptor numbers are the indices, so
+    /// a later [`FdTable::restore`] brings back the exact same fd layout.
+    pub fn snapshot(&self) -> Vec<Option<OpenFile>> {
+        self.slots.clone()
+    }
+
+    /// Replace the whole table with a previously captured snapshot.
+    pub fn restore(&mut self, snap: Vec<Option<OpenFile>>) {
+        self.slots = snap;
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,24 @@ impl SyscallLayer {
         self.fds.lock().get(&pid.0).map_or(0, |t| t.open_count())
     }
 
+    /// The open file behind `fd`, if any (no side effects, no charges).
+    pub fn fd_peek(&self, pid: Pid, fd: i32) -> Option<OpenFile> {
+        self.fds.lock().get(&pid.0).and_then(|t| t.get(fd))
+    }
+
+    /// Capture `pid`'s descriptor table (descriptor numbers included) so a
+    /// failed compound can put it back exactly — see [`Self::fd_restore`].
+    pub fn fd_snapshot(&self, pid: Pid) -> Vec<Option<OpenFile>> {
+        self.fds.lock().get(&pid.0).map(|t| t.snapshot()).unwrap_or_default()
+    }
+
+    /// Restore a table captured with [`Self::fd_snapshot`]: descriptors
+    /// opened since vanish, closed ones reappear at their old numbers with
+    /// their old offsets.
+    pub fn fd_restore(&self, pid: Pid, snap: Vec<Option<OpenFile>>) {
+        self.fds.lock().entry(pid.0).or_default().restore(snap);
+    }
+
     // ---- boundary-charge helpers ------------------------------------------
 
     /// Charge a user→kernel argument copy of `len` bytes (path strings and

@@ -23,6 +23,7 @@
 //! | Event monitoring: dispatcher, lock-free ring, monitors (§3.3) | [`kevents`] |
 //! | **KGCC** bounds-checking runtime + deinstrumentation (§3.4) | [`kgcc`] |
 //! | PostMark, Am-utils-like compile, DB scan workloads | [`kworkloads`] |
+//! | Deterministic fault injection (the robustness harness) | [`kfault`] |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use kalloc;
 pub use kclang;
 pub use kefence;
 pub use kevents;
+pub use kfault;
 pub use kgcc;
 pub use ksim;
 pub use ksyscall;
@@ -66,7 +68,7 @@ pub use kworkloads;
 pub mod prelude {
     pub use cosy::{
         extract_compound, CompoundBuilder, CosyArg, CosyCall, CosyError, CosyExtension,
-        CosyOptions, IsolationMode, SharedRegion,
+        CosyOptions, FallbackMode, IsolationMode, SharedRegion,
     };
     pub use kalloc::{KernelAllocator, SlabAllocator, VfreeIndex, Vmalloc};
     pub use kclang::{parse_program, typecheck, ExecConfig, Interp, InterpError, Vm};
@@ -86,7 +88,8 @@ pub mod prelude {
         estimate_consolidation, mine_patterns, InteractiveTraceGen, SyscallGraph, Sysno,
         TraceGen,
     };
-    pub use kvfs::{FileKind, Stat};
+    pub use kfault::{classify, FaultClass, FaultPlane, Policy};
+    pub use kvfs::{FileKind, Stat, VfsSnapshot};
     pub use kworkloads::{
         probe_cosy, probe_user, run_compile, run_postmark, scan_cosy, scan_user, setup_db,
         CompileConfig, DbConfig, PostmarkConfig, Rig, UserProc,

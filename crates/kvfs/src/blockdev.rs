@@ -22,6 +22,8 @@ use parking_lot::Mutex;
 
 use ksim::{Machine, PAGE_SIZE};
 
+use crate::error::{VfsError, VfsResult};
+
 /// Dirty blocks flushed per elevator pass: one seek is charged per batch.
 pub const ELEVATOR_BATCH: u64 = 32;
 
@@ -87,22 +89,31 @@ impl BlockDev {
     }
 
     /// Read one block (or a `bytes`-sized prefix of it). Cached blocks are
-    /// free; misses charge the disk and populate the cache.
-    pub fn read_block(&self, addr: BlockAddr, bytes: usize) {
+    /// free; misses charge the disk and populate the cache. A media error
+    /// (injected at `kvfs.blockdev.read`) surfaces as EIO and leaves the
+    /// block uncached, exactly like a failed BIO.
+    pub fn read_block(&self, addr: BlockAddr, bytes: usize) -> VfsResult<()> {
         if self.cache.lock().contains(&addr) {
             self.cache_hits.fetch_add(1, Relaxed);
-            return;
+            return Ok(());
+        }
+        if self.machine.faults.should_fail(kfault::sites::KVFS_BLOCKDEV_READ) {
+            return Err(VfsError::Io);
         }
         self.reads.fetch_add(1, Relaxed);
         self.machine.stats.disk_reads.fetch_add(1, Relaxed);
         self.charge_access(addr, bytes.min(PAGE_SIZE));
         self.cache.lock().insert(addr);
+        Ok(())
     }
 
     /// Write one block (write-back + elevator): the transfer is charged per
     /// block, a seek + rotational delay once per [`ELEVATOR_BATCH`] dirty
     /// blocks. The block becomes cached for subsequent reads.
-    pub fn write_block(&self, addr: BlockAddr, bytes: usize) {
+    pub fn write_block(&self, addr: BlockAddr, bytes: usize) -> VfsResult<()> {
+        if self.machine.faults.should_fail(kfault::sites::KVFS_BLOCKDEV_WRITE) {
+            return Err(VfsError::Io);
+        }
         self.writes.fetch_add(1, Relaxed);
         self.machine.stats.disk_writes.fetch_add(1, Relaxed);
         let m = &self.machine;
@@ -114,6 +125,7 @@ impl BlockDev {
         }
         *self.last.lock() = Some(addr);
         self.cache.lock().insert(addr);
+        Ok(())
     }
 
     /// Mark a block as cached without charging (e.g. the inode block of a
@@ -167,7 +179,7 @@ mod tests {
     fn first_read_charges_random_access() {
         let d = dev();
         let io0 = d.machine.clock.io_cycles();
-        d.read_block(addr(1, 0), PAGE_SIZE);
+        d.read_block(addr(1, 0), PAGE_SIZE).unwrap();
         let spent = d.machine.clock.io_cycles() - io0;
         assert_eq!(spent, d.machine.cost.disk_random(PAGE_SIZE));
     }
@@ -175,9 +187,9 @@ mod tests {
     #[test]
     fn sequential_reads_skip_the_seek() {
         let d = dev();
-        d.read_block(addr(1, 0), PAGE_SIZE);
+        d.read_block(addr(1, 0), PAGE_SIZE).unwrap();
         let io0 = d.machine.clock.io_cycles();
-        d.read_block(addr(1, 1), PAGE_SIZE);
+        d.read_block(addr(1, 1), PAGE_SIZE).unwrap();
         let spent = d.machine.clock.io_cycles() - io0;
         assert_eq!(spent, d.machine.cost.disk_transfer(PAGE_SIZE));
         let (_, _, _, seeks) = d.counters();
@@ -187,8 +199,8 @@ mod tests {
     #[test]
     fn switching_objects_seeks_again() {
         let d = dev();
-        d.read_block(addr(1, 0), PAGE_SIZE);
-        d.read_block(addr(2, 1), PAGE_SIZE); // different inode: seek
+        d.read_block(addr(1, 0), PAGE_SIZE).unwrap();
+        d.read_block(addr(2, 1), PAGE_SIZE).unwrap(); // different inode: seek
         let (_, _, _, seeks) = d.counters();
         assert_eq!(seeks, 2);
     }
@@ -196,9 +208,9 @@ mod tests {
     #[test]
     fn cached_reads_are_free() {
         let d = dev();
-        d.read_block(addr(1, 0), PAGE_SIZE);
+        d.read_block(addr(1, 0), PAGE_SIZE).unwrap();
         let io0 = d.machine.clock.io_cycles();
-        d.read_block(addr(1, 0), PAGE_SIZE);
+        d.read_block(addr(1, 0), PAGE_SIZE).unwrap();
         assert_eq!(d.machine.clock.io_cycles(), io0);
         let (reads, _, hits, _) = d.counters();
         assert_eq!((reads, hits), (1, 1));
@@ -208,8 +220,8 @@ mod tests {
     fn writes_charge_transfer_and_populate_cache() {
         let d = dev();
         let io0 = d.machine.clock.io_cycles();
-        d.write_block(addr(3, 0), PAGE_SIZE);
-        d.write_block(addr(3, 0), PAGE_SIZE);
+        d.write_block(addr(3, 0), PAGE_SIZE).unwrap();
+        d.write_block(addr(3, 0), PAGE_SIZE).unwrap();
         let (reads, writes, _, _) = d.counters();
         assert_eq!((reads, writes), (0, 2));
         assert_eq!(
@@ -219,7 +231,7 @@ mod tests {
         );
         // A read after the write is served from cache.
         let io1 = d.machine.clock.io_cycles();
-        d.read_block(addr(3, 0), PAGE_SIZE);
+        d.read_block(addr(3, 0), PAGE_SIZE).unwrap();
         assert_eq!(d.machine.clock.io_cycles(), io1);
     }
 
@@ -227,7 +239,7 @@ mod tests {
     fn elevator_charges_one_seek_per_batch() {
         let d = dev();
         for i in 0..(2 * ELEVATOR_BATCH) {
-            d.write_block(addr(i, 0), PAGE_SIZE);
+            d.write_block(addr(i, 0), PAGE_SIZE).unwrap();
         }
         let (_, _, _, seeks) = d.counters();
         assert_eq!(seeks, 2, "one seek per {ELEVATOR_BATCH} dirty blocks");
@@ -236,10 +248,10 @@ mod tests {
     #[test]
     fn evict_object_forces_rereads() {
         let d = dev();
-        d.read_block(addr(4, 0), PAGE_SIZE);
+        d.read_block(addr(4, 0), PAGE_SIZE).unwrap();
         d.evict_object(4);
         let io0 = d.machine.clock.io_cycles();
-        d.read_block(addr(4, 0), PAGE_SIZE);
+        d.read_block(addr(4, 0), PAGE_SIZE).unwrap();
         assert!(d.machine.clock.io_cycles() > io0);
     }
 }

@@ -26,6 +26,8 @@ pub enum VfsError {
     BadHandle,
     /// ENOSPC / simulator OOM
     NoSpace,
+    /// EIO — a block-device media error (only reachable via fault injection).
+    Io,
     /// An underlying machine fault (page fault, watchdog, ...).
     Sim(SimError),
 }
@@ -42,6 +44,7 @@ impl VfsError {
             VfsError::Invalid(_) => -22,       // EINVAL
             VfsError::BadHandle => -9,         // EBADF
             VfsError::NoSpace => -28,          // ENOSPC
+            VfsError::Io => -5,                // EIO
             VfsError::Sim(_) => -14,           // EFAULT
         }
     }
@@ -58,6 +61,7 @@ impl fmt::Display for VfsError {
             VfsError::Invalid(m) => write!(f, "invalid argument: {m}"),
             VfsError::BadHandle => write!(f, "bad file handle"),
             VfsError::NoSpace => write!(f, "no space left on device"),
+            VfsError::Io => write!(f, "I/O error"),
             VfsError::Sim(e) => write!(f, "machine fault: {e}"),
         }
     }

@@ -27,13 +27,15 @@ pub mod dcache;
 pub mod error;
 pub mod fs;
 pub mod memfs;
+pub mod snapshot;
 pub mod vfs;
 pub mod wrapfs;
 
-pub use blockdev::BlockDev;
+pub use blockdev::{BlockAddr, BlockDev};
 pub use dcache::DentryCache;
 pub use error::{VfsError, VfsResult};
 pub use fs::{DirEntry, FileKind, FileSystem, Ino, Stat, DIRENT_WIRE_BYTES, STAT_WIRE_BYTES};
 pub use memfs::MemFs;
+pub use snapshot::{SnapshotEntry, VfsSnapshot};
 pub use vfs::Vfs;
 pub use wrapfs::WrapFs;

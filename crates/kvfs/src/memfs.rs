@@ -101,8 +101,12 @@ impl MemFs {
         self.machine.charge_sys(INODE_OP_COST);
         let n = self.meta_updates.fetch_add(1, Relaxed) + 1;
         if n.is_multiple_of(META_JOURNAL_BATCH) {
-            // Sequential journal commit: transfer-only cost.
-            self.dev.write_block(BlockAddr { obj: u64::MAX, index: n / META_JOURNAL_BATCH }, PAGE_SIZE);
+            // Sequential journal commit: transfer-only cost. A failed commit
+            // is absorbed here — the journal retries on the next batch, so
+            // metadata updates themselves stay infallible.
+            let _ = self
+                .dev
+                .write_block(BlockAddr { obj: u64::MAX, index: n / META_JOURNAL_BATCH }, PAGE_SIZE);
         }
     }
 
@@ -142,6 +146,9 @@ impl FileSystem for MemFs {
         }
         if d.entries.contains_key(name) {
             return Err(VfsError::Exists);
+        }
+        if self.machine.faults.should_fail(kfault::sites::KVFS_NOSPC) {
+            return Err(VfsError::NoSpace);
         }
         let ino = self.alloc_ino();
         d.entries.insert(name.to_string(), ino);
@@ -237,7 +244,7 @@ impl FileSystem for MemFs {
         // batch plus disk for uncached dir blocks (~32 B per entry).
         let nblocks = (d.entries.len() * 32).div_ceil(PAGE_SIZE).max(1);
         for b in 0..nblocks {
-            self.dev.read_block(BlockAddr { obj: dir.0, index: b as u64 }, PAGE_SIZE);
+            self.dev.read_block(BlockAddr { obj: dir.0, index: b as u64 }, PAGE_SIZE)?;
         }
         self.machine.charge_sys(DIR_OP_COST + d.entries.len() as u64 * 25);
         Ok(d
@@ -255,7 +262,7 @@ impl FileSystem for MemFs {
         self.machine.charge_sys(INODE_OP_COST);
         // The inode block itself may need reading (one metadata block per
         // inode; cached after first touch).
-        self.dev.read_block(BlockAddr { obj: ino.0, index: u64::MAX }, 128);
+        self.dev.read_block(BlockAddr { obj: ino.0, index: u64::MAX }, 128)?;
         let inodes = self.inodes.read();
         let i = inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
         Ok(Stat {
@@ -292,7 +299,7 @@ impl FileSystem for MemFs {
         let first = off / PAGE_SIZE as u64;
         let last = (off + n as u64 - 1) / PAGE_SIZE as u64;
         for b in first..=last {
-            self.dev.read_block(BlockAddr { obj: ino.0, index: b }, PAGE_SIZE);
+            self.dev.read_block(BlockAddr { obj: ino.0, index: b }, PAGE_SIZE)?;
             self.machine.charge_sys(BLOCK_CPU_COST);
         }
         Ok(n)
@@ -301,6 +308,9 @@ impl FileSystem for MemFs {
     fn write(&self, ino: Ino, off: u64, data: &[u8]) -> VfsResult<usize> {
         if data.is_empty() {
             return Ok(0);
+        }
+        if self.machine.faults.should_fail(kfault::sites::KVFS_NOSPC) {
+            return Err(VfsError::NoSpace);
         }
         let mut inodes = self.inodes.write();
         let i = inodes.get_mut(&ino.0).ok_or(VfsError::NotFound)?;
@@ -324,7 +334,7 @@ impl FileSystem for MemFs {
         for b in first..=last {
             self.machine.charge_sys(BLOCK_CPU_COST);
             if b >= old_blocks {
-                self.dev.write_block(BlockAddr { obj: ino.0, index: b }, PAGE_SIZE);
+                self.dev.write_block(BlockAddr { obj: ino.0, index: b }, PAGE_SIZE)?;
             }
         }
         self.charge_meta_update(); // size/mtime change

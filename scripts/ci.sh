@@ -18,4 +18,14 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "== bench smoke: bytecode VM + translation cache =="
 ./target/release/a7_bytecode --quick
 
+echo "== bench smoke: fault sweep (runs twice; trace must reproduce) =="
+./target/release/a8_faultsweep --quick
+h1=$(./target/release/a8_faultsweep --quick | grep '^TRACE_HASH')
+h2=$(./target/release/a8_faultsweep --quick | grep '^TRACE_HASH')
+if [ "$h1" != "$h2" ]; then
+    echo "fault sweep is not deterministic: '$h1' vs '$h2'" >&2
+    exit 1
+fi
+echo "fault sweep deterministic: $h1"
+
 echo "CI pass complete."

@@ -1,0 +1,367 @@
+//! Integration: the fault-injection plane across crates — every registered
+//! site fires under a targeted workload, injected failures never panic the
+//! host, aborted compounds roll back to the pre-submit image bit-exactly,
+//! the op-by-op fallback converges to the no-fault answer, and the same
+//! seed reproduces the same trace and the same final file-system state.
+
+use std::sync::Arc;
+
+use kucode::kfault::{sites, Policy};
+use kucode::kvfs::{BlockAddr, VfsError};
+use kucode::prelude::*;
+
+fn regions(rig: &Rig, p: &UserProc, slot: u64) -> (SharedRegion, SharedRegion) {
+    let cb = SharedRegion::new(rig.machine.clone(), p.pid, 1, slot).unwrap();
+    let db = SharedRegion::new(rig.machine.clone(), p.pid, 4, slot + 1).unwrap();
+    (cb, db)
+}
+
+/// Capture a content-level snapshot with injection suspended: recovery and
+/// verification are not fault targets.
+fn snap(rig: &Rig) -> VfsSnapshot {
+    let was = rig.machine.faults.suspend();
+    let s = VfsSnapshot::capture(rig.vfs.fs().as_ref()).unwrap();
+    rig.machine.faults.resume(was);
+    s
+}
+
+/// Drive one registered site to fire exactly once (FailNth(1) scoped to the
+/// site) and return how often it fired. Every arm of the match must survive
+/// the injected failure as an `Err`/errno — never a host panic.
+fn fire_site(site: &'static str) -> u64 {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+
+    // Workload prerequisites run uninstrumented.
+    let (cb, db) = regions(&rig, &p, 0);
+    rig.machine.map_user(p.pid, 0x50_0000, 4096).unwrap();
+    let fd = rig.sys.sys_open(p.pid, "/seed", OpenFlags::RDWR | OpenFlags::CREAT);
+    assert!(fd >= 0);
+    p.stage(&rig, b"payload-bytes!!!");
+
+    rig.machine.faults.arm(0xA5A5);
+    rig.machine.faults.add_policy(Some(site), Policy::FailNth(1));
+
+    match site {
+        s if s == sites::KSIM_FRAME_ALLOC => {
+            assert!(rig.machine.map_user(p.pid, 0x60_0000, 4096).is_err());
+        }
+        s if s == sites::KSIM_TLB_FILL => {
+            // The page at 0x50_0000 is mapped but was never touched, so the
+            // TLB is cold and the access must go through the fill path.
+            let asid = rig.machine.proc_asid(p.pid).unwrap();
+            let mut buf = [0u8; 8];
+            assert!(rig.machine.mem.read_virt(asid, 0x50_0000, &mut buf).is_err());
+        }
+        s if s == sites::KSIM_PREEMPT_TICK => {
+            let mut b = CompoundBuilder::new(&cb, &db);
+            b.syscall(CosyCall::Getpid, vec![]);
+            b.syscall(CosyCall::Getpid, vec![]);
+            b.finish().unwrap();
+            let err = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+            assert!(matches!(err, CosyError::WatchdogKilled { .. }), "{err:?}");
+        }
+        s if s == sites::KALLOC_VMALLOC => {
+            let vm = Vmalloc::new(rig.machine.clone(), VfreeIndex::HashTable);
+            assert!(vm.vmalloc(4096).is_err());
+        }
+        s if s == sites::KALLOC_SLAB => {
+            let slab = SlabAllocator::new(rig.machine.clone());
+            assert!(slab.kmalloc(64).is_err());
+        }
+        s if s == sites::KVFS_BLOCKDEV_READ => {
+            // An address no one has written is never cached: the read takes
+            // the miss path and hits the injected media error.
+            let got = rig.dev.read_block(BlockAddr { obj: 999, index: 0 }, 4096);
+            assert_eq!(got.unwrap_err(), VfsError::Io);
+        }
+        s if s == sites::KVFS_BLOCKDEV_WRITE => {
+            assert_eq!(rig.sys.sys_write(p.pid, fd as i32, p.buf, 16), VfsError::Io.errno());
+        }
+        s if s == sites::KVFS_NOSPC => {
+            let r = rig.sys.sys_open(p.pid, "/nospace", OpenFlags::WRONLY | OpenFlags::CREAT);
+            assert_eq!(r, VfsError::NoSpace.errno());
+        }
+        s if s == sites::KEVENTS_RING_FULL => {
+            let disp = EventDispatcher::new(rig.machine.clone());
+            let ring = Arc::new(EventRing::with_capacity(16));
+            disp.attach_ring(ring.clone());
+            disp.log_event(EventRecord::new(1, EventType::Custom(1), "t", 1, 0));
+            assert_eq!(ring.dropped(), 1, "the record was lost, not delivered");
+            assert_eq!(ring.len(), 0);
+        }
+        other => panic!("no workload for unknown site {other}"),
+    }
+
+    let stats = rig.machine.faults.site_stats();
+    let entry = stats.iter().find(|st| st.site == site).unwrap();
+    rig.machine.faults.disarm();
+    entry.fired
+}
+
+#[test]
+fn every_registered_site_fires_under_a_targeted_workload() {
+    for &site in sites::ALL {
+        assert_eq!(fire_site(site), 1, "{site} must fire exactly once");
+    }
+}
+
+#[test]
+fn aborted_compound_restores_the_presubmit_image() {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let (cb, db) = regions(&rig, &p, 0);
+
+    // Pre-existing state the compound will damage before it dies.
+    let fd = rig.sys.sys_open(p.pid, "/victim", OpenFlags::RDWR | OpenFlags::CREAT);
+    p.stage(&rig, b"victim content");
+    rig.sys.sys_write(p.pid, fd as i32, p.buf, 14);
+    rig.sys.sys_close(p.pid, fd as i32);
+    let fd = rig.sys.sys_open(p.pid, "/keep", OpenFlags::RDWR | OpenFlags::CREAT);
+    p.stage(&rig, b"keep these bytes");
+    rig.sys.sys_write(p.pid, fd as i32, p.buf, 16);
+    rig.sys.sys_close(p.pid, fd as i32);
+    let before = snap(&rig);
+
+    // mkdir + create + write + unlink + truncating re-open, then die on the
+    // final write: ENOSPC consults run create(1), write(2), write(3).
+    let mut b = CompoundBuilder::new(&cb, &db);
+    let dir = b.stage_path("/d").unwrap();
+    b.syscall(CosyCall::Mkdir, vec![dir]);
+    let pa = b.stage_path("/d/a").unwrap();
+    let data = b.stage_bytes(b"fresh junk").unwrap();
+    let fda = b.syscall(CosyCall::Open, vec![pa, CompoundBuilder::lit(0x42)]);
+    b.syscall(
+        CosyCall::Write,
+        vec![CompoundBuilder::result_of(fda), data, CompoundBuilder::lit(10)],
+    );
+    let victim = b.stage_path("/victim").unwrap();
+    b.syscall(CosyCall::Unlink, vec![victim]);
+    let keep = b.stage_path("/keep").unwrap();
+    let fdk = b.syscall(CosyCall::Open, vec![keep, CompoundBuilder::lit(0x201)]);
+    b.syscall(
+        CosyCall::Write,
+        vec![CompoundBuilder::result_of(fdk), data, CompoundBuilder::lit(10)],
+    );
+    b.finish().unwrap();
+
+    rig.machine.faults.arm(0x0DDB);
+    rig.machine.faults.add_policy(Some(sites::KVFS_NOSPC), Policy::FailNth(3));
+    let err = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+    assert!(matches!(err, CosyError::Vfs(VfsError::NoSpace)), "{err:?}");
+    assert_eq!(rig.machine.faults.fired_count(), 1);
+    rig.machine.faults.disarm();
+
+    let after = snap(&rig);
+    assert_eq!(before.hash(), after.hash(), "{:?}", before.diff(&after));
+    assert_eq!(rig.sys.k_stat("/victim").unwrap().size, 14, "unlink undone");
+    assert_eq!(rig.sys.k_stat("/keep").unwrap().size, 16, "truncate undone");
+    assert!(rig.sys.k_stat("/d").is_err(), "mkdir undone");
+    // The process survives a transient abort and can keep working.
+    assert!(rig.sys.sys_getpid(p.pid) >= 0);
+}
+
+#[test]
+fn injected_watchdog_kill_rolls_back_and_terminates_the_process() {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let (cb, db) = regions(&rig, &p, 0);
+    let before = snap(&rig);
+
+    // Preemption points run before every op: FailNth(2) lets op 0 create a
+    // file, then forces the watchdog kill at the op-1 boundary.
+    let mut b = CompoundBuilder::new(&cb, &db);
+    let path = b.stage_path("/doomed").unwrap();
+    let fd = b.syscall(CosyCall::Open, vec![path, CompoundBuilder::lit(0x42)]);
+    b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+    b.finish().unwrap();
+
+    rig.machine.faults.arm(7);
+    rig.machine.faults.add_policy(Some(sites::KSIM_PREEMPT_TICK), Policy::FailNth(2));
+    let err = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+    rig.machine.faults.disarm();
+    assert!(
+        matches!(err, CosyError::WatchdogKilled { op_index: 1 }),
+        "killed at the second preemption point: {err:?}"
+    );
+
+    // A fatal fault still honours all-or-nothing: the created file is gone,
+    // and — as in the paper — the offending process is terminated.
+    let after = snap(&rig);
+    assert_eq!(before.hash(), after.hash(), "{:?}", before.diff(&after));
+    assert!(rig.sys.k_stat("/doomed").is_err());
+    assert_eq!(rig.sys.sys_getpid(p.pid), -3, "ESRCH: process is gone");
+}
+
+#[test]
+fn fallback_replay_converges_to_the_no_fault_result() {
+    let build = |cb: &SharedRegion, db: &SharedRegion| {
+        let mut b = CompoundBuilder::new(cb, db);
+        for path in ["/f", "/g"] {
+            let pa = b.stage_path(path).unwrap();
+            let data = b.stage_bytes(b"sixteen bytes!!").unwrap();
+            let fd = b.syscall(CosyCall::Open, vec![pa, CompoundBuilder::lit(0x42)]);
+            b.syscall(
+                CosyCall::Write,
+                vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(16)],
+            );
+            b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+        }
+        b.finish().unwrap();
+    };
+
+    // Twin A: no faults.
+    let clean = Rig::memfs();
+    let pc = clean.user(1 << 16);
+    let (cb, db) = regions(&clean, &pc, 0);
+    build(&cb, &db);
+    let want = clean.cosy.submit(pc.pid, &cb, &db, &CosyOptions::default()).unwrap();
+
+    // Twin B: every second ENOSPC consult fails, but the op-by-op fallback
+    // retries transients until the compound's work is fully applied.
+    let faulty = Rig::memfs();
+    let pf = faulty.user(1 << 16);
+    let (cb, db) = regions(&faulty, &pf, 0);
+    build(&cb, &db);
+    faulty.machine.faults.arm(9);
+    faulty.machine.faults.add_policy(Some(sites::KVFS_NOSPC), Policy::EveryNth(2));
+    let opts = CosyOptions {
+        fallback: FallbackMode::Replay { max_retries: 3, backoff_cycles: 250 },
+        ..Default::default()
+    };
+    let got = faulty.cosy.submit(pf.pid, &cb, &db, &opts).unwrap();
+    assert!(faulty.machine.faults.fired_count() >= 2, "faults really were injected");
+    faulty.machine.faults.disarm();
+
+    assert_eq!(got, want, "degraded execution returns the no-fault results");
+    for path in ["/f", "/g"] {
+        assert_eq!(
+            faulty.sys.k_stat(path).unwrap().size,
+            clean.sys.k_stat(path).unwrap().size,
+            "{path}"
+        );
+    }
+    assert_eq!(snap(&faulty).hash(), snap(&clean).hash(), "identical final images");
+}
+
+#[test]
+fn oops_capture_and_ring_loss_surface_through_kevents() {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    let (cb, db) = regions(&rig, &p, 0);
+    let disp = Arc::new(EventDispatcher::new(rig.machine.clone()));
+    let ring = Arc::new(EventRing::with_capacity(16));
+    disp.attach_ring(ring.clone());
+    rig.cosy.set_oops_sink(disp);
+
+    let submit_failing = |path: &str| {
+        let mut b = CompoundBuilder::new(&cb, &db);
+        let pa = b.stage_path(path).unwrap();
+        let data = b.stage_bytes(b"will not survive").unwrap();
+        let fd = b.syscall(CosyCall::Open, vec![pa, CompoundBuilder::lit(0x42)]);
+        b.syscall(
+            CosyCall::Write,
+            vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(16)],
+        );
+        b.finish().unwrap();
+        rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err()
+    };
+
+    // Phase 1: an injected media error aborts the compound and the oops
+    // record reaches the ring.
+    rig.machine.faults.arm(11);
+    rig.machine.faults.add_policy(Some(sites::KVFS_BLOCKDEV_WRITE), Policy::FailNth(1));
+    let err = submit_failing("/o1");
+    assert!(matches!(err, CosyError::Vfs(VfsError::Io)), "{err:?}");
+    let mut out = Vec::new();
+    ring.pop_bulk(&mut out, 16);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].event, kucode::kevents::OOPS_EVENT);
+    assert_eq!(out[0].obj, p.pid.0 as u64);
+    assert_eq!(out[0].value, VfsError::Io.errno());
+
+    // Phase 2: the monitoring plane itself is faulted — the oops record is
+    // dropped at the (injected-full) ring but the loss stays countable.
+    rig.machine.faults.clear_policies();
+    rig.machine.faults.arm(12);
+    rig.machine.faults.add_policy(Some(sites::KVFS_NOSPC), Policy::FailNth(1));
+    rig.machine.faults.add_policy(Some(sites::KEVENTS_RING_FULL), Policy::FailNth(1));
+    let err = submit_failing("/o2");
+    assert!(matches!(err, CosyError::Vfs(VfsError::NoSpace)), "{err:?}");
+    rig.machine.faults.disarm();
+    let mut out = Vec::new();
+    ring.pop_bulk(&mut out, 16);
+    assert!(out.is_empty(), "the oops record was lost to the full ring");
+    assert_eq!(ring.dropped(), 1, "but the loss is counted");
+}
+
+#[test]
+fn allocator_failure_surfaces_as_enospc_through_the_stacked_fs() {
+    let rig = Rig::wrapfs_kmalloc();
+    let p = rig.user(1 << 16);
+    rig.machine.faults.arm(3);
+    rig.machine.faults.add_policy(Some(sites::KALLOC_SLAB), Policy::FailNth(1));
+    let r = rig.sys.sys_open(p.pid, "/wrapped", OpenFlags::WRONLY | OpenFlags::CREAT);
+    rig.machine.faults.disarm();
+    assert_eq!(r, VfsError::NoSpace.errno(), "kmalloc failure maps to ENOSPC");
+    assert_eq!(rig.machine.faults.fired_count(), 1);
+}
+
+/// One seeded chaos episode: 24 open+write+close compounds (with periodic
+/// unlinks) under a 12% ENOSPC/EIO probability with the op-by-op fallback
+/// enabled. Returns the fault trace hash, the final file-system image hash,
+/// and every per-compound outcome.
+fn chaos_run(seed: u64) -> (u64, u64, Vec<Result<Vec<i64>, String>>) {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    for i in 0..4 {
+        let fd =
+            rig.sys.sys_open(p.pid, &format!("/seed{i}"), OpenFlags::RDWR | OpenFlags::CREAT);
+        p.stage(&rig, b"pre-populated");
+        rig.sys.sys_write(p.pid, fd as i32, p.buf, 13);
+        rig.sys.sys_close(p.pid, fd as i32);
+    }
+    let (cb, db) = regions(&rig, &p, 0);
+
+    rig.machine.faults.arm(seed);
+    rig.machine.faults.add_policy(Some("kvfs."), Policy::Probability(120));
+    let opts = CosyOptions {
+        fallback: FallbackMode::Replay { max_retries: 2, backoff_cycles: 400 },
+        ..Default::default()
+    };
+    let mut outcomes = Vec::new();
+    for i in 0..24 {
+        let mut b = CompoundBuilder::new(&cb, &db);
+        let path = b.stage_path(&format!("/f{}", i % 6)).unwrap();
+        let data = b.stage_bytes(b"deterministic payload").unwrap();
+        let fd = b.syscall(CosyCall::Open, vec![path, CompoundBuilder::lit(0x42)]);
+        b.syscall(
+            CosyCall::Write,
+            vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(21)],
+        );
+        b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+        if i % 5 == 0 {
+            let victim = b.stage_path(&format!("/seed{}", i % 4)).unwrap();
+            b.syscall(CosyCall::Unlink, vec![victim]);
+        }
+        b.finish().unwrap();
+        outcomes
+            .push(rig.cosy.submit(p.pid, &cb, &db, &opts).map_err(|e| format!("{e:?}")));
+    }
+    let trace_hash = rig.machine.faults.trace_hash();
+    assert!(rig.machine.faults.fired_count() > 0, "p=0.12 over 24 compounds must fire");
+    rig.machine.faults.disarm();
+    (trace_hash, snap(&rig).hash(), outcomes)
+}
+
+#[test]
+fn same_seed_reproduces_the_same_trace_and_final_state() {
+    let a = chaos_run(0x5EED);
+    let b = chaos_run(0x5EED);
+    assert_eq!(a.0, b.0, "same seed, same fault trace");
+    assert_eq!(a.1, b.1, "same seed, same final file-system image");
+    assert_eq!(a.2, b.2, "same seed, same per-compound outcomes");
+
+    let c = chaos_run(0xBADD);
+    assert_ne!(a.0, c.0, "a different seed draws a different fault schedule");
+}
