@@ -30,7 +30,7 @@ pub fn run(report: &mut Report) {
     let mut results = Vec::new();
     for (name, mode) in [
         ("classic", ServeMode::Classic),
-        ("open_read_close", ServeMode::Consolidated),
+        ("sendfile", ServeMode::Consolidated),
         ("cosy compound", ServeMode::Cosy),
     ] {
         let rig = Rig::memfs();

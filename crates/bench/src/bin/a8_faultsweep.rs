@@ -120,6 +120,36 @@ fn drive_site(rig: &Rig, site: &'static str, attempts: u64) {
                 disp.log_event(EventRecord::new(i, EventType::Custom(1), "a8", 1, 0));
             }
         }
+        s if s == sites::NET_ACCEPT_OVERFLOW => {
+            // Every connect consults the site; each attempt tears its
+            // socket down so the backlog never genuinely fills.
+            let p = rig.user(4096);
+            let net = rig.sys.net();
+            let l = net.socket(p.pid).unwrap();
+            net.bind_listen(p.pid, l, 80, attempts as usize + 1).unwrap();
+            for _ in 0..attempts {
+                let c = net.socket(p.pid).unwrap();
+                let _ = net.connect(p.pid, c, 80);
+                let _ = net.shutdown(p.pid, c);
+            }
+        }
+        s if s == sites::NET_SEND_AGAIN || s == sites::NET_PEER_RESET => {
+            // Both sites are consulted on send. A fresh connection per
+            // attempt keeps the consult count stable: a reset socket
+            // would short-circuit before reaching the sites.
+            let p = rig.user(4096);
+            let net = rig.sys.net();
+            let l = net.socket(p.pid).unwrap();
+            net.bind_listen(p.pid, l, 80, 4).unwrap();
+            for _ in 0..attempts {
+                let c = net.socket(p.pid).unwrap();
+                net.connect(p.pid, c, 80).unwrap();
+                let s = net.accept(p.pid, l).unwrap();
+                let _ = net.send(p.pid, c, &[0x5A; 32]);
+                let _ = net.shutdown(p.pid, c);
+                let _ = net.shutdown(p.pid, s);
+            }
+        }
         other => panic!("no sweep workload for unknown site {other}"),
     }
 }

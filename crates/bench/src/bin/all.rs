@@ -42,6 +42,8 @@ mod a6;
 mod a7;
 #[path = "a8_faultsweep.rs"]
 mod a8;
+#[path = "a9_netserve.rs"]
+mod a9;
 
 fn main() {
     let mut report = Report::new();
@@ -60,6 +62,7 @@ fn main() {
     a6::run(&mut report);
     a7::run(&mut report);
     a8::run(&mut report);
+    a9::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

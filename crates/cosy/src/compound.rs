@@ -25,6 +25,17 @@ pub enum CosyCall {
     /// Read directory entries from an fd into the shared buffer (classic
     /// fixed-size dirents); returns the entry count.
     Readdir = 11,
+    // --- socket operations (knet). All of these have externally visible
+    // effects the undo log cannot reverse; the executor records a
+    // NetBarrier after each success.
+    Accept = 12,
+    Recv = 13,
+    Send = 14,
+    /// File fd → socket ring without touching the shared data buffer.
+    Sendfile = 15,
+    /// Close a socket descriptor (named to avoid clashing with a future
+    /// half-close).
+    ShutdownSock = 16,
 }
 
 impl CosyCall {
@@ -41,6 +52,11 @@ impl CosyCall {
             9 => CosyCall::Mkdir,
             10 => CosyCall::Unlink,
             11 => CosyCall::Readdir,
+            12 => CosyCall::Accept,
+            13 => CosyCall::Recv,
+            14 => CosyCall::Send,
+            15 => CosyCall::Sendfile,
+            16 => CosyCall::ShutdownSock,
             _ => return None,
         })
     }
@@ -59,6 +75,11 @@ impl CosyCall {
             CosyCall::Mkdir => "sys_mkdir",
             CosyCall::Unlink => "sys_unlink",
             CosyCall::Readdir => "sys_readdir",
+            CosyCall::Accept => "sys_accept",
+            CosyCall::Recv => "sys_recv",
+            CosyCall::Send => "sys_send",
+            CosyCall::Sendfile => "sys_sendfile",
+            CosyCall::ShutdownSock => "sys_shutdown",
         }
     }
 
@@ -75,6 +96,11 @@ impl CosyCall {
             "sys_mkdir" => CosyCall::Mkdir,
             "sys_unlink" => CosyCall::Unlink,
             "sys_readdir" => CosyCall::Readdir,
+            "sys_accept" => CosyCall::Accept,
+            "sys_recv" => CosyCall::Recv,
+            "sys_send" => CosyCall::Send,
+            "sys_sendfile" => CosyCall::Sendfile,
+            "sys_shutdown" => CosyCall::ShutdownSock,
             _ => return None,
         })
     }
@@ -83,9 +109,11 @@ impl CosyCall {
     pub fn arity(self) -> usize {
         match self {
             CosyCall::Getpid => 0,
-            CosyCall::Close | CosyCall::Unlink | CosyCall::Mkdir => 1,
+            CosyCall::Close | CosyCall::Unlink | CosyCall::Mkdir | CosyCall::Accept
+            | CosyCall::ShutdownSock => 1,
             CosyCall::Open | CosyCall::Stat | CosyCall::Fstat => 2,
-            CosyCall::Read | CosyCall::Write | CosyCall::Lseek | CosyCall::Readdir => 3,
+            CosyCall::Read | CosyCall::Write | CosyCall::Lseek | CosyCall::Readdir
+            | CosyCall::Recv | CosyCall::Send | CosyCall::Sendfile => 3,
         }
     }
 }
@@ -379,6 +407,11 @@ mod tests {
             CosyCall::Getpid,
             CosyCall::Mkdir,
             CosyCall::Unlink,
+            CosyCall::Accept,
+            CosyCall::Recv,
+            CosyCall::Send,
+            CosyCall::Sendfile,
+            CosyCall::ShutdownSock,
         ] {
             assert_eq!(CosyCall::from_intrinsic(call.intrinsic()), Some(call));
             assert_eq!(CosyCall::from_u8(call as u8), Some(call));
@@ -406,7 +439,7 @@ mod proptests {
     fn arb_op() -> impl Strategy<Value = CosyOp> {
         prop_oneof![
             any::<u8>().prop_flat_map(|sel| {
-                let call = CosyCall::from_u8(sel % 11 + 1).expect("1..=11 are valid");
+                let call = CosyCall::from_u8(sel % 16 + 1).expect("1..=16 are valid");
                 proptest::collection::vec(arb_arg(), call.arity()..=call.arity())
                     .prop_map(move |args| CosyOp::Syscall { call, args })
             }),

@@ -34,7 +34,7 @@ use kvfs::{FileKind, FileSystem, Ino, Vfs, VfsError, VfsResult};
 use crate::buffers::SharedRegion;
 use crate::cache::{CacheStats, TranslationCache};
 use crate::compound::{Compound, CosyArg, CosyCall, CosyOp, DecodeError};
-use crate::txn::{UndoEntry, UndoLog};
+use crate::txn::{RollbackScope, UndoEntry, UndoLog};
 
 /// Identifier of a kernel-loaded KC program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +111,10 @@ pub enum CosyError {
     Sim(SimError),
     Interp(InterpError),
     Vfs(VfsError),
+    /// A socket operation failed on an injected fault (negative errno).
+    /// Like [`CosyError::Vfs`], only injected failures abort the compound;
+    /// a genuine network errno flows through as an op result.
+    Net(i64),
     /// The watchdog killed the process mid-compound.
     WatchdogKilled { op_index: usize },
     BadProgram(u32),
@@ -127,6 +131,7 @@ impl std::fmt::Display for CosyError {
             CosyError::Sim(e) => write!(f, "{e}"),
             CosyError::Interp(e) => write!(f, "{e}"),
             CosyError::Vfs(e) => write!(f, "{e}"),
+            CosyError::Net(n) => write!(f, "socket error (errno {n})"),
             CosyError::WatchdogKilled { op_index } => {
                 write!(f, "watchdog killed compound at op {op_index}")
             }
@@ -592,6 +597,87 @@ impl CosyExtension {
                     Err(e) => errno(e)?,
                 }
             }
+            // Socket operations. Their effects leave the machine — a
+            // consumed backlog slot, bytes handed to a peer — so each
+            // success records a NetBarrier instead of an inverse op, and
+            // rollback stops there (see `UndoLog::rollback_to`). The same
+            // injected-vs-genuine errno split as `errno` applies.
+            CosyCall::Accept => {
+                let lsd = scalar(&args[0])? as i32;
+                match s.k_accept(pid, lsd) {
+                    Ok(sd) => {
+                        undo.record(UndoEntry::NetBarrier { op: "accept" });
+                        sd as i64
+                    }
+                    Err(e) => neterrno(&machine, fired0, e)?,
+                }
+            }
+            CosyCall::Recv => {
+                let sd = scalar(&args[0])? as i32;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("recv needs a shared buffer"));
+                };
+                let want = (scalar(&args[2])?.max(0) as u32).min(len);
+                data_buf.check_ref(offset, want)?;
+                let mut buf = vec![0u8; want as usize];
+                match s.k_recv(pid, sd, &mut buf) {
+                    Ok(n) => {
+                        data_buf.kern_write(offset as usize, &buf[..n])?;
+                        machine.charge_sys((n as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES);
+                        if n > 0 {
+                            undo.record(UndoEntry::NetBarrier { op: "recv" });
+                        }
+                        n as i64
+                    }
+                    Err(e) => neterrno(&machine, fired0, e)?,
+                }
+            }
+            CosyCall::Send => {
+                let sd = scalar(&args[0])? as i32;
+                let CosyArg::BufRef { offset, len } = args[1] else {
+                    return Err(CosyError::BadArg("send needs a shared buffer"));
+                };
+                let want = (scalar(&args[2])?.max(0) as u32).min(len);
+                data_buf.check_ref(offset, want)?;
+                let mut buf = vec![0u8; want as usize];
+                data_buf.kern_read(offset as usize, &mut buf)?;
+                machine.charge_sys((want as u64).div_ceil(16) * KCOPY_BLOCK16_CYCLES);
+                match s.k_send(pid, sd, &buf) {
+                    Ok(n) => {
+                        if n > 0 {
+                            undo.record(UndoEntry::NetBarrier { op: "send" });
+                        }
+                        n as i64
+                    }
+                    Err(e) => neterrno(&machine, fired0, e)?,
+                }
+            }
+            CosyCall::Sendfile => {
+                let sd = scalar(&args[0])? as i32;
+                let fd = scalar(&args[1])? as i32;
+                let len = scalar(&args[2])?.max(0) as usize;
+                match s.k_sendfile(pid, sd, fd, len) {
+                    Ok(n) => {
+                        if n > 0 {
+                            undo.record(UndoEntry::NetBarrier { op: "sendfile" });
+                        }
+                        n as i64
+                    }
+                    Err(en) => {
+                        if machine.faults.fired_count() > fired0 {
+                            return Err(CosyError::Net(en));
+                        }
+                        en
+                    }
+                }
+            }
+            CosyCall::ShutdownSock => match s.k_shutdown(pid, scalar(&args[0])? as i32) {
+                Ok(()) => {
+                    undo.record(UndoEntry::NetBarrier { op: "shutdown" });
+                    0
+                }
+                Err(e) => neterrno(&machine, fired0, e)?,
+            },
         })
     }
 
@@ -621,6 +707,20 @@ impl CosyExtension {
                     pid.0 as u64,
                     OOPS_EVENT,
                     "cosy/rollback",
+                    0,
+                    -1,
+                ));
+            }
+        }
+        if matches!(vfs_result, Ok(RollbackScope::StoppedAtBarrier)) {
+            // Socket effects cannot be taken back: file-system work from
+            // before the barrier stays applied. Atomicity is explicitly
+            // forfeited — report it rather than pretend.
+            if let Some(sink) = self.oops_sink.read().as_ref() {
+                sink.log_event(EventRecord::new(
+                    pid.0 as u64,
+                    OOPS_EVENT,
+                    "cosy/netbarrier",
                     0,
                     -1,
                 ));
@@ -838,6 +938,22 @@ impl CosyExtension {
             }
         }
         run_result.map(|o| o.ret)
+    }
+}
+
+/// Errno conversion for socket results, with the same injected-vs-genuine
+/// split as the VFS `errno` closure in `exec_syscall`: an error caused by
+/// an injected fault aborts the compound; a genuine errno (EAGAIN from an
+/// empty ring, EBADF) is an op result the compound keeps running past.
+fn neterrno(
+    machine: &ksim::Machine,
+    fired0: u64,
+    e: knet::NetError,
+) -> Result<i64, CosyError> {
+    if machine.faults.fired_count() > fired0 {
+        Err(CosyError::Net(e.errno()))
+    } else {
+        Ok(e.errno())
     }
 }
 

@@ -34,6 +34,21 @@ pub enum UndoEntry {
     /// `unlink` removed the file; undo re-creates it with its content.
     /// The replacement gets a fresh inode, remapped over `old_ino`.
     Unlinked { path: String, old_ino: u64, content: Vec<u8> },
+    /// A socket operation's effects left the machine (bytes handed to a
+    /// peer, a connection consumed from a backlog). Nothing can reverse
+    /// it, so rollback stops here: entries recorded *before* the barrier
+    /// stay applied, and the caller reports the partial rollback.
+    NetBarrier { op: &'static str },
+}
+
+/// How far a rollback got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackScope {
+    /// Every requested entry was undone.
+    Complete,
+    /// The reverse walk hit a [`UndoEntry::NetBarrier`]: file-system
+    /// effects from before the socket operation remain applied.
+    StoppedAtBarrier,
 }
 
 /// The per-compound undo log.
@@ -69,24 +84,31 @@ impl UndoLog {
 
     /// Undo every entry, newest first. The caller is expected to suspend
     /// the fault plane first: recovery is not an injection target.
-    pub fn rollback(&mut self, vfs: &Vfs) -> VfsResult<()> {
+    pub fn rollback(&mut self, vfs: &Vfs) -> VfsResult<RollbackScope> {
         self.rollback_to(0, vfs)
     }
 
-    /// Undo entries recorded after `mark`, newest first. Applies every
-    /// entry even if one fails, and reports the first failure.
-    pub fn rollback_to(&mut self, mark: usize, vfs: &Vfs) -> VfsResult<()> {
+    /// Undo entries recorded after `mark`, newest first, stopping at a
+    /// [`UndoEntry::NetBarrier`] if one is reached. Applies every entry
+    /// even if one fails, and reports the first failure.
+    pub fn rollback_to(&mut self, mark: usize, vfs: &Vfs) -> VfsResult<RollbackScope> {
         let mut remap: HashMap<u64, u64> = HashMap::new();
         let mut first_err = None;
         while self.entries.len() > mark {
             let entry = self.entries.pop().expect("len checked above");
+            if matches!(entry, UndoEntry::NetBarrier { .. }) {
+                return match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(RollbackScope::StoppedAtBarrier),
+                };
+            }
             if let Err(e) = Self::apply(vfs, &mut remap, entry) {
                 first_err.get_or_insert(e);
             }
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => Ok(RollbackScope::Complete),
         }
     }
 
@@ -118,6 +140,8 @@ impl UndoLog {
                 }
                 Ok(())
             }
+            // Handled in the rollback loop; kept total for safety.
+            UndoEntry::NetBarrier { .. } => Ok(()),
         }
     }
 }
@@ -224,9 +248,28 @@ mod tests {
         log.record(UndoEntry::CreatedFile { path: "/drop".into() });
         v.create_path("/drop").unwrap();
 
-        log.rollback_to(mark, &v).unwrap();
+        assert_eq!(log.rollback_to(mark, &v).unwrap(), RollbackScope::Complete);
         assert!(v.resolve("/keep").is_ok(), "entries before the mark survive");
         assert!(v.resolve("/drop").is_err());
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn net_barrier_stops_the_reverse_walk() {
+        let v = vfs();
+        let mut log = UndoLog::new();
+        // Pre-barrier file-system effect.
+        log.record(UndoEntry::CreatedFile { path: "/pre".into() });
+        v.create_path("/pre").unwrap();
+        // The send: bytes left the machine.
+        log.record(UndoEntry::NetBarrier { op: "send" });
+        // Post-barrier effect.
+        log.record(UndoEntry::CreatedFile { path: "/post".into() });
+        v.create_path("/post").unwrap();
+
+        assert_eq!(log.rollback(&v).unwrap(), RollbackScope::StoppedAtBarrier);
+        assert!(v.resolve("/post").is_err(), "after the barrier: undone");
+        assert!(v.resolve("/pre").is_ok(), "before the barrier: still applied");
+        assert_eq!(log.len(), 1, "the pre-barrier entry stays in the log");
     }
 }

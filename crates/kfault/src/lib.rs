@@ -44,6 +44,13 @@ pub mod sites {
     pub const KVFS_NOSPC: &str = "kvfs.nospc";
     /// Event ring reports full even when it is not (forced drop).
     pub const KEVENTS_RING_FULL: &str = "kevents.ring_full";
+    /// Listener accept queue reports full on connect (ECONNREFUSED).
+    pub const NET_ACCEPT_OVERFLOW: &str = "net.accept_overflow";
+    /// Spurious flow-control stall on send (EAGAIN).
+    pub const NET_SEND_AGAIN: &str = "net.send_again";
+    /// Connection reset mid-stream: both endpoints die, in-flight data is
+    /// discarded (ECONNRESET).
+    pub const NET_PEER_RESET: &str = "net.peer_reset";
 
     /// Every registered site, for sweeps.
     pub const ALL: &[&str] = &[
@@ -56,6 +63,9 @@ pub mod sites {
         KVFS_BLOCKDEV_WRITE,
         KVFS_NOSPC,
         KEVENTS_RING_FULL,
+        NET_ACCEPT_OVERFLOW,
+        NET_SEND_AGAIN,
+        NET_PEER_RESET,
     ];
 }
 

@@ -59,6 +59,12 @@ pub struct CostModel {
     pub spinlock_pair: u64,
     /// One `log_event` dispatcher invocation (indirect call + record fill).
     pub event_dispatch: u64,
+    /// Per-operation socket protocol processing (header handling, state
+    /// machine, queue bookkeeping) charged by every `knet` primitive.
+    pub net_proto: u64,
+    /// In-kernel socket-ring data movement per 16-byte block — the memcpy
+    /// a loopback stack pays instead of NIC DMA.
+    pub sock_move_block16: u64,
 }
 
 impl Default for CostModel {
@@ -84,6 +90,8 @@ impl Default for CostModel {
             pte_update: 180,
             spinlock_pair: 40,
             event_dispatch: 55,
+            net_proto: 600,
+            sock_move_block16: 16, // loopback memcpy, same rate as user copies
         }
     }
 }
@@ -138,6 +146,8 @@ impl CostModel {
             pte_update: 0,
             spinlock_pair: 0,
             event_dispatch: 0,
+            net_proto: 0,
+            sock_move_block16: 0,
         }
     }
 }

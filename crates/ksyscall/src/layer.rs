@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use knet::{NetError, NetStack};
 use ksim::{Machine, Pid, SimError};
 use ktrace::{Sysno, SyscallEvent, Tracer};
 use kvfs::{DirEntry, FileKind, Stat, Vfs, VfsError, VfsResult, DIRENT_WIRE_BYTES};
@@ -35,6 +36,7 @@ pub const SEEK_END: i32 = 2;
 pub struct SyscallLayer {
     machine: Arc<Machine>,
     vfs: Arc<Vfs>,
+    net: Arc<NetStack>,
     tracer: Arc<Tracer>,
     fds: Mutex<HashMap<u32, FdTable>>,
 }
@@ -42,6 +44,7 @@ pub struct SyscallLayer {
 impl SyscallLayer {
     pub fn new(machine: Arc<Machine>, vfs: Arc<Vfs>) -> Self {
         SyscallLayer {
+            net: Arc::new(NetStack::new(machine.clone())),
             machine,
             vfs,
             tracer: Arc::new(Tracer::new()),
@@ -55,6 +58,10 @@ impl SyscallLayer {
 
     pub fn vfs(&self) -> &Arc<Vfs> {
         &self.vfs
+    }
+
+    pub fn net(&self) -> &Arc<NetStack> {
+        &self.net
     }
 
     pub fn tracer(&self) -> &Arc<Tracer> {
@@ -560,6 +567,243 @@ impl SyscallLayer {
             }
         })
     }
+
+    // ---- in-kernel socket operations (used by sys_* and by Cosy) ----------
+
+    pub fn k_socket(&self, pid: Pid) -> Result<i32, NetError> {
+        self.net.socket(pid)
+    }
+
+    pub fn k_bind_listen(
+        &self,
+        pid: Pid,
+        sd: i32,
+        port: u16,
+        backlog: usize,
+    ) -> Result<(), NetError> {
+        self.net.bind_listen(pid, sd, port, backlog)
+    }
+
+    pub fn k_connect(&self, pid: Pid, sd: i32, port: u16) -> Result<(), NetError> {
+        self.net.connect(pid, sd, port)
+    }
+
+    pub fn k_accept(&self, pid: Pid, sd: i32) -> Result<i32, NetError> {
+        self.net.accept(pid, sd)
+    }
+
+    pub fn k_send(&self, pid: Pid, sd: i32, data: &[u8]) -> Result<usize, NetError> {
+        self.net.send(pid, sd, data)
+    }
+
+    pub fn k_recv(&self, pid: Pid, sd: i32, out: &mut [u8]) -> Result<usize, NetError> {
+        self.net.recv(pid, sd, out)
+    }
+
+    pub fn k_shutdown(&self, pid: Pid, sd: i32) -> Result<(), NetError> {
+        self.net.shutdown(pid, sd)
+    }
+
+    /// In-kernel `sendfile`: stream up to `len` bytes from `fd`'s cursor
+    /// into socket `sd`, page by page, never surfacing the data to user
+    /// space. Under backpressure the file cursor is rewound to cover
+    /// exactly the bytes actually queued, so a caller can retry from where
+    /// it left off. Returns bytes queued; `Err` is a ready negative errno
+    /// (the call spans the vfs and socket error domains).
+    pub fn k_sendfile(&self, pid: Pid, sd: i32, fd: i32, len: usize) -> Result<usize, i64> {
+        const CHUNK: usize = 8192;
+        let mut page = [0u8; CHUNK];
+        let mut total = 0usize;
+        while total < len {
+            let want = CHUNK.min(len - total);
+            let n = self.k_read(pid, fd, &mut page[..want]).map_err(|e| e.errno())?;
+            if n == 0 {
+                break; // EOF
+            }
+            match self.net.send(pid, sd, &page[..n]) {
+                Ok(m) => {
+                    total += m;
+                    if m < n {
+                        // Peer ring full: un-read the unsent tail.
+                        let _ = self.k_lseek(pid, fd, -((n - m) as i64), SEEK_CUR);
+                        break;
+                    }
+                }
+                Err(NetError::Again) => {
+                    let _ = self.k_lseek(pid, fd, -(n as i64), SEEK_CUR);
+                    if total == 0 {
+                        return Err(NetError::Again.errno());
+                    }
+                    break;
+                }
+                Err(e) => return Err(e.errno()),
+            }
+        }
+        Ok(total)
+    }
+
+    // ---- socket system calls ----------------------------------------------
+
+    /// `socket(2)`: returns a new socket descriptor.
+    pub fn sys_socket(&self, pid: Pid) -> i64 {
+        self.invoke(pid, Sysno::Socket, |s| match s.k_socket(pid) {
+            Ok(sd) => sd as i64,
+            Err(e) => e.errno(),
+        })
+    }
+
+    /// `bind(2)` + `listen(2)` in one call (the simulator has no separate
+    /// unbound-listening state worth modelling).
+    pub fn sys_bind_listen(&self, pid: Pid, sd: i32, port: u16, backlog: usize) -> i64 {
+        self.invoke(pid, Sysno::BindListen, |s| {
+            match s.k_bind_listen(pid, sd, port, backlog) {
+                Ok(()) => 0,
+                Err(e) => e.errno(),
+            }
+        })
+    }
+
+    /// `connect(2)` to a loopback port. Completes the handshake eagerly.
+    pub fn sys_connect(&self, pid: Pid, sd: i32, port: u16) -> i64 {
+        self.invoke(pid, Sysno::Connect, |s| match s.k_connect(pid, sd, port) {
+            Ok(()) => 0,
+            Err(e) => e.errno(),
+        })
+    }
+
+    /// `accept(2)`: non-blocking; -EAGAIN when the backlog is empty.
+    pub fn sys_accept(&self, pid: Pid, sd: i32) -> i64 {
+        self.invoke(pid, Sysno::Accept, |s| match s.k_accept(pid, sd) {
+            Ok(nsd) => nsd as i64,
+            Err(e) => e.errno(),
+        })
+    }
+
+    /// `send(2)` from user buffer `ubuf`; returns bytes queued (may be a
+    /// short count under backpressure).
+    pub fn sys_send(&self, pid: Pid, sd: i32, ubuf: u64, len: usize) -> i64 {
+        self.invoke(pid, Sysno::Send, |s| {
+            let data = match s.machine.copy_from_user(pid, ubuf, len) {
+                Ok(d) => d,
+                Err(_) => return -14,
+            };
+            match s.k_send(pid, sd, &data) {
+                Ok(n) => n as i64,
+                Err(e) => e.errno(),
+            }
+        })
+    }
+
+    /// `recv(2)` into user buffer `ubuf`; 0 means EOF, -EAGAIN means no
+    /// data yet.
+    pub fn sys_recv(&self, pid: Pid, sd: i32, ubuf: u64, len: usize) -> i64 {
+        self.invoke(pid, Sysno::Recv, |s| {
+            let mut buf = vec![0u8; len];
+            match s.k_recv(pid, sd, &mut buf) {
+                Ok(n) => match s.machine.copy_to_user(pid, ubuf, &buf[..n]) {
+                    Ok(()) => n as i64,
+                    Err(_) => -14,
+                },
+                Err(e) => e.errno(),
+            }
+        })
+    }
+
+    /// `shutdown(2)` + `close(2)` of a socket descriptor.
+    pub fn sys_shutdown(&self, pid: Pid, sd: i32) -> i64 {
+        self.invoke(pid, Sysno::Shutdown, |s| match s.k_shutdown(pid, sd) {
+            Ok(()) => 0,
+            Err(e) => e.errno(),
+        })
+    }
+
+    /// `poll(2)`-style readiness query over `sds`. Ready `(sd, mask)`
+    /// pairs are written to `ubuf` as two little-endian `i32`s each;
+    /// returns how many pairs were written.
+    pub fn sys_poll_wait(&self, pid: Pid, sds: &[i32], ubuf: u64) -> i64 {
+        self.invoke(pid, Sysno::PollWait, |s| {
+            s.charge_arg_in(sds.len() * 4);
+            let ready = s.net.poll(pid, sds);
+            let mut buf = Vec::with_capacity(ready.len() * 8);
+            for (sd, mask) in &ready {
+                buf.extend_from_slice(&sd.to_le_bytes());
+                buf.extend_from_slice(&mask.to_le_bytes());
+            }
+            match s.machine.copy_to_user(pid, ubuf, &buf) {
+                Ok(()) => ready.len() as i64,
+                Err(_) => -14,
+            }
+        })
+    }
+
+    // ---- consolidated socket calls (§2.2) ---------------------------------
+
+    /// `sendfile`: file page → socket ring entirely inside the kernel — the
+    /// data never crosses the user boundary, so the only charges are the
+    /// crossing itself, the disk read, and the in-kernel ring move.
+    pub fn sys_sendfile(&self, pid: Pid, sd: i32, fd: i32, len: usize) -> i64 {
+        self.invoke(pid, Sysno::Sendfile, |s| match s.k_sendfile(pid, sd, fd, len) {
+            Ok(n) => n as i64,
+            Err(en) => en,
+        })
+    }
+
+    /// One crossing per request: accept a pending connection on `lsd`,
+    /// read its NUL-terminated request path, stream that file back over
+    /// the connection, close both. The raw request bytes (up to `reqcap`)
+    /// are copied to `ureq` so the server can log them. Returns bytes
+    /// served, or -EAGAIN when no connection or no request is ready.
+    pub fn sys_accept_recv_send_close(&self, pid: Pid, lsd: i32, ureq: u64, reqcap: usize) -> i64 {
+        self.invoke(pid, Sysno::AcceptRecvSendClose, |s| {
+            let sd = match s.k_accept(pid, lsd) {
+                Ok(sd) => sd,
+                Err(e) => return e.errno(),
+            };
+            let mut req = [0u8; 256];
+            let n = match s.k_recv(pid, sd, &mut req) {
+                Ok(0) | Err(NetError::Again) => {
+                    let _ = s.k_shutdown(pid, sd);
+                    return NetError::Again.errno();
+                }
+                Ok(n) => n,
+                Err(e) => {
+                    let _ = s.k_shutdown(pid, sd);
+                    return e.errno();
+                }
+            };
+            let keep = n.min(reqcap);
+            if s.machine.copy_to_user(pid, ureq, &req[..keep]).is_err() {
+                let _ = s.k_shutdown(pid, sd);
+                return -14;
+            }
+            let path_end = req[..n].iter().position(|&b| b == 0).unwrap_or(n);
+            let path = match std::str::from_utf8(&req[..path_end]) {
+                Ok(p) => p,
+                Err(_) => {
+                    let _ = s.k_shutdown(pid, sd);
+                    return -22;
+                }
+            };
+            let fd = match s.k_open(pid, path, OpenFlags::RDONLY) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    let _ = s.k_shutdown(pid, sd);
+                    return Self::err(e);
+                }
+            };
+            let mut served = 0usize;
+            loop {
+                match s.k_sendfile(pid, sd, fd, usize::MAX) {
+                    Ok(0) => break,
+                    Ok(m) => served += m,
+                    Err(_) => break,
+                }
+            }
+            let _ = s.k_close(pid, fd);
+            let _ = s.k_shutdown(pid, sd);
+            served as i64
+        })
+    }
 }
 
 impl std::fmt::Debug for SyscallLayer {
@@ -790,6 +1034,153 @@ mod tests {
         assert_eq!(sys.sys_getpid(pid), pid.0 as i64);
         let spent = m.clock.sys_cycles() - sys0;
         assert_eq!(spent, m.cost.crossing_cost(), "no copies, no fs work");
+    }
+
+    #[test]
+    fn socket_syscalls_roundtrip_with_errnos() {
+        let (m, sys, pid) = setup();
+        let lsd = sys.sys_socket(pid) as i32;
+        assert!(lsd >= 0);
+        assert_eq!(sys.sys_bind_listen(pid, lsd, 80, 4), 0);
+        assert_eq!(sys.sys_bind_listen(pid, lsd, 80, 4), -106, "already bound");
+        let csd = sys.sys_socket(pid) as i32;
+        assert_eq!(sys.sys_connect(pid, csd, 81), -111, "ECONNREFUSED");
+        assert_eq!(sys.sys_connect(pid, csd, 80), 0);
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, b"ping\0").unwrap();
+        assert_eq!(sys.sys_send(pid, csd, UBUF, 5), 5);
+        let ssd = sys.sys_accept(pid, lsd) as i32;
+        assert!(ssd >= 0);
+        assert_eq!(sys.sys_accept(pid, lsd), -11, "backlog drained → EAGAIN");
+        assert_eq!(sys.sys_recv(pid, ssd, UBUF + 64, 16), 5);
+        let mut out = [0u8; 5];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 64, &mut out).unwrap();
+        assert_eq!(&out, b"ping\0");
+        assert_eq!(sys.sys_shutdown(pid, csd), 0);
+        assert_eq!(sys.sys_shutdown(pid, csd), -9, "EBADF on double shutdown");
+        assert_eq!(sys.sys_recv(pid, ssd, UBUF + 64, 16), 0, "EOF");
+        sys.sys_shutdown(pid, ssd);
+        sys.sys_shutdown(pid, lsd);
+        assert_eq!(sys.net().open_socks(pid), 0);
+    }
+
+    #[test]
+    fn poll_wait_writes_ready_pairs() {
+        let (m, sys, pid) = setup();
+        let lsd = sys.sys_socket(pid) as i32;
+        sys.sys_bind_listen(pid, lsd, 80, 4);
+        let csd = sys.sys_socket(pid) as i32;
+        assert_eq!(sys.sys_poll_wait(pid, &[lsd, csd], UBUF), 0, "nothing ready");
+        sys.sys_connect(pid, csd, 80);
+        let n = sys.sys_poll_wait(pid, &[lsd, csd], UBUF);
+        assert!(n >= 1);
+        let mut pair = [0u8; 8];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut pair).unwrap();
+        let sd = i32::from_le_bytes(pair[0..4].try_into().unwrap());
+        let mask = i32::from_le_bytes(pair[4..8].try_into().unwrap());
+        assert_eq!(sd, lsd);
+        assert_eq!(mask & knet::POLL_IN, knet::POLL_IN, "pending connection");
+    }
+
+    #[test]
+    fn sendfile_matches_read_send_bytes_without_user_copies() {
+        let (m, sys, pid) = setup();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let fd = sys.sys_open(pid, "/doc", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &data).unwrap();
+        sys.sys_write(pid, fd, UBUF, data.len());
+        sys.sys_lseek(pid, fd, 0, SEEK_SET);
+
+        let lsd = sys.sys_socket(pid) as i32;
+        sys.sys_bind_listen(pid, lsd, 80, 4);
+        let csd = sys.sys_socket(pid) as i32;
+        sys.sys_connect(pid, csd, 80);
+        let ssd = sys.sys_accept(pid, lsd) as i32;
+
+        let s0 = m.stats.snapshot();
+        assert_eq!(sys.sys_sendfile(pid, ssd, fd, data.len()), data.len() as i64);
+        let d = m.stats.snapshot().delta(&s0);
+        assert_eq!(d.crossings, 1);
+        assert_eq!(d.bytes_copied_in + d.bytes_copied_out, 0, "zero-copy path");
+
+        let mut got = Vec::new();
+        loop {
+            let n = sys.sys_recv(pid, csd, UBUF, 4096);
+            if n <= 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; n as usize];
+            m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut chunk).unwrap();
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, data, "sendfile delivers the exact file bytes");
+        sys.sys_close(pid, fd);
+    }
+
+    #[test]
+    fn sendfile_backpressure_rewinds_file_cursor() {
+        let (_m, sys, pid) = setup();
+        sys.net().set_ring_capacity(4096);
+        let fd = sys.sys_open(pid, "/big", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+        // Build a 10 KiB file through the kernel API directly.
+        assert_eq!(sys.k_write(pid, fd, &[9u8; 10_240]).unwrap(), 10_240);
+        sys.sys_lseek(pid, fd, 0, SEEK_SET);
+        let lsd = sys.sys_socket(pid) as i32;
+        sys.sys_bind_listen(pid, lsd, 80, 4);
+        let csd = sys.sys_socket(pid) as i32;
+        sys.sys_connect(pid, csd, 80);
+        let ssd = sys.sys_accept(pid, lsd) as i32;
+        // Only the ring's worth fits; the cursor stops exactly there.
+        assert_eq!(sys.sys_sendfile(pid, ssd, fd, 10_240), 4096);
+        assert_eq!(sys.sys_lseek(pid, fd, 0, SEEK_CUR), 4096);
+        // Saturated: a retry reports EAGAIN without moving the cursor.
+        assert_eq!(sys.sys_sendfile(pid, ssd, fd, 10_240), -11);
+        assert_eq!(sys.sys_lseek(pid, fd, 0, SEEK_CUR), 4096);
+    }
+
+    #[test]
+    fn accept_recv_send_close_serves_request_in_one_crossing() {
+        let (m, sys, pid) = setup();
+        let doc: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        let fd = sys.sys_open(pid, "/index.html", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+        sys.k_write(pid, fd, &doc).unwrap();
+        sys.sys_close(pid, fd);
+
+        let lsd = sys.sys_socket(pid) as i32;
+        sys.sys_bind_listen(pid, lsd, 80, 4);
+        assert_eq!(sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64), -11, "no client yet");
+
+        let csd = sys.sys_socket(pid) as i32;
+        sys.sys_connect(pid, csd, 80);
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, b"/index.html\0").unwrap();
+        sys.sys_send(pid, csd, UBUF + 4096, 12);
+
+        let s0 = m.stats.snapshot();
+        let served = sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64);
+        assert_eq!(served, 5000);
+        assert_eq!(m.stats.snapshot().delta(&s0).crossings, 1);
+        let mut req = [0u8; 12];
+        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut req).unwrap();
+        assert_eq!(&req, b"/index.html\0", "request surfaced for logging");
+
+        let mut got = Vec::new();
+        loop {
+            let n = sys.sys_recv(pid, csd, UBUF, 4096);
+            if n <= 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; n as usize];
+            m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut chunk).unwrap();
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, doc);
+        assert_eq!(sys.open_fds(pid), 0, "file fd closed inside the call");
+        // Missing document: connection is closed, errno surfaces.
+        let c2 = sys.sys_socket(pid) as i32;
+        sys.sys_connect(pid, c2, 80);
+        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, b"/nope\0").unwrap();
+        sys.sys_send(pid, c2, UBUF + 4096, 6);
+        assert_eq!(sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64), -2, "ENOENT");
+        assert_eq!(sys.sys_recv(pid, c2, UBUF, 64), 0, "server hung up");
     }
 }
 

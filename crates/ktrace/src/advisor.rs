@@ -52,6 +52,9 @@ fn match_consolidated(seq: &[Sysno]) -> Option<Sysno> {
         [Sysno::Readdir, Sysno::Stat] | [Sysno::Readdir, Sysno::Stat, Sysno::Stat] => {
             Some(Sysno::ReaddirPlus)
         }
+        [Sysno::Read, Sysno::Send] => Some(Sysno::Sendfile),
+        [Sysno::Accept, Sysno::Recv, Sysno::Send, Sysno::Shutdown]
+        | [Sysno::Accept, Sysno::Recv, Sysno::Send] => Some(Sysno::AcceptRecvSendClose),
         _ => None,
     }
 }
@@ -192,6 +195,24 @@ mod tests {
         let top = &sugg[0];
         assert_eq!(top.remedy, Remedy::BuildCompound);
         assert!(top.crossings_saved >= 80);
+    }
+
+    #[test]
+    fn web_request_loop_gets_one_shot_recommendation() {
+        let t = seq(7, &[Sysno::Accept, Sysno::Recv, Sysno::Send, Sysno::Shutdown], 50);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let top = &sugg[0];
+        assert_eq!(top.remedy, Remedy::UseConsolidated(Sysno::AcceptRecvSendClose));
+        assert_eq!(top.crossings_saved, 150, "4 calls → 1, 50 times");
+    }
+
+    #[test]
+    fn read_send_copy_loop_gets_sendfile() {
+        let t = seq(8, &[Sysno::Read, Sysno::Send], 50);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        assert!(sugg
+            .iter()
+            .any(|s| s.remedy == Remedy::UseConsolidated(Sysno::Sendfile)));
     }
 
     #[test]

@@ -33,11 +33,26 @@ pub enum Sysno {
     // --- Cosy (§2.3) ---
     /// Submit a compound for in-kernel execution.
     CosySubmit,
+    // --- sockets (knet) ---
+    Socket,
+    BindListen,
+    Accept,
+    Connect,
+    Send,
+    Recv,
+    Shutdown,
+    PollWait,
+    // --- consolidated socket calls ---
+    /// File page → socket ring without surfacing data to user space.
+    Sendfile,
+    /// One crossing per HTTP-style request: accept, read the request,
+    /// stream the file back, close (the paper's khttpd shape).
+    AcceptRecvSendClose,
 }
 
 impl Sysno {
     /// Every defined syscall, in numbering order.
-    pub const ALL: [Sysno; 19] = [
+    pub const ALL: [Sysno; 29] = [
         Sysno::Open,
         Sysno::Read,
         Sysno::Write,
@@ -57,6 +72,16 @@ impl Sysno {
         Sysno::OpenWriteClose,
         Sysno::OpenFstat,
         Sysno::CosySubmit,
+        Sysno::Socket,
+        Sysno::BindListen,
+        Sysno::Accept,
+        Sysno::Connect,
+        Sysno::Send,
+        Sysno::Recv,
+        Sysno::Shutdown,
+        Sysno::PollWait,
+        Sysno::Sendfile,
+        Sysno::AcceptRecvSendClose,
     ];
 
     /// The syscall's name as strace would print it.
@@ -81,6 +106,16 @@ impl Sysno {
             Sysno::OpenWriteClose => "open_write_close",
             Sysno::OpenFstat => "open_fstat",
             Sysno::CosySubmit => "cosy_submit",
+            Sysno::Socket => "socket",
+            Sysno::BindListen => "bind_listen",
+            Sysno::Accept => "accept",
+            Sysno::Connect => "connect",
+            Sysno::Send => "send",
+            Sysno::Recv => "recv",
+            Sysno::Shutdown => "shutdown",
+            Sysno::PollWait => "poll_wait",
+            Sysno::Sendfile => "sendfile",
+            Sysno::AcceptRecvSendClose => "accept_recv_send_close",
         }
     }
 
@@ -93,6 +128,8 @@ impl Sysno {
                 | Sysno::OpenWriteClose
                 | Sysno::OpenFstat
                 | Sysno::CosySubmit
+                | Sysno::Sendfile
+                | Sysno::AcceptRecvSendClose
         )
     }
 
@@ -125,7 +162,7 @@ mod tests {
         for (i, s) in Sysno::ALL.iter().enumerate() {
             assert_eq!(s.index(), i, "{s} out of order");
         }
-        assert_eq!(Sysno::COUNT, 19);
+        assert_eq!(Sysno::COUNT, 29);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | Kernel allocators (`kmalloc`, `vmalloc`) | [`kalloc`] |
 //! | File systems (memfs, Wrapfs, dcache) + disk model | [`kvfs`] |
 //! | System calls, classic + consolidated (`readdirplus`, …) | [`ksyscall`] |
+//! | Simulated sockets (listeners, rings, readiness, `sendfile`) | [`knet`] |
 //! | Syscall tracing, pattern mining, savings analysis (§2.2) | [`ktrace`] |
 //! | C-subset compiler + interpreter (the GCC stand-in) | [`kclang`] |
 //! | **Cosy** compound system calls (§2.3) | [`cosy`] |
@@ -58,6 +59,7 @@ pub use kefence;
 pub use kevents;
 pub use kfault;
 pub use kgcc;
+pub use knet;
 pub use ksim;
 pub use ksyscall;
 pub use ktrace;
@@ -83,6 +85,7 @@ pub mod prelude {
         cost::cycles_to_secs,
         CostModel, Machine, MachineConfig, Pid, CYCLES_PER_SEC,
     };
+    pub use knet::{NetError, NetStack, POLL_HUP, POLL_IN, POLL_OUT};
     pub use ksyscall::{OpenFlags, SyscallLayer};
     pub use ktrace::{
         estimate_consolidation, mine_patterns, InteractiveTraceGen, SyscallGraph, Sysno,

@@ -28,4 +28,7 @@ if [ "$h1" != "$h2" ]; then
 fi
 echo "fault sweep deterministic: $h1"
 
+echo "== bench smoke: knet web server connection sweep =="
+./target/release/a9_netserve --quick
+
 echo "CI pass complete."

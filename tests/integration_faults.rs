@@ -82,6 +82,20 @@ fn fire_site(site: &'static str) -> u64 {
             let r = rig.sys.sys_open(p.pid, "/nospace", OpenFlags::WRONLY | OpenFlags::CREAT);
             assert_eq!(r, VfsError::NoSpace.errno());
         }
+        s if s == sites::NET_ACCEPT_OVERFLOW => {
+            let lsd = rig.sys.sys_socket(p.pid) as i32;
+            assert_eq!(rig.sys.sys_bind_listen(p.pid, lsd, 80, 8), 0);
+            let c = rig.sys.sys_socket(p.pid) as i32;
+            assert_eq!(rig.sys.sys_connect(p.pid, c, 80), -111, "ECONNREFUSED");
+        }
+        s if s == sites::NET_SEND_AGAIN => {
+            let c = connected_client(&rig, &p);
+            assert_eq!(rig.sys.sys_send(p.pid, c, p.buf, 16), -11, "EAGAIN");
+        }
+        s if s == sites::NET_PEER_RESET => {
+            let c = connected_client(&rig, &p);
+            assert_eq!(rig.sys.sys_send(p.pid, c, p.buf, 16), -104, "ECONNRESET");
+        }
         s if s == sites::KEVENTS_RING_FULL => {
             let disp = EventDispatcher::new(rig.machine.clone());
             let ring = Arc::new(EventRing::with_capacity(16));
@@ -97,6 +111,18 @@ fn fire_site(site: &'static str) -> u64 {
     let entry = stats.iter().find(|st| st.site == site).unwrap();
     rig.machine.faults.disarm();
     entry.fired
+}
+
+/// A connected client socket (its accepted peer is left in the kernel).
+/// The connect consults `net.accept_overflow` too, but the policy in
+/// [`fire_site`] is scoped to one site, so only the target can fire.
+fn connected_client(rig: &Rig, p: &UserProc) -> i32 {
+    let lsd = rig.sys.sys_socket(p.pid) as i32;
+    assert_eq!(rig.sys.sys_bind_listen(p.pid, lsd, 80, 8), 0);
+    let c = rig.sys.sys_socket(p.pid) as i32;
+    assert_eq!(rig.sys.sys_connect(p.pid, c, 80), 0);
+    assert!(rig.sys.sys_accept(p.pid, lsd) >= 0);
+    c
 }
 
 #[test]
