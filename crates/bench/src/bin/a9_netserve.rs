@@ -21,11 +21,12 @@ use bench::{banner, Report};
 use kucode::kworkloads::{serve, setup_docs, ServeMode, WebConfig, WebReport};
 use kucode::prelude::*;
 
-const MODES: [(&str, ServeMode); 4] = [
+const MODES: [(&str, ServeMode); 5] = [
     ("naive", ServeMode::Classic),
     ("sendfile", ServeMode::Consolidated),
     ("one-shot", ServeMode::OneShot),
     ("cosy compound", ServeMode::Cosy),
+    ("uring batch", ServeMode::Uring),
 ];
 
 fn serve_once(cfg: &WebConfig, mode: ServeMode) -> WebReport {
@@ -41,7 +42,10 @@ fn cpr(r: &WebReport) -> f64 {
 }
 
 pub fn run(report: &mut Report) {
-    banner("A9", "knet web server: connection sweep (paper: sendfile +92-116%)");
+    banner(
+        "A9",
+        "knet web server: connection sweep (paper: sendfile +92-116%)",
+    );
     let quick = std::env::args().any(|a| a == "--quick");
     let sweep: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256] };
     let req_per_conn = if quick { 4 } else { 8 };
@@ -65,8 +69,14 @@ pub fn run(report: &mut Report) {
             cfg.doc_max / 1024
         );
         println!(
-            "{:<16} {:>12} {:>18} {:>14} {:>12}",
-            "serve path", "req/s", "srv cycles/req", "crossings/req", "vs naive"
+            "{:<16} {:>12} {:>18} {:>14} {:>8} {:>10} {:>12}",
+            "serve path",
+            "req/s",
+            "srv cycles/req",
+            "crossings/req",
+            "EAGAIN",
+            "MiB moved",
+            "vs naive"
         );
 
         let mut naive_cpr = 0.0;
@@ -76,11 +86,13 @@ pub fn run(report: &mut Report) {
                 naive_cpr = cpr(&r);
             }
             println!(
-                "{:<16} {:>12.0} {:>18.0} {:>14.1} {:>+11.1}%",
+                "{:<16} {:>12.0} {:>18.0} {:>14.1} {:>8} {:>10.2} {:>+11.1}%",
                 name,
                 r.req_per_sec(),
                 cpr(&r),
                 r.crossings as f64 / r.requests as f64,
+                r.net.send_eagains,
+                r.net.bytes_delivered as f64 / (1024.0 * 1024.0),
                 (naive_cpr / cpr(&r) - 1.0) * 100.0
             );
             if conns == 64 {
@@ -113,8 +125,12 @@ pub fn run(report: &mut Report) {
         "A9",
         "bytes served identical across all serve paths",
         "same content over the wire",
-        at_64.iter().all(|(_, r)| r.bytes_served == naive.bytes_served),
-        at_64.iter().all(|(_, r)| r.bytes_served == naive.bytes_served),
+        at_64
+            .iter()
+            .all(|(_, r)| r.bytes_served == naive.bytes_served),
+        at_64
+            .iter()
+            .all(|(_, r)| r.bytes_served == naive.bytes_served),
     );
     report.add(
         "A9",

@@ -12,22 +12,10 @@ use bench::Report;
 // The per-experiment binaries expose their logic as `run(&mut Report)`;
 // include them as modules so `all` stays a single process (one build, one
 // pass, one consolidated report).
-#[path = "e1_readdirplus.rs"]
-mod e1;
-#[path = "e2_interactive.rs"]
-mod e2;
-#[path = "e3_cosy_micro.rs"]
-mod e3;
-#[path = "e4_cosy_db.rs"]
-mod e4;
-#[path = "e5_kefence.rs"]
-mod e5;
-#[path = "e6_monitor.rs"]
-mod e6;
-#[path = "e7_kgcc.rs"]
-mod e7;
 #[path = "a1_cosy_isolation.rs"]
 mod a1;
+#[path = "a10_uring.rs"]
+mod a10;
 #[path = "a2_kgcc_ablate.rs"]
 mod a2;
 #[path = "a3_splay_mt.rs"]
@@ -44,6 +32,20 @@ mod a7;
 mod a8;
 #[path = "a9_netserve.rs"]
 mod a9;
+#[path = "e1_readdirplus.rs"]
+mod e1;
+#[path = "e2_interactive.rs"]
+mod e2;
+#[path = "e3_cosy_micro.rs"]
+mod e3;
+#[path = "e4_cosy_db.rs"]
+mod e4;
+#[path = "e5_kefence.rs"]
+mod e5;
+#[path = "e6_monitor.rs"]
+mod e6;
+#[path = "e7_kgcc.rs"]
+mod e7;
 
 fn main() {
     let mut report = Report::new();
@@ -63,6 +65,7 @@ fn main() {
     a7::run(&mut report);
     a8::run(&mut report);
     a9::run(&mut report);
+    a10::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

@@ -51,6 +51,9 @@ pub mod sites {
     /// Connection reset mid-stream: both endpoints die, in-flight data is
     /// discarded (ECONNRESET).
     pub const NET_PEER_RESET: &str = "net.peer_reset";
+    /// Completion queue reports full on CQE post: the completion is
+    /// diverted onto the ring's counted overflow list instead of the CQ.
+    pub const URING_CQ_OVERFLOW: &str = "uring.cq_overflow";
 
     /// Every registered site, for sweeps.
     pub const ALL: &[&str] = &[
@@ -66,6 +69,7 @@ pub mod sites {
         NET_ACCEPT_OVERFLOW,
         NET_SEND_AGAIN,
         NET_PEER_RESET,
+        URING_CQ_OVERFLOW,
     ];
 }
 
@@ -346,12 +350,18 @@ mod tests {
         let p = FaultPlane::new();
         p.add_policy(None, Policy::FailNth(3));
         p.arm(1);
-        let outcomes: Vec<bool> =
-            (0..6).map(|_| p.should_fail(sites::KALLOC_SLAB)).collect();
+        let outcomes: Vec<bool> = (0..6).map(|_| p.should_fail(sites::KALLOC_SLAB)).collect();
         assert_eq!(outcomes, vec![false, false, true, false, false, false]);
         let t = p.trace();
         assert_eq!(t.len(), 1);
-        assert_eq!(t[0], FaultEvent { seq: 0, site: sites::KALLOC_SLAB, hit: 3 });
+        assert_eq!(
+            t[0],
+            FaultEvent {
+                seq: 0,
+                site: sites::KALLOC_SLAB,
+                hit: 3
+            }
+        );
     }
 
     #[test]
@@ -372,7 +382,10 @@ mod tests {
         assert!(p.should_fail(sites::KVFS_BLOCKDEV_READ));
         assert!(p.should_fail(sites::KVFS_NOSPC));
         let stats = p.site_stats();
-        let fa = stats.iter().find(|s| s.site == sites::KSIM_FRAME_ALLOC).unwrap();
+        let fa = stats
+            .iter()
+            .find(|s| s.site == sites::KSIM_FRAME_ALLOC)
+            .unwrap();
         assert_eq!((fa.hits, fa.fired), (1, 0));
     }
 
@@ -382,8 +395,9 @@ mod tests {
             let p = FaultPlane::new();
             p.add_policy(None, Policy::Probability(300));
             p.arm(seed);
-            let outcomes: Vec<bool> =
-                (0..200).map(|_| p.should_fail(sites::KSIM_TLB_FILL)).collect();
+            let outcomes: Vec<bool> = (0..200)
+                .map(|_| p.should_fail(sites::KSIM_TLB_FILL))
+                .collect();
             (outcomes, p.trace_hash())
         };
         let (a, ha) = run(42);
@@ -403,7 +417,10 @@ mod tests {
         assert!(p.should_fail(sites::KALLOC_VMALLOC));
         let was = p.suspend();
         assert!(was);
-        assert!(!p.should_fail(sites::KALLOC_VMALLOC), "suspended: no injection");
+        assert!(
+            !p.should_fail(sites::KALLOC_VMALLOC),
+            "suspended: no injection"
+        );
         p.resume(was);
         assert!(p.should_fail(sites::KALLOC_VMALLOC));
     }
@@ -417,7 +434,10 @@ mod tests {
         assert_eq!(p.fired_count(), 1);
         p.arm(7);
         assert_eq!(p.fired_count(), 0);
-        assert!(p.should_fail(sites::KEVENTS_RING_FULL), "nth position reset");
+        assert!(
+            p.should_fail(sites::KEVENTS_RING_FULL),
+            "nth position reset"
+        );
     }
 
     #[test]

@@ -74,14 +74,14 @@ impl NetError {
     /// Negative errno, matching [`kvfs::VfsError::errno`]'s convention.
     pub fn errno(self) -> i64 {
         match self {
-            NetError::Again => -11,            // EAGAIN
-            NetError::BadSock => -9,           // EBADF
-            NetError::Invalid(_) => -22,       // EINVAL
-            NetError::NotConnected => -107,    // ENOTCONN
+            NetError::Again => -11,             // EAGAIN
+            NetError::BadSock => -9,            // EBADF
+            NetError::Invalid(_) => -22,        // EINVAL
+            NetError::NotConnected => -107,     // ENOTCONN
             NetError::AlreadyConnected => -106, // EISCONN
-            NetError::AddrInUse => -98,        // EADDRINUSE
-            NetError::ConnRefused => -111,     // ECONNREFUSED
-            NetError::ConnReset => -104,       // ECONNRESET
+            NetError::AddrInUse => -98,         // EADDRINUSE
+            NetError::ConnRefused => -111,      // ECONNREFUSED
+            NetError::ConnReset => -104,        // ECONNRESET
         }
     }
 }
@@ -114,6 +114,24 @@ pub struct NetStats {
     pub bytes_queued: u64,
     /// Bytes drained out of receive rings by recvs.
     pub bytes_delivered: u64,
+    /// Sends refused with EAGAIN: the peer's ring was full (or the
+    /// `net.send_again` fault site fired) — the backpressure signal.
+    pub send_eagains: u64,
+}
+
+impl NetStats {
+    /// Counter movement since an `earlier` snapshot (field-wise subtract).
+    pub fn delta(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            connects: self.connects - earlier.connects,
+            refused: self.refused - earlier.refused,
+            accepts: self.accepts - earlier.accepts,
+            resets: self.resets - earlier.resets,
+            bytes_queued: self.bytes_queued - earlier.bytes_queued,
+            bytes_delivered: self.bytes_delivered - earlier.bytes_delivered,
+            send_eagains: self.send_eagains - earlier.send_eagains,
+        }
+    }
 }
 
 /// Fixed-capacity byte ring: the per-socket receive buffer.
@@ -126,7 +144,11 @@ struct ByteRing {
 
 impl ByteRing {
     fn with_capacity(cap: usize) -> ByteRing {
-        ByteRing { buf: vec![0u8; cap.max(1)], head: 0, len: 0 }
+        ByteRing {
+            buf: vec![0u8; cap.max(1)],
+            head: 0,
+            len: 0,
+        }
     }
 
     fn len(&self) -> usize {
@@ -335,7 +357,13 @@ impl NetStack {
 
     /// `bind` + `listen` in one step: claim `port`, accept up to `backlog`
     /// pending connections.
-    pub fn bind_listen(&self, pid: Pid, sd: i32, port: u16, backlog: usize) -> Result<(), NetError> {
+    pub fn bind_listen(
+        &self,
+        pid: Pid,
+        sd: i32,
+        port: u16,
+        backlog: usize,
+    ) -> Result<(), NetError> {
         self.charge_proto();
         let mut st = self.state.lock();
         let gid = st.lookup(pid, sd)?;
@@ -378,13 +406,21 @@ impl NetStack {
             }
         };
         let overflow = {
-            let Some(SockKind::Listener { pending, capacity, .. }) = &st.socks[lgid] else {
+            let Some(SockKind::Listener {
+                pending, capacity, ..
+            }) = &st.socks[lgid]
+            else {
                 st.stats.refused += 1;
                 return Err(NetError::ConnRefused);
             };
             pending.len() >= *capacity
         };
-        if overflow || self.machine.faults.should_fail(kfault::sites::NET_ACCEPT_OVERFLOW) {
+        if overflow
+            || self
+                .machine
+                .faults
+                .should_fail(kfault::sites::NET_ACCEPT_OVERFLOW)
+        {
             st.stats.refused += 1;
             return Err(NetError::ConnRefused);
         }
@@ -445,10 +481,19 @@ impl NetStack {
             Some(SockKind::Listener { .. }) => return Err(NetError::Invalid("listener")),
             None => return Err(NetError::BadSock),
         };
-        if self.machine.faults.should_fail(kfault::sites::NET_SEND_AGAIN) {
+        if self
+            .machine
+            .faults
+            .should_fail(kfault::sites::NET_SEND_AGAIN)
+        {
+            st.stats.send_eagains += 1;
             return Err(NetError::Again);
         }
-        if self.machine.faults.should_fail(kfault::sites::NET_PEER_RESET) {
+        if self
+            .machine
+            .faults
+            .should_fail(kfault::sites::NET_PEER_RESET)
+        {
             // An RST kills both directions and discards in-flight data.
             st.stats.resets += 1;
             if let Some(Some(SockKind::Stream(s))) = st.socks.get_mut(gid) {
@@ -469,6 +514,7 @@ impl NetStack {
             _ => return Err(NetError::ConnReset),
         };
         if n == 0 {
+            st.stats.send_eagains += 1;
             return Err(NetError::Again);
         }
         st.stats.bytes_queued += n as u64;
@@ -674,8 +720,15 @@ mod tests {
         // Partial send under backpressure, then EAGAIN.
         assert_eq!(net.send(pid, c, &[7u8; 24]).unwrap(), 16);
         assert_eq!(net.send(pid, c, b"x"), Err(NetError::Again));
+        assert_eq!(net.stats().send_eagains, 1, "ring-full EAGAIN is counted");
         assert_eq!(net.recv(pid, s, &mut buf).unwrap(), 8);
         assert_eq!(net.send(pid, c, b"x").unwrap(), 1);
+        assert_eq!(net.stats().send_eagains, 1, "successful sends do not count");
+        let d = net.stats().delta(&NetStats {
+            send_eagains: 1,
+            ..NetStats::default()
+        });
+        assert_eq!(d.send_eagains, 0);
     }
 
     #[test]
@@ -687,10 +740,18 @@ mod tests {
         assert_eq!(net.readiness(pid, l).unwrap(), 0);
         let c = net.socket(pid).unwrap();
         net.connect(pid, c, 80).unwrap();
-        assert_eq!(net.readiness(pid, l).unwrap(), POLL_IN, "pending connection");
+        assert_eq!(
+            net.readiness(pid, l).unwrap(),
+            POLL_IN,
+            "pending connection"
+        );
         let s = net.accept(pid, l).unwrap();
         assert_eq!(net.readiness(pid, l).unwrap(), 0);
-        assert_eq!(net.readiness(pid, s).unwrap(), POLL_OUT, "nothing to read yet");
+        assert_eq!(
+            net.readiness(pid, s).unwrap(),
+            POLL_OUT,
+            "nothing to read yet"
+        );
         net.send(pid, c, &[1u8; 8]).unwrap();
         assert_eq!(net.readiness(pid, s).unwrap(), POLL_IN | POLL_OUT);
         assert_eq!(net.readiness(pid, c).unwrap(), 0, "peer ring is full");
@@ -707,7 +768,11 @@ mod tests {
         net.send(pid, c, b"bye").unwrap();
         net.shutdown(pid, c).unwrap();
         let mut buf = [0u8; 8];
-        assert_eq!(net.recv(pid, s, &mut buf).unwrap(), 3, "drains queued bytes");
+        assert_eq!(
+            net.recv(pid, s, &mut buf).unwrap(),
+            3,
+            "drains queued bytes"
+        );
         assert_eq!(net.recv(pid, s, &mut buf).unwrap(), 0, "then EOF");
         assert_eq!(net.send(pid, s, b"late"), Err(NetError::ConnReset));
         assert_eq!(net.open_socks(pid), 2, "listener + server side remain");
@@ -722,7 +787,11 @@ mod tests {
         net.connect(pid, c, 80).unwrap();
         net.shutdown(pid, l).unwrap();
         let mut buf = [0u8; 4];
-        assert_eq!(net.recv(pid, c, &mut buf).unwrap(), 0, "EOF: server went away");
+        assert_eq!(
+            net.recv(pid, c, &mut buf).unwrap(),
+            0,
+            "EOF: server went away"
+        );
         // The port is free again.
         let l2 = net.socket(pid).unwrap();
         net.bind_listen(pid, l2, 80, 4).unwrap();
@@ -734,11 +803,18 @@ mod tests {
         let (_l, c, s) = pair(&net, pid, 80);
         net.send(pid, s, b"queued").unwrap();
         m.faults.arm(7);
-        m.faults.add_policy(Some(kfault::sites::NET_PEER_RESET), kfault::Policy::FailNth(1));
+        m.faults.add_policy(
+            Some(kfault::sites::NET_PEER_RESET),
+            kfault::Policy::FailNth(1),
+        );
         assert_eq!(net.send(pid, c, b"x"), Err(NetError::ConnReset));
         m.faults.disarm();
         let mut buf = [0u8; 8];
-        assert_eq!(net.recv(pid, c, &mut buf), Err(NetError::ConnReset), "in-flight data discarded");
+        assert_eq!(
+            net.recv(pid, c, &mut buf),
+            Err(NetError::ConnReset),
+            "in-flight data discarded"
+        );
         assert_eq!(net.send(pid, s, b"y"), Err(NetError::ConnReset));
         assert_eq!(net.stats().resets, 1);
     }
@@ -751,7 +827,8 @@ mod tests {
         assert_eq!(net.recv(pid_b, sa, &mut [0u8; 4]), Err(NetError::BadSock));
         assert_eq!(net.open_socks(pid_b), 0);
         // Cross-process connection: B binds, A connects.
-        net.bind_listen(pid_b, net.socket(pid_b).unwrap(), 80, 4).unwrap();
+        net.bind_listen(pid_b, net.socket(pid_b).unwrap(), 80, 4)
+            .unwrap();
         net.connect(pid_a, sa, 80).unwrap();
         assert_eq!(net.send(pid_a, sa, b"hi").unwrap(), 2);
     }

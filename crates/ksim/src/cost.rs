@@ -65,6 +65,18 @@ pub struct CostModel {
     /// In-kernel socket-ring data movement per 16-byte block — the memcpy
     /// a loopback stack pays instead of NIC DMA.
     pub sock_move_block16: u64,
+    /// Moving one submission-queue entry through the kuring shared ring
+    /// (~48 bytes at the in-kernel memcpy rate). Charged once on the user
+    /// side at enqueue and once on the kernel side at drain — the whole
+    /// per-op boundary price of a batched syscall.
+    pub uring_sqe_move: u64,
+    /// Moving one completion-queue entry (16 bytes) through the shared
+    /// ring; charged at kernel post and again at user reap.
+    pub uring_cqe_move: u64,
+    /// Kernel-side dispatch of one ring op inside `ring_enter`: opcode
+    /// demux, flag handling, chain-fd resolution. The cheap stand-in for
+    /// the full `syscall_dispatch` + crossing a classic invocation pays.
+    pub uring_op_dispatch: u64,
 }
 
 impl Default for CostModel {
@@ -92,6 +104,9 @@ impl Default for CostModel {
             event_dispatch: 55,
             net_proto: 600,
             sock_move_block16: 16, // loopback memcpy, same rate as user copies
+            uring_sqe_move: 48,    // 3 × 16-byte blocks at the memcpy rate
+            uring_cqe_move: 16,    // 1 × 16-byte block
+            uring_op_dispatch: 90, // opcode demux, no trap and no table walk
         }
     }
 }
@@ -148,6 +163,9 @@ impl CostModel {
             event_dispatch: 0,
             net_proto: 0,
             sock_move_block16: 0,
+            uring_sqe_move: 0,
+            uring_cqe_move: 0,
+            uring_op_dispatch: 0,
         }
     }
 }

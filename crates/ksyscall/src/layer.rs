@@ -16,10 +16,10 @@ use parking_lot::Mutex;
 
 use knet::{NetError, NetStack};
 use ksim::{Machine, Pid, SimError};
-use ktrace::{Sysno, SyscallEvent, Tracer};
-use kvfs::{DirEntry, FileKind, Stat, Vfs, VfsError, VfsResult, DIRENT_WIRE_BYTES};
+use ktrace::{SyscallEvent, Sysno, Tracer};
 #[cfg(test)]
 use kvfs::STAT_WIRE_BYTES;
+use kvfs::{DirEntry, FileKind, Stat, Vfs, VfsError, VfsResult, DIRENT_WIRE_BYTES};
 
 use crate::fd::{FdTable, OpenFile, OpenFlags};
 use crate::wire;
@@ -34,11 +34,13 @@ pub const SEEK_END: i32 = 2;
 
 /// The kernel's system-call interface.
 pub struct SyscallLayer {
-    machine: Arc<Machine>,
+    pub(crate) machine: Arc<Machine>,
     vfs: Arc<Vfs>,
     net: Arc<NetStack>,
     tracer: Arc<Tracer>,
     fds: Mutex<HashMap<u32, FdTable>>,
+    /// Per-process kuring SQ/CQ ring pairs (see `crate::uring`).
+    pub(crate) urings: Mutex<HashMap<u32, Arc<kuring::Uring>>>,
 }
 
 impl SyscallLayer {
@@ -49,6 +51,7 @@ impl SyscallLayer {
             vfs,
             tracer: Arc::new(Tracer::new()),
             fds: Mutex::new(HashMap::new()),
+            urings: Mutex::new(HashMap::new()),
         }
     }
 
@@ -81,7 +84,11 @@ impl SyscallLayer {
     /// Capture `pid`'s descriptor table (descriptor numbers included) so a
     /// failed compound can put it back exactly — see [`Self::fd_restore`].
     pub fn fd_snapshot(&self, pid: Pid) -> Vec<Option<OpenFile>> {
-        self.fds.lock().get(&pid.0).map(|t| t.snapshot()).unwrap_or_default()
+        self.fds
+            .lock()
+            .get(&pid.0)
+            .map(|t| t.snapshot())
+            .unwrap_or_default()
     }
 
     /// Restore a table captured with [`Self::fd_snapshot`]: descriptors
@@ -95,9 +102,14 @@ impl SyscallLayer {
 
     /// Charge a user→kernel argument copy of `len` bytes (path strings and
     /// other small arguments; the bytes themselves need no storage).
-    fn charge_arg_in(&self, len: usize) {
-        self.machine.clock.charge_sys(self.machine.cost.copy_cost(len));
-        self.machine.stats.bytes_copied_in.fetch_add(len as u64, Relaxed);
+    pub(crate) fn charge_arg_in(&self, len: usize) {
+        self.machine
+            .clock
+            .charge_sys(self.machine.cost.copy_cost(len));
+        self.machine
+            .stats
+            .bytes_copied_in
+            .fetch_add(len as u64, Relaxed);
     }
 
     fn err(e: VfsError) -> i64 {
@@ -105,13 +117,13 @@ impl SyscallLayer {
     }
 
     /// Run one system call: stub + crossing + dispatch + trace record.
-    fn invoke(&self, pid: Pid, no: Sysno, f: impl FnOnce(&Self) -> i64) -> i64 {
+    pub(crate) fn invoke(&self, pid: Pid, no: Sysno, f: impl FnOnce(&Self) -> i64) -> i64 {
         self.machine.charge_user(USER_STUB_CYCLES);
         let s0 = self.machine.stats.snapshot();
         let token = match self.machine.enter_kernel(pid) {
             Ok(t) => t,
             Err(SimError::NoSuchProcess(_)) => return -3, // ESRCH
-            Err(_) => return -14,                          // EFAULT
+            Err(_) => return -14,                         // EFAULT
         };
         self.machine.stats.syscalls.fetch_add(1, Relaxed);
         let ret = f(self);
@@ -145,7 +157,11 @@ impl SyscallLayer {
             }
             Err(e) => return Err(e),
         };
-        let file = OpenFile { ino, offset: 0, flags };
+        let file = OpenFile {
+            ino,
+            offset: 0,
+            flags,
+        };
         Ok(self.fds.lock().entry(pid.0).or_default().insert(file))
     }
 
@@ -322,9 +338,11 @@ impl SyscallLayer {
 
     /// `lseek(2)`.
     pub fn sys_lseek(&self, pid: Pid, fd: i32, off: i64, whence: i32) -> i64 {
-        self.invoke(pid, Sysno::Lseek, |s| match s.k_lseek(pid, fd, off, whence) {
-            Ok(o) => o as i64,
-            Err(e) => Self::err(e),
+        self.invoke(pid, Sysno::Lseek, |s| {
+            match s.k_lseek(pid, fd, off, whence) {
+                Ok(o) => o as i64,
+                Err(e) => Self::err(e),
+            }
         })
     }
 
@@ -616,7 +634,9 @@ impl SyscallLayer {
         let mut total = 0usize;
         while total < len {
             let want = CHUNK.min(len - total);
-            let n = self.k_read(pid, fd, &mut page[..want]).map_err(|e| e.errno())?;
+            let n = self
+                .k_read(pid, fd, &mut page[..want])
+                .map_err(|e| e.errno())?;
             if n == 0 {
                 break; // EOF
             }
@@ -742,9 +762,11 @@ impl SyscallLayer {
     /// data never crosses the user boundary, so the only charges are the
     /// crossing itself, the disk read, and the in-kernel ring move.
     pub fn sys_sendfile(&self, pid: Pid, sd: i32, fd: i32, len: usize) -> i64 {
-        self.invoke(pid, Sysno::Sendfile, |s| match s.k_sendfile(pid, sd, fd, len) {
-            Ok(n) => n as i64,
-            Err(en) => en,
+        self.invoke(pid, Sysno::Sendfile, |s| {
+            match s.k_sendfile(pid, sd, fd, len) {
+                Ok(n) => n as i64,
+                Err(en) => en,
+            }
         })
     }
 
@@ -839,12 +861,16 @@ mod tests {
         let fd = sys.sys_open(pid, "/f", OpenFlags::RDWR | OpenFlags::CREAT);
         assert!(fd >= 0);
         let payload = b"the quick brown fox";
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, payload).unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, payload)
+            .unwrap();
         assert_eq!(sys.sys_write(pid, fd as i32, UBUF, payload.len()), 19);
         assert_eq!(sys.sys_lseek(pid, fd as i32, 0, SEEK_SET), 0);
         assert_eq!(sys.sys_read(pid, fd as i32, UBUF + 4096, 100), 19);
         let mut out = vec![0u8; 19];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut out).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut out)
+            .unwrap();
         assert_eq!(&out, payload);
         assert_eq!(sys.sys_close(pid, fd as i32), 0);
         assert_eq!(sys.sys_close(pid, fd as i32), -9, "EBADF on double close");
@@ -854,7 +880,11 @@ mod tests {
     #[test]
     fn errno_mapping() {
         let (_m, sys, pid) = setup();
-        assert_eq!(sys.sys_open(pid, "/missing", OpenFlags::RDONLY), -2, "ENOENT");
+        assert_eq!(
+            sys.sys_open(pid, "/missing", OpenFlags::RDONLY),
+            -2,
+            "ENOENT"
+        );
         assert_eq!(sys.sys_read(pid, 42, UBUF, 10), -9, "EBADF");
         sys.sys_mkdir(pid, "/d");
         assert_eq!(sys.sys_mkdir(pid, "/d"), -17, "EEXIST");
@@ -869,15 +899,20 @@ mod tests {
         m.mem
             .write_virt(m.proc_asid(pid).unwrap(), UBUF, b"aaabbb")
             .unwrap();
-        let fd =
-            sys.sys_open(pid, "/log", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND);
+        let fd = sys.sys_open(
+            pid,
+            "/log",
+            OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND,
+        );
         assert_eq!(sys.sys_write(pid, fd as i32, UBUF, 3), 3);
         assert_eq!(sys.sys_write(pid, fd as i32, UBUF + 3, 3), 3);
         sys.sys_close(pid, fd as i32);
         let fd = sys.sys_open(pid, "/log", OpenFlags::RDONLY);
         assert_eq!(sys.sys_read(pid, fd as i32, UBUF + 100, 10), 6);
         let mut out = vec![0u8; 6];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 100, &mut out).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 100, &mut out)
+            .unwrap();
         assert_eq!(&out, b"aaabbb");
     }
 
@@ -907,7 +942,9 @@ mod tests {
                 &format!("/data/file{i:02}"),
                 OpenFlags::RDWR | OpenFlags::CREAT,
             ) as i32;
-            m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &vec![7u8; i]).unwrap();
+            m.mem
+                .write_virt(m.proc_asid(pid).unwrap(), UBUF, &vec![7u8; i])
+                .unwrap();
             sys.sys_write(pid, fd, UBUF, i);
             sys.sys_close(pid, fd);
         }
@@ -918,14 +955,18 @@ mod tests {
         let n = sys.sys_readdir(pid, dfd, UBUF, 64);
         assert_eq!(n, 20);
         let mut buf = vec![0u8; 20 * DIRENT_WIRE_BYTES];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut buf).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut buf)
+            .unwrap();
         let entries = wire::parse_dirents(&buf, 20);
         let mut baseline_stats = Vec::new();
         for e in &entries {
             let path = format!("/data/{}", e.name);
             assert_eq!(sys.sys_stat(pid, &path, UBUF + 65536), 0);
             let mut sw = [0u8; STAT_WIRE_BYTES];
-            m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 65536, &mut sw).unwrap();
+            m.mem
+                .read_virt(m.proc_asid(pid).unwrap(), UBUF + 65536, &mut sw)
+                .unwrap();
             baseline_stats.push(Stat::from_wire(&sw));
         }
         sys.sys_close(pid, dfd);
@@ -936,7 +977,9 @@ mod tests {
         let n = sys.sys_readdirplus(pid, "/data", UBUF, 64);
         assert_eq!(n, 20);
         let mut buf = vec![0u8; 20 * wire::RDP_ENTRY_WIRE_BYTES];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut buf).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut buf)
+            .unwrap();
         let plus = wire::parse_rdp_entries(&buf, 20);
         let cons = m.stats.snapshot().delta(&before);
 
@@ -957,7 +1000,9 @@ mod tests {
         let (m, sys, pid) = setup();
         let fd = sys.sys_open(pid, "/blob", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
         let data: Vec<u8> = (0..3000u32).map(|i| (i % 256) as u8).collect();
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &data).unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, &data)
+            .unwrap();
         sys.sys_write(pid, fd, UBUF, data.len());
         sys.sys_close(pid, fd);
 
@@ -967,7 +1012,9 @@ mod tests {
         let d = m.stats.snapshot().delta(&s0);
         assert_eq!(d.crossings, 1, "single crossing for the whole sequence");
         let mut out = vec![0u8; 3000];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 8192, &mut out).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 8192, &mut out)
+            .unwrap();
         assert_eq!(out, data);
         assert_eq!(sys.open_fds(pid), 0, "orc leaves no fd behind");
         // Partial read at offset.
@@ -978,18 +1025,26 @@ mod tests {
     #[test]
     fn open_write_close_creates_truncates_and_appends() {
         let (m, sys, pid) = setup();
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, b"hello").unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, b"hello")
+            .unwrap();
         assert_eq!(sys.sys_open_write_close(pid, "/new", UBUF, 5, false), 5);
         assert_eq!(sys.sys_open_write_close(pid, "/new", UBUF, 5, true), 5);
         let st_ret = sys.sys_stat(pid, "/new", UBUF + 4096);
         assert_eq!(st_ret, 0);
         let mut sw = [0u8; STAT_WIRE_BYTES];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw)
+            .unwrap();
         assert_eq!(Stat::from_wire(&sw).size, 10, "append grew the file");
         assert_eq!(sys.sys_open_write_close(pid, "/new", UBUF, 5, false), 5);
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw)
+            .unwrap();
         let _ = sys.sys_stat(pid, "/new", UBUF + 4096);
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, &mut sw)
+            .unwrap();
         assert_eq!(Stat::from_wire(&sw).size, 5, "non-append truncates");
     }
 
@@ -997,7 +1052,9 @@ mod tests {
     fn open_fstat_returns_open_fd_and_stat() {
         let (m, sys, pid) = setup();
         let fd = sys.sys_open(pid, "/x", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &[1u8; 500]).unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, &[1u8; 500])
+            .unwrap();
         sys.sys_write(pid, fd, UBUF, 500);
         sys.sys_close(pid, fd);
 
@@ -1006,7 +1063,9 @@ mod tests {
         assert!(fd2 >= 0);
         assert_eq!(m.stats.snapshot().delta(&s0).crossings, 1);
         let mut sw = [0u8; STAT_WIRE_BYTES];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 2048, &mut sw).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 2048, &mut sw)
+            .unwrap();
         assert_eq!(Stat::from_wire(&sw).size, 500);
         // The fd is genuinely open.
         assert_eq!(sys.sys_read(pid, fd2 as i32, UBUF + 4096, 10), 10);
@@ -1046,14 +1105,18 @@ mod tests {
         let csd = sys.sys_socket(pid) as i32;
         assert_eq!(sys.sys_connect(pid, csd, 81), -111, "ECONNREFUSED");
         assert_eq!(sys.sys_connect(pid, csd, 80), 0);
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, b"ping\0").unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, b"ping\0")
+            .unwrap();
         assert_eq!(sys.sys_send(pid, csd, UBUF, 5), 5);
         let ssd = sys.sys_accept(pid, lsd) as i32;
         assert!(ssd >= 0);
         assert_eq!(sys.sys_accept(pid, lsd), -11, "backlog drained → EAGAIN");
         assert_eq!(sys.sys_recv(pid, ssd, UBUF + 64, 16), 5);
         let mut out = [0u8; 5];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF + 64, &mut out).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF + 64, &mut out)
+            .unwrap();
         assert_eq!(&out, b"ping\0");
         assert_eq!(sys.sys_shutdown(pid, csd), 0);
         assert_eq!(sys.sys_shutdown(pid, csd), -9, "EBADF on double shutdown");
@@ -1069,12 +1132,18 @@ mod tests {
         let lsd = sys.sys_socket(pid) as i32;
         sys.sys_bind_listen(pid, lsd, 80, 4);
         let csd = sys.sys_socket(pid) as i32;
-        assert_eq!(sys.sys_poll_wait(pid, &[lsd, csd], UBUF), 0, "nothing ready");
+        assert_eq!(
+            sys.sys_poll_wait(pid, &[lsd, csd], UBUF),
+            0,
+            "nothing ready"
+        );
         sys.sys_connect(pid, csd, 80);
         let n = sys.sys_poll_wait(pid, &[lsd, csd], UBUF);
         assert!(n >= 1);
         let mut pair = [0u8; 8];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut pair).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut pair)
+            .unwrap();
         let sd = i32::from_le_bytes(pair[0..4].try_into().unwrap());
         let mask = i32::from_le_bytes(pair[4..8].try_into().unwrap());
         assert_eq!(sd, lsd);
@@ -1086,7 +1155,9 @@ mod tests {
         let (m, sys, pid) = setup();
         let data: Vec<u8> = (0..20_000u32).map(|i| (i * 7 % 251) as u8).collect();
         let fd = sys.sys_open(pid, "/doc", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF, &data).unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF, &data)
+            .unwrap();
         sys.sys_write(pid, fd, UBUF, data.len());
         sys.sys_lseek(pid, fd, 0, SEEK_SET);
 
@@ -1097,7 +1168,10 @@ mod tests {
         let ssd = sys.sys_accept(pid, lsd) as i32;
 
         let s0 = m.stats.snapshot();
-        assert_eq!(sys.sys_sendfile(pid, ssd, fd, data.len()), data.len() as i64);
+        assert_eq!(
+            sys.sys_sendfile(pid, ssd, fd, data.len()),
+            data.len() as i64
+        );
         let d = m.stats.snapshot().delta(&s0);
         assert_eq!(d.crossings, 1);
         assert_eq!(d.bytes_copied_in + d.bytes_copied_out, 0, "zero-copy path");
@@ -1109,7 +1183,9 @@ mod tests {
                 break;
             }
             let mut chunk = vec![0u8; n as usize];
-            m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut chunk).unwrap();
+            m.mem
+                .read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut chunk)
+                .unwrap();
             got.extend_from_slice(&chunk);
         }
         assert_eq!(got, data, "sendfile delivers the exact file bytes");
@@ -1147,11 +1223,17 @@ mod tests {
 
         let lsd = sys.sys_socket(pid) as i32;
         sys.sys_bind_listen(pid, lsd, 80, 4);
-        assert_eq!(sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64), -11, "no client yet");
+        assert_eq!(
+            sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64),
+            -11,
+            "no client yet"
+        );
 
         let csd = sys.sys_socket(pid) as i32;
         sys.sys_connect(pid, csd, 80);
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, b"/index.html\0").unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, b"/index.html\0")
+            .unwrap();
         sys.sys_send(pid, csd, UBUF + 4096, 12);
 
         let s0 = m.stats.snapshot();
@@ -1159,7 +1241,9 @@ mod tests {
         assert_eq!(served, 5000);
         assert_eq!(m.stats.snapshot().delta(&s0).crossings, 1);
         let mut req = [0u8; 12];
-        m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut req).unwrap();
+        m.mem
+            .read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut req)
+            .unwrap();
         assert_eq!(&req, b"/index.html\0", "request surfaced for logging");
 
         let mut got = Vec::new();
@@ -1169,7 +1253,9 @@ mod tests {
                 break;
             }
             let mut chunk = vec![0u8; n as usize];
-            m.mem.read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut chunk).unwrap();
+            m.mem
+                .read_virt(m.proc_asid(pid).unwrap(), UBUF, &mut chunk)
+                .unwrap();
             got.extend_from_slice(&chunk);
         }
         assert_eq!(got, doc);
@@ -1177,9 +1263,15 @@ mod tests {
         // Missing document: connection is closed, errno surfaces.
         let c2 = sys.sys_socket(pid) as i32;
         sys.sys_connect(pid, c2, 80);
-        m.mem.write_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, b"/nope\0").unwrap();
+        m.mem
+            .write_virt(m.proc_asid(pid).unwrap(), UBUF + 4096, b"/nope\0")
+            .unwrap();
         sys.sys_send(pid, c2, UBUF + 4096, 6);
-        assert_eq!(sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64), -2, "ENOENT");
+        assert_eq!(
+            sys.sys_accept_recv_send_close(pid, lsd, UBUF, 64),
+            -2,
+            "ENOENT"
+        );
         assert_eq!(sys.sys_recv(pid, c2, UBUF, 64), 0, "server hung up");
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod fd;
 pub mod layer;
+pub mod uring;
 pub mod wire;
 
 pub use fd::{FdTable, OpenFile, OpenFlags};

@@ -1,0 +1,397 @@
+//! Ring system calls: `sys_ring_setup`, `sys_ring_register`,
+//! `sys_ring_enter` — the `ksyscall` side of the `kuring` shared rings.
+//!
+//! `sys_ring_enter` is the one crossing a whole batch pays. It flushes any
+//! parked overflow completions, then drains up to `to_submit` SQEs and
+//! executes each **in kernel context** through the same `k_*` paths the
+//! classic and consolidated calls use — so permission checks, descriptor
+//! semantics and cycle charges are identical; only the per-op crossing and
+//! `syscall_dispatch` are gone, replaced by `uring_op_dispatch`.
+//!
+//! Linked SQEs ([`IOSQE_LINK`]) form chains: a failure (negative result)
+//! cancels every later link with [`ECANCELED`], and fd-producing ops
+//! (`open`, `accept`) feed their result to later links marked
+//! [`IOSQE_FD_CHAIN`] — an `open→read→close` chain runs like a Cosy
+//! compound, without the compiler. Fixed-buffer ops ([`IOSQE_FIXED_BUF`])
+//! move data through registered ranges at the in-kernel memcpy rate with
+//! zero `copy_to_user`/`copy_from_user`, like `sendfile` does.
+
+use std::sync::Arc;
+
+use ksim::Pid;
+use ktrace::Sysno;
+use kuring::{
+    Cqe, Opcode, Sqe, Uring, ECANCELED, IOSQE_FD_CHAIN, IOSQE_FIXED_BUF, IOSQE_LINK, OFF_CURSOR,
+};
+
+use crate::fd::OpenFlags;
+use crate::layer::{SyscallLayer, SEEK_SET};
+
+/// Longest path an `Open` SQE may reference.
+const RING_PATH_MAX: usize = 256;
+
+impl SyscallLayer {
+    /// `sys_ring_setup`: create `pid`'s SQ/CQ ring pair with the given
+    /// entry capacities. One ring pair per process; -EEXIST if it already
+    /// has one, -EINVAL on a zero capacity.
+    pub fn sys_ring_setup(&self, pid: Pid, sq_entries: usize, cq_entries: usize) -> i64 {
+        self.invoke(pid, Sysno::RingSetup, |s| {
+            s.charge_arg_in(16); // the two capacity words, params-struct style
+            if sq_entries == 0 || cq_entries == 0 {
+                return -22; // EINVAL
+            }
+            let mut rings = s.urings.lock();
+            if rings.contains_key(&pid.0) {
+                return -17; // EEXIST
+            }
+            rings.insert(
+                pid.0,
+                Arc::new(Uring::new(s.machine.clone(), sq_entries, cq_entries)),
+            );
+            0
+        })
+    }
+
+    /// `sys_ring_register`: pin `(user_addr, len)` data-buffer ranges for
+    /// fixed-buffer ops, replacing any previous table. Returns the number
+    /// of registered buffers; -ENXIO without a ring, -EINVAL on an empty
+    /// or zero-length range, -EFAULT if a range is not mapped.
+    pub fn sys_ring_register(&self, pid: Pid, ranges: &[(u64, usize)]) -> i64 {
+        self.invoke(pid, Sysno::RingRegister, |s| {
+            s.charge_arg_in(ranges.len() * 16);
+            let Some(ring) = s.urings.lock().get(&pid.0).cloned() else {
+                return -6; // ENXIO
+            };
+            if ranges.is_empty() {
+                return -22;
+            }
+            let Ok(asid) = s.machine.proc_asid(pid) else {
+                return -3; // ESRCH
+            };
+            let mut probe = [0u8; 1];
+            for &(addr, len) in ranges {
+                if len == 0 {
+                    return -22;
+                }
+                // Pinning walks the pages: both ends must be mapped.
+                if s.machine.mem.read_virt(asid, addr, &mut probe).is_err()
+                    || s.machine
+                        .mem
+                        .read_virt(asid, addr + len as u64 - 1, &mut probe)
+                        .is_err()
+                {
+                    return -14;
+                }
+            }
+            ring.register_buffers(ranges);
+            ranges.len() as i64
+        })
+    }
+
+    /// The user-side handle on `pid`'s ring pair: enqueue SQEs and reap
+    /// CQEs with zero crossings. No charges — this is a pointer lookup the
+    /// process did once at setup time and kept.
+    pub fn uring(&self, pid: Pid) -> Option<Arc<Uring>> {
+        self.urings.lock().get(&pid.0).cloned()
+    }
+
+    /// `sys_ring_enter`: the single crossing for a whole batch. Flushes
+    /// parked overflow CQEs, then drains up to `to_submit` SQEs, executing
+    /// each through the `k_*` paths and posting its CQE. Returns how many
+    /// entries were consumed; -ENXIO without a ring.
+    ///
+    /// Execution is synchronous — every consumed SQE has completed by
+    /// return, so any `min_complete` ≤ the submission count is satisfied
+    /// trivially; the argument exists for call-shape fidelity.
+    pub fn sys_ring_enter(&self, pid: Pid, to_submit: usize, min_complete: usize) -> i64 {
+        let _ = min_complete;
+        self.invoke(pid, Sysno::RingEnter, |s| {
+            let Some(ring) = s.urings.lock().get(&pid.0).cloned() else {
+                return -6; // ENXIO
+            };
+            ring.flush_overflow();
+            let mut submitted = 0i64;
+            // Chain state: `in_chain` while the previous SQE carried
+            // IOSQE_LINK; a fresh chain resets the failure flag and the
+            // propagated fd.
+            let mut in_chain = false;
+            let mut chain_failed = false;
+            let mut chain_fd: i64 = -1;
+            for _ in 0..to_submit {
+                let Some(sqe) = ring.take_sqe() else { break };
+                submitted += 1;
+                if !in_chain {
+                    chain_failed = false;
+                    chain_fd = -1;
+                }
+                s.machine.charge_sys(s.machine.cost.uring_op_dispatch);
+                let res = if chain_failed {
+                    ECANCELED
+                } else {
+                    let r = s.exec_ring_op(pid, &ring, &sqe, chain_fd);
+                    if r >= 0 && matches!(sqe.opcode, Opcode::Open | Opcode::Accept) {
+                        chain_fd = r;
+                    }
+                    if r < 0 {
+                        chain_failed = true;
+                    }
+                    r
+                };
+                ring.post_cqe(Cqe {
+                    user_data: sqe.user_data,
+                    res,
+                });
+                in_chain = sqe.flags & IOSQE_LINK != 0;
+            }
+            submitted
+        })
+    }
+
+    /// Resolve the descriptor an SQE operates on: its own `fd`, or the
+    /// chain's most recent fd-producing result under [`IOSQE_FD_CHAIN`].
+    fn ring_fd(sqe: &Sqe, chain_fd: i64) -> Result<i32, i64> {
+        if sqe.flags & IOSQE_FD_CHAIN != 0 {
+            if chain_fd < 0 {
+                return Err(-9); // EBADF: nothing in the chain produced an fd
+            }
+            Ok(chain_fd as i32)
+        } else {
+            Ok(sqe.fd)
+        }
+    }
+
+    /// Resolve a fixed-buffer reference, clamping the requested length to
+    /// the registered range.
+    fn ring_buf(ring: &Uring, sqe: &Sqe) -> Result<(u64, usize), i64> {
+        let (addr, blen) = ring.fixed_buf(sqe.buf as u32).ok_or(-22i64)?;
+        Ok((addr, (sqe.len as usize).min(blen)))
+    }
+
+    /// Move `data` into a pinned range: no user copy, just the in-kernel
+    /// memcpy charge — the same rate the socket rings pay.
+    fn fixed_move_in(&self, pid: Pid, addr: u64, data: &[u8]) -> Result<(), i64> {
+        let asid = self.machine.proc_asid(pid).map_err(|_| -3i64)?;
+        self.machine
+            .mem
+            .write_virt(asid, addr, data)
+            .map_err(|_| -14i64)?;
+        self.machine
+            .charge_sys((data.len() as u64).div_ceil(16) * self.machine.cost.sock_move_block16);
+        Ok(())
+    }
+
+    /// Read `len` bytes out of a pinned range at the in-kernel memcpy rate.
+    fn fixed_move_out(&self, pid: Pid, addr: u64, len: usize) -> Result<Vec<u8>, i64> {
+        let asid = self.machine.proc_asid(pid).map_err(|_| -3i64)?;
+        let mut buf = vec![0u8; len];
+        self.machine
+            .mem
+            .read_virt(asid, addr, &mut buf)
+            .map_err(|_| -14i64)?;
+        self.machine
+            .charge_sys((len as u64).div_ceil(16) * self.machine.cost.sock_move_block16);
+        Ok(buf)
+    }
+
+    /// Position `fd`'s cursor for an explicit-offset read/write.
+    fn ring_seek(&self, pid: Pid, fd: i32, off: u64) -> Result<(), i64> {
+        if off == OFF_CURSOR {
+            return Ok(());
+        }
+        self.k_lseek(pid, fd, off as i64, SEEK_SET)
+            .map(|_| ())
+            .map_err(|e| e.errno())
+    }
+
+    /// Execute one drained SQE in kernel context. Returns the op's result
+    /// with the same conventions as the matching synchronous syscall.
+    fn exec_ring_op(&self, pid: Pid, ring: &Uring, sqe: &Sqe, chain_fd: i64) -> i64 {
+        let fixed = sqe.flags & IOSQE_FIXED_BUF != 0;
+        match sqe.opcode {
+            Opcode::Nop => 0,
+            Opcode::Open => {
+                let len = (sqe.len as usize).min(RING_PATH_MAX);
+                let bytes = match self.machine.copy_from_user(pid, sqe.buf, len) {
+                    Ok(b) => b,
+                    Err(_) => return -14,
+                };
+                let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+                let path = match std::str::from_utf8(&bytes[..end]) {
+                    Ok(p) => p,
+                    Err(_) => return -22,
+                };
+                match self.k_open(pid, path, OpenFlags(sqe.off as u32)) {
+                    Ok(fd) => fd as i64,
+                    Err(e) => e.errno(),
+                }
+            }
+            Opcode::Read => {
+                let fd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(fd) => fd,
+                    Err(e) => return e,
+                };
+                if let Err(e) = self.ring_seek(pid, fd, sqe.off) {
+                    return e;
+                }
+                if fixed {
+                    let (addr, take) = match Self::ring_buf(ring, sqe) {
+                        Ok(b) => b,
+                        Err(e) => return e,
+                    };
+                    let mut buf = vec![0u8; take];
+                    match self.k_read(pid, fd, &mut buf) {
+                        Ok(n) => match self.fixed_move_in(pid, addr, &buf[..n]) {
+                            Ok(()) => n as i64,
+                            Err(e) => e,
+                        },
+                        Err(e) => e.errno(),
+                    }
+                } else {
+                    let mut buf = vec![0u8; sqe.len as usize];
+                    match self.k_read(pid, fd, &mut buf) {
+                        Ok(n) => match self.machine.copy_to_user(pid, sqe.buf, &buf[..n]) {
+                            Ok(()) => n as i64,
+                            Err(_) => -14,
+                        },
+                        Err(e) => e.errno(),
+                    }
+                }
+            }
+            Opcode::Write => {
+                let fd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(fd) => fd,
+                    Err(e) => return e,
+                };
+                if let Err(e) = self.ring_seek(pid, fd, sqe.off) {
+                    return e;
+                }
+                let data = if fixed {
+                    let (addr, take) = match Self::ring_buf(ring, sqe) {
+                        Ok(b) => b,
+                        Err(e) => return e,
+                    };
+                    match self.fixed_move_out(pid, addr, take) {
+                        Ok(d) => d,
+                        Err(e) => return e,
+                    }
+                } else {
+                    match self.machine.copy_from_user(pid, sqe.buf, sqe.len as usize) {
+                        Ok(d) => d,
+                        Err(_) => return -14,
+                    }
+                };
+                match self.k_write(pid, fd, &data) {
+                    Ok(n) => n as i64,
+                    Err(e) => e.errno(),
+                }
+            }
+            Opcode::Close => {
+                let fd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(fd) => fd,
+                    Err(e) => return e,
+                };
+                match self.k_close(pid, fd) {
+                    Ok(()) => 0,
+                    Err(e) => e.errno(),
+                }
+            }
+            Opcode::Fstat => {
+                let fd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(fd) => fd,
+                    Err(e) => return e,
+                };
+                match self.k_fstat(pid, fd) {
+                    Ok(st) => match self.machine.copy_to_user(pid, sqe.buf, &st.to_wire()) {
+                        Ok(()) => 0,
+                        Err(_) => -14,
+                    },
+                    Err(e) => e.errno(),
+                }
+            }
+            Opcode::Send => {
+                let sd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(sd) => sd,
+                    Err(e) => return e,
+                };
+                let data = if fixed {
+                    let (addr, take) = match Self::ring_buf(ring, sqe) {
+                        Ok(b) => b,
+                        Err(e) => return e,
+                    };
+                    match self.fixed_move_out(pid, addr, take) {
+                        Ok(d) => d,
+                        Err(e) => return e,
+                    }
+                } else {
+                    match self.machine.copy_from_user(pid, sqe.buf, sqe.len as usize) {
+                        Ok(d) => d,
+                        Err(_) => return -14,
+                    }
+                };
+                match self.k_send(pid, sd, &data) {
+                    Ok(n) => n as i64,
+                    Err(e) => e.errno(),
+                }
+            }
+            Opcode::Recv => {
+                let sd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(sd) => sd,
+                    Err(e) => return e,
+                };
+                if fixed {
+                    let (addr, take) = match Self::ring_buf(ring, sqe) {
+                        Ok(b) => b,
+                        Err(e) => return e,
+                    };
+                    let mut buf = vec![0u8; take];
+                    match self.k_recv(pid, sd, &mut buf) {
+                        Ok(n) => match self.fixed_move_in(pid, addr, &buf[..n]) {
+                            Ok(()) => n as i64,
+                            Err(e) => e,
+                        },
+                        Err(e) => e.errno(),
+                    }
+                } else {
+                    let mut buf = vec![0u8; sqe.len as usize];
+                    match self.k_recv(pid, sd, &mut buf) {
+                        Ok(n) => match self.machine.copy_to_user(pid, sqe.buf, &buf[..n]) {
+                            Ok(()) => n as i64,
+                            Err(_) => -14,
+                        },
+                        Err(e) => e.errno(),
+                    }
+                }
+            }
+            Opcode::Accept => match self.k_accept(pid, sqe.fd) {
+                Ok(sd) => sd as i64,
+                Err(e) => e.errno(),
+            },
+            Opcode::Sendfile => {
+                // `fd` is the socket; the file fd rides in `off` or comes
+                // from the chain (an earlier `open`).
+                let file_fd = if sqe.flags & IOSQE_FD_CHAIN != 0 {
+                    if chain_fd < 0 {
+                        return -9;
+                    }
+                    chain_fd as i32
+                } else {
+                    sqe.off as i32
+                };
+                match self.k_sendfile(pid, sqe.fd, file_fd, sqe.len as usize) {
+                    Ok(n) => n as i64,
+                    Err(en) => en,
+                }
+            }
+            Opcode::Shutdown => {
+                let sd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(sd) => sd,
+                    Err(e) => return e,
+                };
+                match self.k_shutdown(pid, sd) {
+                    Ok(()) => 0,
+                    Err(e) => e.errno(),
+                }
+            }
+        }
+    }
+}

@@ -27,6 +27,10 @@ pub enum Remedy {
     /// No single consolidated call exists: mark the region and let Cosy
     /// run the whole sequence in one crossing.
     BuildCompound,
+    /// A dense run of independent-ish iterations: enqueue the ops as SQEs
+    /// and drain whole batches through `sys_ring_enter`, amortising one
+    /// crossing over [`RING_BATCH`] ops.
+    BatchViaUring,
 }
 
 /// One recommendation.
@@ -42,6 +46,21 @@ pub struct Suggestion {
 
 /// Minimum occurrences before a sequence is worth a recommendation.
 pub const DEFAULT_MIN_COUNT: u64 = 16;
+
+/// Batch size assumed when estimating `sys_ring_enter` savings: ops per
+/// crossing a server comfortably sustains at 64 concurrent connections.
+pub const RING_BATCH: u64 = 64;
+
+/// Sequences whose dense repetition marks a ring-batchable loop: the
+/// server event loop (`poll_wait→recv→send`) and the static-file loop
+/// (`open→read→close`). Each iteration is independent of the last, which
+/// is exactly what lets SQEs pile up between crossings.
+fn ring_batchable(seq: &[Sysno]) -> bool {
+    matches!(
+        seq,
+        [Sysno::PollWait, Sysno::Recv, Sysno::Send] | [Sysno::Open, Sysno::Read, Sysno::Close]
+    )
+}
 
 /// Match a mined sequence against the consolidated-call catalogue.
 fn match_consolidated(seq: &[Sysno]) -> Option<Sysno> {
@@ -62,11 +81,25 @@ fn match_consolidated(seq: &[Sysno]) -> Option<Sysno> {
 /// Analyse a trace and produce ranked recommendations.
 pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<Suggestion> {
     let mut out: Vec<Suggestion> = Vec::new();
+    let mut ring: Vec<Suggestion> = Vec::new();
     for len in 2..=4usize {
         for p in mine_patterns(events, len, min_count) {
             // Skip sequences already containing consolidated calls.
             if p.seq.iter().any(|s| s.is_consolidated()) {
                 continue;
+            }
+            // Ring-batchable loops are recommended *alongside* whatever
+            // consolidated call or compound covers the same site: batching
+            // changes the crossing count, not the per-op shape.
+            if ring_batchable(&p.seq) {
+                let calls = p.calls_covered();
+                let crossings_saved = calls - calls.div_ceil(RING_BATCH);
+                ring.push(Suggestion {
+                    pattern: p.clone(),
+                    remedy: Remedy::BatchViaUring,
+                    crossings_saved,
+                    cycles_saved: crossings_saved * cost.crossing_cost(),
+                });
             }
             // Trivial repetitions of the same call are loop bodies, not
             // consolidation targets (stat;stat is subsumed by readdirplus,
@@ -82,7 +115,12 @@ pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<
             // sequence is a prefix of this one with the same remedy site.
             let crossings_saved = p.crossings_saved();
             let cycles_saved = crossings_saved * cost.crossing_cost();
-            out.push(Suggestion { pattern: p, remedy, crossings_saved, cycles_saved });
+            out.push(Suggestion {
+                pattern: p,
+                remedy,
+                crossings_saved,
+                cycles_saved,
+            });
         }
     }
     // Deduplicate per leading pair. An existing consolidated call always
@@ -106,6 +144,11 @@ pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<
             true
         }
     });
+    // Batching recommendations ride along after the per-site winners: they
+    // are complementary (an admin can adopt sendfile *and* move the loop
+    // onto a ring), so they never displace a consolidation suggestion.
+    ring.sort_by_key(|s| std::cmp::Reverse(s.cycles_saved));
+    out.extend(ring);
     out
 }
 
@@ -113,7 +156,11 @@ pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<
 pub fn render_report(suggestions: &[Suggestion]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<34} {:>8} {:>12}  remedy", "sequence", "count", "saves(cyc)");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>12}  remedy",
+        "sequence", "count", "saves(cyc)"
+    );
     for s in suggestions {
         let seq = s
             .pattern
@@ -125,8 +172,13 @@ pub fn render_report(suggestions: &[Suggestion]) -> String {
         let remedy = match &s.remedy {
             Remedy::UseConsolidated(c) => format!("use sys_{}", c.name()),
             Remedy::BuildCompound => "mark region for Cosy".to_string(),
+            Remedy::BatchViaUring => "batch via kuring (sys_ring_enter)".to_string(),
         };
-        let _ = writeln!(out, "{seq:<34} {:>8} {:>12}  {remedy}", s.pattern.count, s.cycles_saved);
+        let _ = writeln!(
+            out,
+            "{seq:<34} {:>8} {:>12}  {remedy}",
+            s.pattern.count, s.cycles_saved
+        );
     }
     out
 }
@@ -136,7 +188,14 @@ mod tests {
     use super::*;
 
     fn ev(pid: u32, no: Sysno) -> SyscallEvent {
-        SyscallEvent { no, pid, bytes_in: 0, bytes_out: 0, ret: 0, ts: 0 }
+        SyscallEvent {
+            no,
+            pid,
+            bytes_in: 0,
+            bytes_out: 0,
+            ret: 0,
+            ts: 0,
+        }
     }
 
     fn seq(pid: u32, calls: &[Sysno], times: usize) -> Vec<SyscallEvent> {
@@ -164,7 +223,11 @@ mod tests {
 
     #[test]
     fn mail_spool_trace_gets_owc_recommendation() {
-        let t = seq(2, &[Sysno::Open, Sysno::Write, Sysno::Close, Sysno::Rename], 50);
+        let t = seq(
+            2,
+            &[Sysno::Open, Sysno::Write, Sysno::Close, Sysno::Rename],
+            50,
+        );
         let sugg = advise(&t, &CostModel::default(), 16);
         assert!(sugg
             .iter()
@@ -190,7 +253,11 @@ mod tests {
 
     #[test]
     fn unknown_heavy_sequences_become_cosy_candidates() {
-        let t = seq(4, &[Sysno::Lseek, Sysno::Read, Sysno::Lseek, Sysno::Write], 80);
+        let t = seq(
+            4,
+            &[Sysno::Lseek, Sysno::Read, Sysno::Lseek, Sysno::Write],
+            80,
+        );
         let sugg = advise(&t, &CostModel::default(), 16);
         let top = &sugg[0];
         assert_eq!(top.remedy, Remedy::BuildCompound);
@@ -199,10 +266,17 @@ mod tests {
 
     #[test]
     fn web_request_loop_gets_one_shot_recommendation() {
-        let t = seq(7, &[Sysno::Accept, Sysno::Recv, Sysno::Send, Sysno::Shutdown], 50);
+        let t = seq(
+            7,
+            &[Sysno::Accept, Sysno::Recv, Sysno::Send, Sysno::Shutdown],
+            50,
+        );
         let sugg = advise(&t, &CostModel::default(), 16);
         let top = &sugg[0];
-        assert_eq!(top.remedy, Remedy::UseConsolidated(Sysno::AcceptRecvSendClose));
+        assert_eq!(
+            top.remedy,
+            Remedy::UseConsolidated(Sysno::AcceptRecvSendClose)
+        );
         assert_eq!(top.crossings_saved, 150, "4 calls → 1, 50 times");
     }
 
@@ -227,6 +301,38 @@ mod tests {
         let t = seq(6, &[Sysno::ReaddirPlus, Sysno::Close], 100);
         let sugg = advise(&t, &CostModel::default(), 16);
         assert!(sugg.is_empty(), "{sugg:?}");
+    }
+
+    #[test]
+    fn server_event_loop_gets_ring_batching() {
+        let t = seq(9, &[Sysno::PollWait, Sysno::Recv, Sysno::Send], 100);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let ring = sugg
+            .iter()
+            .find(|s| s.remedy == Remedy::BatchViaUring)
+            .expect("ring batching recommended");
+        assert_eq!(
+            ring.pattern.seq,
+            vec![Sysno::PollWait, Sysno::Recv, Sysno::Send]
+        );
+        // 300 crossings collapse to ceil(300/64) = 5 ring_enter calls.
+        assert_eq!(ring.crossings_saved, 295);
+        assert!(ring.cycles_saved > 0);
+    }
+
+    #[test]
+    fn file_loop_gets_ring_batching_alongside_orc() {
+        let t = seq(10, &[Sysno::Open, Sysno::Read, Sysno::Close], 100);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        assert!(sugg
+            .iter()
+            .any(|s| s.remedy == Remedy::UseConsolidated(Sysno::OpenReadClose)));
+        assert!(
+            sugg.iter().any(|s| s.remedy == Remedy::BatchViaUring),
+            "batching is suggested alongside, not instead: {sugg:?}"
+        );
+        let rpt = render_report(&sugg);
+        assert!(rpt.contains("batch via kuring (sys_ring_enter)"));
     }
 
     #[test]

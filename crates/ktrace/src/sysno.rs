@@ -48,11 +48,18 @@ pub enum Sysno {
     /// One crossing per HTTP-style request: accept, read the request,
     /// stream the file back, close (the paper's khttpd shape).
     AcceptRecvSendClose,
+    // --- shared-memory syscall rings (kuring) ---
+    /// Create a process's SQ/CQ ring pair.
+    RingSetup,
+    /// Pin shared data-buffer ranges for fixed-buffer ring ops.
+    RingRegister,
+    /// Drain the submission queue and execute the batch in one crossing.
+    RingEnter,
 }
 
 impl Sysno {
     /// Every defined syscall, in numbering order.
-    pub const ALL: [Sysno; 29] = [
+    pub const ALL: [Sysno; 32] = [
         Sysno::Open,
         Sysno::Read,
         Sysno::Write,
@@ -82,6 +89,9 @@ impl Sysno {
         Sysno::PollWait,
         Sysno::Sendfile,
         Sysno::AcceptRecvSendClose,
+        Sysno::RingSetup,
+        Sysno::RingRegister,
+        Sysno::RingEnter,
     ];
 
     /// The syscall's name as strace would print it.
@@ -116,6 +126,9 @@ impl Sysno {
             Sysno::PollWait => "poll_wait",
             Sysno::Sendfile => "sendfile",
             Sysno::AcceptRecvSendClose => "accept_recv_send_close",
+            Sysno::RingSetup => "ring_setup",
+            Sysno::RingRegister => "ring_register",
+            Sysno::RingEnter => "ring_enter",
         }
     }
 
@@ -130,6 +143,7 @@ impl Sysno {
                 | Sysno::CosySubmit
                 | Sysno::Sendfile
                 | Sysno::AcceptRecvSendClose
+                | Sysno::RingEnter
         )
     }
 
@@ -162,7 +176,7 @@ mod tests {
         for (i, s) in Sysno::ALL.iter().enumerate() {
             assert_eq!(s.index(), i, "{s} out of order");
         }
-        assert_eq!(Sysno::COUNT, 29);
+        assert_eq!(Sysno::COUNT, 32);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | File systems (memfs, Wrapfs, dcache) + disk model | [`kvfs`] |
 //! | System calls, classic + consolidated (`readdirplus`, …) | [`ksyscall`] |
 //! | Simulated sockets (listeners, rings, readiness, `sendfile`) | [`knet`] |
+//! | Shared SQ/CQ rings for batched asynchronous syscalls | [`kuring`] |
 //! | Syscall tracing, pattern mining, savings analysis (§2.2) | [`ktrace`] |
 //! | C-subset compiler + interpreter (the GCC stand-in) | [`kclang`] |
 //! | **Cosy** compound system calls (§2.3) | [`cosy`] |
@@ -63,6 +64,7 @@ pub use knet;
 pub use ksim;
 pub use ksyscall;
 pub use ktrace;
+pub use kuring;
 pub use kvfs;
 pub use kworkloads;
 
@@ -79,19 +81,21 @@ pub mod prelude {
         CharDev, EventDispatcher, EventRecord, EventRing, EventType, LibKernEvents, ReadMode,
         RefcountMonitor, SpinlockMonitor,
     };
+    pub use kfault::{classify, FaultClass, FaultPlane, Policy};
     pub use kgcc::{CheckPlan, Deinstrument, KgccConfig, KgccHook};
+    pub use knet::{NetError, NetStack, POLL_HUP, POLL_IN, POLL_OUT};
     pub use ksim::{
         clock::{improvement_pct, overhead_pct},
         cost::cycles_to_secs,
         CostModel, Machine, MachineConfig, Pid, CYCLES_PER_SEC,
     };
-    pub use knet::{NetError, NetStack, POLL_HUP, POLL_IN, POLL_OUT};
     pub use ksyscall::{OpenFlags, SyscallLayer};
     pub use ktrace::{
-        estimate_consolidation, mine_patterns, InteractiveTraceGen, SyscallGraph, Sysno,
-        TraceGen,
+        estimate_consolidation, mine_patterns, InteractiveTraceGen, SyscallGraph, Sysno, TraceGen,
     };
-    pub use kfault::{classify, FaultClass, FaultPlane, Policy};
+    pub use kuring::{
+        Cqe, Opcode, Sqe, Uring, ECANCELED, IOSQE_FD_CHAIN, IOSQE_FIXED_BUF, IOSQE_LINK, OFF_CURSOR,
+    };
     pub use kvfs::{FileKind, Stat, VfsSnapshot};
     pub use kworkloads::{
         probe_cosy, probe_user, run_compile, run_postmark, scan_cosy, scan_user, setup_db,

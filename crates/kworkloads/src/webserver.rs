@@ -7,7 +7,7 @@
 //!
 //! The server accepts real `knet` connections from a simulated client
 //! process: each request is a NUL-padded document path sent over a stream
-//! socket, answered with the document bytes and an access-log line. Four
+//! socket, answered with the document bytes and an access-log line. Five
 //! serve paths:
 //!
 //! * [`ServeMode::Classic`] — `accept`, `recv`, `open`, a `read`+`send`
@@ -21,10 +21,16 @@
 //! * [`ServeMode::Cosy`] — one compound per request (accept → recv →
 //!   open → sendfile → close → shutdown → log write) in a single
 //!   crossing, with the identical submission bytes hitting the
-//!   translation cache from the second request on.
+//!   translation cache from the second request on;
+//! * [`ServeMode::Uring`] — poll-free: the whole batch's ops pile up as
+//!   SQEs in the shared kuring rings and drain through **three
+//!   `ring_enter` crossings per batch** (accepts, fixed-buffer recvs,
+//!   then per-request `open→sendfile→close` chains + shutdown + log
+//!   write), completions reaped from the CQ with zero crossings.
 
 use cosy::{CompoundBuilder, CosyCall, CosyOptions, SharedRegion};
 use ksyscall::OpenFlags;
+use kuring::Sqe;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,6 +76,7 @@ pub enum ServeMode {
     Consolidated,
     Cosy,
     OneShot,
+    Uring,
 }
 
 /// Serving results.
@@ -85,6 +92,10 @@ pub struct WebReport {
     /// to the server.
     pub server_cycles: u64,
     pub crossings: u64,
+    /// Socket-stack counter movement over the run (both processes):
+    /// ring-full send EAGAINs and bytes moved, so capacity tables can
+    /// report backpressure alongside the cycle numbers.
+    pub net: knet::NetStats,
 }
 
 impl WebReport {
@@ -113,7 +124,9 @@ pub fn setup_docs(rig: &Rig, p: &UserProc, cfg: &WebConfig) {
     for d in 0..cfg.documents {
         let size = rng.gen_range(cfg.doc_min..=cfg.doc_max);
         let path = doc_path(d);
-        let fd = rig.sys.sys_open(p.pid, &path, OpenFlags::WRONLY | OpenFlags::CREAT) as i32;
+        let fd = rig
+            .sys
+            .sys_open(p.pid, &path, OpenFlags::WRONLY | OpenFlags::CREAT) as i32;
         let mut left = size;
         while left > 0 {
             let n = rig.sys.sys_write(p.pid, fd, p.buf, left.min(chunk));
@@ -123,7 +136,8 @@ pub fn setup_docs(rig: &Rig, p: &UserProc, cfg: &WebConfig) {
     }
     // Warm every document once.
     for d in 0..cfg.documents {
-        rig.sys.sys_open_read_close(p.pid, &doc_path(d), p.buf, chunk, 0);
+        rig.sys
+            .sys_open_read_close(p.pid, &doc_path(d), p.buf, chunk, 0);
     }
 }
 
@@ -149,17 +163,23 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
     let chunk_at = p.buf + 4096;
     {
         let asid = rig.machine.proc_asid(pid).expect("server alive");
-        rig.machine.mem.write_virt(asid, log_at, &[b'L'; 96]).expect("stage log line");
+        rig.machine
+            .mem
+            .write_virt(asid, log_at, &[b'L'; 96])
+            .expect("stage log line");
     }
 
-    let logfd =
-        sys.sys_open(pid, "/access.log", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND)
-            as i32;
+    let logfd = sys.sys_open(
+        pid,
+        "/access.log",
+        OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND,
+    ) as i32;
     assert!(logfd >= 0);
 
     // Document sizes, for client-side verification (host bookkeeping).
-    let sizes: Vec<u64> =
-        (0..cfg.documents).map(|d| sys.k_stat(&doc_path(d)).expect("doc exists").size).collect();
+    let sizes: Vec<u64> = (0..cfg.documents)
+        .map(|d| sys.k_stat(&doc_path(d)).expect("doc exists").size)
+        .collect();
 
     let lsd = sys.sys_socket(pid) as i32;
     assert!(lsd >= 0);
@@ -179,7 +199,11 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
             let a = b.syscall(CosyCall::Accept, vec![CompoundBuilder::lit(lsd as i64)]);
             b.syscall(
                 CosyCall::Recv,
-                vec![CompoundBuilder::result_of(a), reqbuf, CompoundBuilder::lit(256)],
+                vec![
+                    CompoundBuilder::result_of(a),
+                    reqbuf,
+                    CompoundBuilder::lit(256),
+                ],
             );
             let f = b.syscall(CosyCall::Open, vec![reqbuf, CompoundBuilder::lit(0)]);
             b.syscall(
@@ -194,7 +218,11 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
             b.syscall(CosyCall::ShutdownSock, vec![CompoundBuilder::result_of(a)]);
             b.syscall(
                 CosyCall::Write,
-                vec![CompoundBuilder::lit(logfd as i64), logref, CompoundBuilder::lit(96)],
+                vec![
+                    CompoundBuilder::lit(logfd as i64),
+                    logref,
+                    CompoundBuilder::lit(96),
+                ],
             );
             b.finish().expect("encode");
         }
@@ -203,6 +231,21 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
         None
     };
 
+    // kuring setup: one SQ/CQ pair sized for the widest wave (5 SQEs per
+    // connection), per-connection request buffers registered as fixed
+    // buffers (recv moves bytes in with zero user copies), plus the staged
+    // log line as one more so the access-log write is zero-copy too.
+    let req_at = chunk_at;
+    let log_buf_idx = conns as u32;
+    if mode == ServeMode::Uring {
+        assert_eq!(sys.sys_ring_setup(pid, 8 * conns, 8 * conns), 0);
+        let mut ranges: Vec<(u64, usize)> =
+            (0..conns).map(|i| (req_at + 64 * i as u64, 64)).collect();
+        ranges.push((log_at, 96));
+        assert_eq!(sys.sys_ring_register(pid, &ranges), ranges.len() as i64);
+    }
+
+    let n0 = sys.net().stats();
     let t0 = rig.machine.clock.snapshot();
     let s0 = rig.machine.stats.snapshot();
     let mut bytes_served = 0u64;
@@ -223,70 +266,92 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
             let mut req = [0u8; 64];
             let path = doc_path(doc);
             req[..path.len()].copy_from_slice(path.as_bytes());
-            rig.machine.mem.write_virt(casid, client.buf, &req).expect("stage request");
+            rig.machine
+                .mem
+                .write_virt(casid, client.buf, &req)
+                .expect("stage request");
             assert_eq!(sys.sys_send(cpid, csd, client.buf, 64), 64);
             pending.push((csd, doc));
         }
 
         // Server phase: one readiness check per batch, then serve each
-        // pending connection.
+        // pending connection. The uring path is poll-free — the accept
+        // wave's completions *are* the readiness signal.
         let sp0 = rig.machine.clock.snapshot();
-        assert!(sys.sys_poll_wait(pid, &[lsd], poll_at) >= 1, "batch pending");
-        for _ in 0..batch {
-            rig.machine.charge_user(cfg.cpu_per_request);
-            match mode {
-                ServeMode::Classic => {
-                    let csd = sys.sys_accept(pid, lsd) as i32;
-                    assert!(csd >= 0);
-                    assert_eq!(sys.sys_recv(pid, csd, p.buf, 64), 64);
-                    let path = read_request(rig, p);
-                    let fd = sys.sys_open(pid, &path, OpenFlags::RDONLY) as i32;
-                    assert!(fd >= 0);
-                    loop {
-                        let n = sys.sys_read(pid, fd, chunk_at, chunk);
-                        if n <= 0 {
-                            break;
+        if mode == ServeMode::Uring {
+            serve_batch_uring(
+                rig,
+                p,
+                cfg,
+                batch,
+                lsd,
+                logfd,
+                req_at,
+                log_buf_idx,
+                &mut bytes_served,
+            );
+        } else {
+            assert!(
+                sys.sys_poll_wait(pid, &[lsd], poll_at) >= 1,
+                "batch pending"
+            );
+            for _ in 0..batch {
+                rig.machine.charge_user(cfg.cpu_per_request);
+                match mode {
+                    ServeMode::Classic => {
+                        let csd = sys.sys_accept(pid, lsd) as i32;
+                        assert!(csd >= 0);
+                        assert_eq!(sys.sys_recv(pid, csd, p.buf, 64), 64);
+                        let path = read_request(rig, p);
+                        let fd = sys.sys_open(pid, &path, OpenFlags::RDONLY) as i32;
+                        assert!(fd >= 0);
+                        loop {
+                            let n = sys.sys_read(pid, fd, chunk_at, chunk);
+                            if n <= 0 {
+                                break;
+                            }
+                            bytes_served += n as u64;
+                            // send(): the chunk crosses back into the kernel.
+                            assert_eq!(sys.sys_send(pid, csd, chunk_at, n as usize), n);
                         }
-                        bytes_served += n as u64;
-                        // send(): the chunk crosses back into the kernel.
-                        assert_eq!(sys.sys_send(pid, csd, chunk_at, n as usize), n);
+                        sys.sys_close(pid, fd);
+                        sys.sys_shutdown(pid, csd);
+                        assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
                     }
-                    sys.sys_close(pid, fd);
-                    sys.sys_shutdown(pid, csd);
-                    assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
-                }
-                ServeMode::Consolidated => {
-                    let csd = sys.sys_accept(pid, lsd) as i32;
-                    assert!(csd >= 0);
-                    assert_eq!(sys.sys_recv(pid, csd, p.buf, 64), 64);
-                    let path = read_request(rig, p);
-                    let fd = sys.sys_open(pid, &path, OpenFlags::RDONLY) as i32;
-                    assert!(fd >= 0);
-                    // sendfile: the whole document in one crossing, file
-                    // pages moving straight into the socket ring.
-                    let n = sys.sys_sendfile(pid, csd, fd, cfg.doc_max);
-                    assert!(n > 0);
-                    bytes_served += n as u64;
-                    sys.sys_close(pid, fd);
-                    sys.sys_shutdown(pid, csd);
-                    assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
-                }
-                ServeMode::OneShot => {
-                    let n = sys.sys_accept_recv_send_close(pid, lsd, p.buf, 64);
-                    assert!(n > 0, "one-shot serve failed: {n}");
-                    bytes_served += n as u64;
-                    assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
-                }
-                ServeMode::Cosy => {
-                    let (cb, db) = regions.as_ref().expect("cosy regions");
-                    let results = rig
-                        .cosy
-                        .submit(pid, cb, db, &CosyOptions::default())
-                        .expect("serve compound");
-                    let n = results[3];
-                    assert!(n > 0, "compound sendfile failed: {n}");
-                    bytes_served += n as u64;
-                    assert_eq!(results[6], 96, "log line written");
+                    ServeMode::Consolidated => {
+                        let csd = sys.sys_accept(pid, lsd) as i32;
+                        assert!(csd >= 0);
+                        assert_eq!(sys.sys_recv(pid, csd, p.buf, 64), 64);
+                        let path = read_request(rig, p);
+                        let fd = sys.sys_open(pid, &path, OpenFlags::RDONLY) as i32;
+                        assert!(fd >= 0);
+                        // sendfile: the whole document in one crossing, file
+                        // pages moving straight into the socket ring.
+                        let n = sys.sys_sendfile(pid, csd, fd, cfg.doc_max);
+                        assert!(n > 0);
+                        bytes_served += n as u64;
+                        sys.sys_close(pid, fd);
+                        sys.sys_shutdown(pid, csd);
+                        assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
+                    }
+                    ServeMode::OneShot => {
+                        let n = sys.sys_accept_recv_send_close(pid, lsd, p.buf, 64);
+                        assert!(n > 0, "one-shot serve failed: {n}");
+                        bytes_served += n as u64;
+                        assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
+                    }
+                    ServeMode::Cosy => {
+                        let (cb, db) = regions.as_ref().expect("cosy regions");
+                        let results = rig
+                            .cosy
+                            .submit(pid, cb, db, &CosyOptions::default())
+                            .expect("serve compound");
+                        let n = results[3];
+                        assert!(n > 0, "compound sendfile failed: {n}");
+                        bytes_served += n as u64;
+                        assert_eq!(results[6], 96, "log line written");
+                    }
+                    ServeMode::Uring => unreachable!("handled batch-wise above"),
                 }
             }
         }
@@ -323,6 +388,92 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
         elapsed_cycles: iv.elapsed(),
         server_cycles,
         crossings: d.crossings,
+        net: sys.net().stats().delta(&n0),
+    }
+}
+
+/// One batch through the kuring rings: three `ring_enter` crossings total,
+/// independent of the batch width.
+///
+/// Wave 1 accepts every pending connection; wave 2 receives each request
+/// into its registered per-connection buffer (an in-kernel move, zero user
+/// copies); wave 3 submits, per request, a linked `open→sendfile→close`
+/// chain (the sendfile and close take the opened file fd *from the chain*)
+/// plus an unlinked socket shutdown and a fixed-buffer access-log write.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch_uring(
+    rig: &Rig,
+    p: &UserProc,
+    cfg: &WebConfig,
+    batch: usize,
+    lsd: i32,
+    logfd: i32,
+    req_at: u64,
+    log_buf_idx: u32,
+    bytes_served: &mut u64,
+) {
+    let sys = &rig.sys;
+    let pid = p.pid;
+    let ring = sys.uring(pid).expect("ring installed at serve start");
+
+    // Wave 1: accepts. user_data = connection slot.
+    for i in 0..batch {
+        ring.push_sqe(Sqe::accept(lsd, i as u64)).expect("sq room");
+    }
+    assert_eq!(sys.sys_ring_enter(pid, batch, batch), batch as i64);
+    let mut sds = vec![-1i32; batch];
+    while let Some(c) = ring.reap_cqe() {
+        assert!(c.res >= 0, "accept failed: {}", c.res);
+        sds[c.user_data as usize] = c.res as i32;
+    }
+
+    // Wave 2: fixed-buffer recvs — request bytes land in the registered
+    // ranges without crossing the boundary.
+    for (i, &sd) in sds.iter().enumerate() {
+        ring.push_sqe(Sqe::recv_fixed(sd, i as u32, 64, i as u64))
+            .expect("sq room");
+    }
+    assert_eq!(sys.sys_ring_enter(pid, batch, batch), batch as i64);
+    while let Some(c) = ring.reap_cqe() {
+        assert_eq!(c.res, 64, "whole request received");
+    }
+
+    // Wave 3: per request, the dependent chain plus its independents.
+    // user_data = slot * 8 + op tag.
+    let asid = rig.machine.proc_asid(pid).expect("server alive");
+    for (i, &sd) in sds.iter().enumerate() {
+        rig.machine.charge_user(cfg.cpu_per_request);
+        let addr = req_at + 64 * i as u64;
+        let mut req = [0u8; 64];
+        rig.machine
+            .mem
+            .read_virt(asid, addr, &mut req)
+            .expect("staged request");
+        let plen = req.iter().position(|&b| b == 0).unwrap_or(64);
+        let ud = (i * 8) as u64;
+        ring.push_sqe(Sqe::open(addr, plen as u32, 0, ud).link())
+            .expect("sq room");
+        ring.push_sqe(Sqe::sendfile_chained(sd, cfg.doc_max as u32, ud + 1).link())
+            .expect("sq room");
+        ring.push_sqe(Sqe::close(-1, ud + 2).chained())
+            .expect("sq room");
+        ring.push_sqe(Sqe::shutdown(sd, ud + 3)).expect("sq room");
+        ring.push_sqe(Sqe::write_fixed(logfd, log_buf_idx, 96, ud + 4))
+            .expect("sq room");
+    }
+    assert_eq!(
+        sys.sys_ring_enter(pid, 5 * batch, 5 * batch),
+        (5 * batch) as i64
+    );
+    while let Some(c) = ring.reap_cqe() {
+        match c.user_data % 8 {
+            1 => {
+                assert!(c.res > 0, "chained sendfile failed: {}", c.res);
+                *bytes_served += c.res as u64;
+            }
+            4 => assert_eq!(c.res, 96, "log line written"),
+            _ => assert!(c.res >= 0, "ring op failed: {}", c.res),
+        }
     }
 }
 
@@ -331,7 +482,10 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
 fn read_request(rig: &Rig, p: &UserProc) -> String {
     let asid = rig.machine.proc_asid(p.pid).expect("server alive");
     let mut req = [0u8; 64];
-    rig.machine.mem.read_virt(asid, p.buf, &mut req).expect("read request");
+    rig.machine
+        .mem
+        .read_virt(asid, p.buf, &mut req)
+        .expect("read request");
     let end = req.iter().position(|&b| b == 0).unwrap_or(req.len());
     String::from_utf8_lossy(&req[..end]).into_owned()
 }
@@ -340,8 +494,13 @@ fn read_request(rig: &Rig, p: &UserProc) -> String {
 mod tests {
     use super::*;
 
-    const MODES: [ServeMode; 4] =
-        [ServeMode::Classic, ServeMode::Consolidated, ServeMode::OneShot, ServeMode::Cosy];
+    const MODES: [ServeMode; 5] = [
+        ServeMode::Classic,
+        ServeMode::Consolidated,
+        ServeMode::OneShot,
+        ServeMode::Cosy,
+        ServeMode::Uring,
+    ];
 
     fn cfg() -> WebConfig {
         WebConfig {
@@ -362,7 +521,13 @@ mod tests {
             let rig = Rig::memfs();
             let p = rig.user(1 << 16);
             setup_docs(&rig, &p, &cfg);
-            served.push(serve(&rig, &p, &cfg, mode).bytes_served);
+            let r = serve(&rig, &p, &cfg, mode);
+            // Backpressure surface: data moved through the socket rings
+            // (requests in, documents out) with no ring-full stalls at
+            // this load.
+            assert!(r.net.bytes_queued >= r.bytes_served, "{:?}", r.net);
+            assert_eq!(r.net.send_eagains, 0, "{:?}", r.net);
+            served.push(r.bytes_served);
         }
         assert!(served[0] > 0);
         assert!(served.iter().all(|&b| b == served[0]), "{served:?}");
@@ -380,10 +545,12 @@ mod tests {
         }
         // Per request, server-side: Classic = accept + recv + open +
         // 2 per chunk + close + shutdown + log; Consolidated folds the
-        // chunk loop into sendfile (7); OneShot = 1 + log (2); Cosy = 1.
+        // chunk loop into sendfile (7); OneShot = 1 + log (2); Cosy = 1;
+        // Uring = 3 per *batch* (< 1 per request once batches widen).
         assert!(crossings[0] > crossings[1], "{crossings:?}");
         assert!(crossings[1] > crossings[2], "{crossings:?}");
         assert!(crossings[2] > crossings[3], "{crossings:?}");
+        assert!(crossings[3] > crossings[4], "{crossings:?}");
     }
 
     #[test]
@@ -403,19 +570,24 @@ mod tests {
         assert!(rps[1] > rps[0], "sendfile beats classic: {rps:?}");
         assert!(rps[2] > rps[0], "one-shot beats classic: {rps:?}");
         assert!(rps[3] > rps[0], "Cosy beats classic: {rps:?}");
-        // Server CPU shrinks along the consolidation ladder.
+        assert!(rps[4] > rps[0], "uring beats classic: {rps:?}");
+        // Server CPU shrinks along the consolidation ladder; batching
+        // beats the one-shot consolidated call too.
         assert!(server[0] > server[1] && server[1] > server[2], "{server:?}");
         assert!(server[2] > server[3], "{server:?}");
+        assert!(server[4] < server[2], "uring under one-shot: {server:?}");
     }
 
     #[test]
     fn no_descriptors_leak_across_a_run() {
         let cfg = cfg();
-        let rig = Rig::memfs();
-        let p = rig.user(1 << 16);
-        setup_docs(&rig, &p, &cfg);
-        serve(&rig, &p, &cfg, ServeMode::Cosy);
-        assert_eq!(rig.sys.open_fds(p.pid), 0);
-        assert_eq!(rig.sys.net().open_socks(p.pid), 0);
+        for mode in [ServeMode::Cosy, ServeMode::Uring] {
+            let rig = Rig::memfs();
+            let p = rig.user(1 << 16);
+            setup_docs(&rig, &p, &cfg);
+            serve(&rig, &p, &cfg, mode);
+            assert_eq!(rig.sys.open_fds(p.pid), 0, "{mode:?}");
+            assert_eq!(rig.sys.net().open_socks(p.pid), 0, "{mode:?}");
+        }
     }
 }

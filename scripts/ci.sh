@@ -31,4 +31,7 @@ echo "fault sweep deterministic: $h1"
 echo "== bench smoke: knet web server connection sweep =="
 ./target/release/a9_netserve --quick
 
+echo "== bench smoke: kuring batched-syscall rings =="
+./target/release/a10_uring --quick
+
 echo "CI pass complete."

@@ -35,12 +35,16 @@ fn fire_site(site: &'static str) -> u64 {
     // Workload prerequisites run uninstrumented.
     let (cb, db) = regions(&rig, &p, 0);
     rig.machine.map_user(p.pid, 0x50_0000, 4096).unwrap();
-    let fd = rig.sys.sys_open(p.pid, "/seed", OpenFlags::RDWR | OpenFlags::CREAT);
+    let fd = rig
+        .sys
+        .sys_open(p.pid, "/seed", OpenFlags::RDWR | OpenFlags::CREAT);
     assert!(fd >= 0);
     p.stage(&rig, b"payload-bytes!!!");
 
     rig.machine.faults.arm(0xA5A5);
-    rig.machine.faults.add_policy(Some(site), Policy::FailNth(1));
+    rig.machine
+        .faults
+        .add_policy(Some(site), Policy::FailNth(1));
 
     match site {
         s if s == sites::KSIM_FRAME_ALLOC => {
@@ -51,14 +55,21 @@ fn fire_site(site: &'static str) -> u64 {
             // TLB is cold and the access must go through the fill path.
             let asid = rig.machine.proc_asid(p.pid).unwrap();
             let mut buf = [0u8; 8];
-            assert!(rig.machine.mem.read_virt(asid, 0x50_0000, &mut buf).is_err());
+            assert!(rig
+                .machine
+                .mem
+                .read_virt(asid, 0x50_0000, &mut buf)
+                .is_err());
         }
         s if s == sites::KSIM_PREEMPT_TICK => {
             let mut b = CompoundBuilder::new(&cb, &db);
             b.syscall(CosyCall::Getpid, vec![]);
             b.syscall(CosyCall::Getpid, vec![]);
             b.finish().unwrap();
-            let err = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+            let err = rig
+                .cosy
+                .submit(p.pid, &cb, &db, &CosyOptions::default())
+                .unwrap_err();
             assert!(matches!(err, CosyError::WatchdogKilled { .. }), "{err:?}");
         }
         s if s == sites::KALLOC_VMALLOC => {
@@ -76,10 +87,15 @@ fn fire_site(site: &'static str) -> u64 {
             assert_eq!(got.unwrap_err(), VfsError::Io);
         }
         s if s == sites::KVFS_BLOCKDEV_WRITE => {
-            assert_eq!(rig.sys.sys_write(p.pid, fd as i32, p.buf, 16), VfsError::Io.errno());
+            assert_eq!(
+                rig.sys.sys_write(p.pid, fd as i32, p.buf, 16),
+                VfsError::Io.errno()
+            );
         }
         s if s == sites::KVFS_NOSPC => {
-            let r = rig.sys.sys_open(p.pid, "/nospace", OpenFlags::WRONLY | OpenFlags::CREAT);
+            let r = rig
+                .sys
+                .sys_open(p.pid, "/nospace", OpenFlags::WRONLY | OpenFlags::CREAT);
             assert_eq!(r, VfsError::NoSpace.errno());
         }
         s if s == sites::NET_ACCEPT_OVERFLOW => {
@@ -95,6 +111,18 @@ fn fire_site(site: &'static str) -> u64 {
         s if s == sites::NET_PEER_RESET => {
             let c = connected_client(&rig, &p);
             assert_eq!(rig.sys.sys_send(p.pid, c, p.buf, 16), -104, "ECONNRESET");
+        }
+        s if s == sites::URING_CQ_OVERFLOW => {
+            assert_eq!(rig.sys.sys_ring_setup(p.pid, 8, 8), 0);
+            let ring = rig.sys.uring(p.pid).unwrap();
+            ring.push_sqe(kucode::kuring::Sqe::nop(1)).unwrap();
+            assert_eq!(rig.sys.sys_ring_enter(p.pid, 1, 0), 1);
+            // The completion survives — diverted to the counted overflow
+            // list, not dropped; the next enter flushes it back.
+            assert_eq!(ring.cq_overflow_total(), 1);
+            assert_eq!(ring.reap_cqe(), None);
+            assert_eq!(rig.sys.sys_ring_enter(p.pid, 0, 0), 0);
+            assert!(ring.reap_cqe().is_some());
         }
         s if s == sites::KEVENTS_RING_FULL => {
             let disp = EventDispatcher::new(rig.machine.clone());
@@ -133,17 +161,66 @@ fn every_registered_site_fires_under_a_targeted_workload() {
 }
 
 #[test]
+fn forced_cq_overflow_is_counted_and_lands_in_the_replayable_trace() {
+    let rig = Rig::memfs();
+    let p = rig.user(1 << 16);
+    assert_eq!(rig.sys.sys_ring_setup(p.pid, 8, 8), 0);
+    let ring = rig.sys.uring(p.pid).unwrap();
+
+    rig.machine.faults.arm(0xC0FE);
+    rig.machine
+        .faults
+        .add_policy(Some(sites::URING_CQ_OVERFLOW), Policy::FailNth(2));
+
+    for i in 0..3 {
+        ring.push_sqe(kucode::kuring::Sqe::nop(i)).unwrap();
+    }
+    assert_eq!(rig.sys.sys_ring_enter(p.pid, 3, 0), 3);
+
+    // Post 2 was forced onto the overflow list with six CQ slots free, and
+    // post 3 followed it there (ordering rule) — both counted, none lost.
+    assert_eq!(ring.cq_len(), 1);
+    assert_eq!(ring.overflow_len(), 2);
+    assert_eq!(ring.cq_overflow_total(), 2);
+
+    // The same event is visible in the deterministic fault trace, so a
+    // replay with this seed reproduces the overflow exactly.
+    let trace = rig.machine.faults.trace();
+    assert_eq!(trace.len(), 1);
+    assert_eq!(trace[0].site, sites::URING_CQ_OVERFLOW);
+    assert_eq!(trace[0].hit, 2, "the second CQ post was the forced one");
+    let stats = rig.machine.faults.site_stats();
+    let entry = stats
+        .iter()
+        .find(|st| st.site == sites::URING_CQ_OVERFLOW)
+        .unwrap();
+    assert_eq!(entry.fired, 1);
+    rig.machine.faults.disarm();
+
+    // Recovery path: flush + reap delivers all three in post order.
+    assert_eq!(rig.sys.sys_ring_enter(p.pid, 0, 0), 0);
+    let order: Vec<u64> = std::iter::from_fn(|| ring.reap_cqe())
+        .map(|c| c.user_data)
+        .collect();
+    assert_eq!(order, vec![0, 1, 2]);
+}
+
+#[test]
 fn aborted_compound_restores_the_presubmit_image() {
     let rig = Rig::memfs();
     let p = rig.user(1 << 16);
     let (cb, db) = regions(&rig, &p, 0);
 
     // Pre-existing state the compound will damage before it dies.
-    let fd = rig.sys.sys_open(p.pid, "/victim", OpenFlags::RDWR | OpenFlags::CREAT);
+    let fd = rig
+        .sys
+        .sys_open(p.pid, "/victim", OpenFlags::RDWR | OpenFlags::CREAT);
     p.stage(&rig, b"victim content");
     rig.sys.sys_write(p.pid, fd as i32, p.buf, 14);
     rig.sys.sys_close(p.pid, fd as i32);
-    let fd = rig.sys.sys_open(p.pid, "/keep", OpenFlags::RDWR | OpenFlags::CREAT);
+    let fd = rig
+        .sys
+        .sys_open(p.pid, "/keep", OpenFlags::RDWR | OpenFlags::CREAT);
     p.stage(&rig, b"keep these bytes");
     rig.sys.sys_write(p.pid, fd as i32, p.buf, 16);
     rig.sys.sys_close(p.pid, fd as i32);
@@ -159,7 +236,11 @@ fn aborted_compound_restores_the_presubmit_image() {
     let fda = b.syscall(CosyCall::Open, vec![pa, CompoundBuilder::lit(0x42)]);
     b.syscall(
         CosyCall::Write,
-        vec![CompoundBuilder::result_of(fda), data, CompoundBuilder::lit(10)],
+        vec![
+            CompoundBuilder::result_of(fda),
+            data,
+            CompoundBuilder::lit(10),
+        ],
     );
     let victim = b.stage_path("/victim").unwrap();
     b.syscall(CosyCall::Unlink, vec![victim]);
@@ -167,13 +248,22 @@ fn aborted_compound_restores_the_presubmit_image() {
     let fdk = b.syscall(CosyCall::Open, vec![keep, CompoundBuilder::lit(0x201)]);
     b.syscall(
         CosyCall::Write,
-        vec![CompoundBuilder::result_of(fdk), data, CompoundBuilder::lit(10)],
+        vec![
+            CompoundBuilder::result_of(fdk),
+            data,
+            CompoundBuilder::lit(10),
+        ],
     );
     b.finish().unwrap();
 
     rig.machine.faults.arm(0x0DDB);
-    rig.machine.faults.add_policy(Some(sites::KVFS_NOSPC), Policy::FailNth(3));
-    let err = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+    rig.machine
+        .faults
+        .add_policy(Some(sites::KVFS_NOSPC), Policy::FailNth(3));
+    let err = rig
+        .cosy
+        .submit(p.pid, &cb, &db, &CosyOptions::default())
+        .unwrap_err();
     assert!(matches!(err, CosyError::Vfs(VfsError::NoSpace)), "{err:?}");
     assert_eq!(rig.machine.faults.fired_count(), 1);
     rig.machine.faults.disarm();
@@ -203,8 +293,13 @@ fn injected_watchdog_kill_rolls_back_and_terminates_the_process() {
     b.finish().unwrap();
 
     rig.machine.faults.arm(7);
-    rig.machine.faults.add_policy(Some(sites::KSIM_PREEMPT_TICK), Policy::FailNth(2));
-    let err = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err();
+    rig.machine
+        .faults
+        .add_policy(Some(sites::KSIM_PREEMPT_TICK), Policy::FailNth(2));
+    let err = rig
+        .cosy
+        .submit(p.pid, &cb, &db, &CosyOptions::default())
+        .unwrap_err();
     rig.machine.faults.disarm();
     assert!(
         matches!(err, CosyError::WatchdogKilled { op_index: 1 }),
@@ -229,7 +324,11 @@ fn fallback_replay_converges_to_the_no_fault_result() {
             let fd = b.syscall(CosyCall::Open, vec![pa, CompoundBuilder::lit(0x42)]);
             b.syscall(
                 CosyCall::Write,
-                vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(16)],
+                vec![
+                    CompoundBuilder::result_of(fd),
+                    data,
+                    CompoundBuilder::lit(16),
+                ],
             );
             b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
         }
@@ -241,7 +340,10 @@ fn fallback_replay_converges_to_the_no_fault_result() {
     let pc = clean.user(1 << 16);
     let (cb, db) = regions(&clean, &pc, 0);
     build(&cb, &db);
-    let want = clean.cosy.submit(pc.pid, &cb, &db, &CosyOptions::default()).unwrap();
+    let want = clean
+        .cosy
+        .submit(pc.pid, &cb, &db, &CosyOptions::default())
+        .unwrap();
 
     // Twin B: every second ENOSPC consult fails, but the op-by-op fallback
     // retries transients until the compound's work is fully applied.
@@ -250,13 +352,22 @@ fn fallback_replay_converges_to_the_no_fault_result() {
     let (cb, db) = regions(&faulty, &pf, 0);
     build(&cb, &db);
     faulty.machine.faults.arm(9);
-    faulty.machine.faults.add_policy(Some(sites::KVFS_NOSPC), Policy::EveryNth(2));
+    faulty
+        .machine
+        .faults
+        .add_policy(Some(sites::KVFS_NOSPC), Policy::EveryNth(2));
     let opts = CosyOptions {
-        fallback: FallbackMode::Replay { max_retries: 3, backoff_cycles: 250 },
+        fallback: FallbackMode::Replay {
+            max_retries: 3,
+            backoff_cycles: 250,
+        },
         ..Default::default()
     };
     let got = faulty.cosy.submit(pf.pid, &cb, &db, &opts).unwrap();
-    assert!(faulty.machine.faults.fired_count() >= 2, "faults really were injected");
+    assert!(
+        faulty.machine.faults.fired_count() >= 2,
+        "faults really were injected"
+    );
     faulty.machine.faults.disarm();
 
     assert_eq!(got, want, "degraded execution returns the no-fault results");
@@ -267,7 +378,11 @@ fn fallback_replay_converges_to_the_no_fault_result() {
             "{path}"
         );
     }
-    assert_eq!(snap(&faulty).hash(), snap(&clean).hash(), "identical final images");
+    assert_eq!(
+        snap(&faulty).hash(),
+        snap(&clean).hash(),
+        "identical final images"
+    );
 }
 
 #[test]
@@ -287,16 +402,24 @@ fn oops_capture_and_ring_loss_surface_through_kevents() {
         let fd = b.syscall(CosyCall::Open, vec![pa, CompoundBuilder::lit(0x42)]);
         b.syscall(
             CosyCall::Write,
-            vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(16)],
+            vec![
+                CompoundBuilder::result_of(fd),
+                data,
+                CompoundBuilder::lit(16),
+            ],
         );
         b.finish().unwrap();
-        rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap_err()
+        rig.cosy
+            .submit(p.pid, &cb, &db, &CosyOptions::default())
+            .unwrap_err()
     };
 
     // Phase 1: an injected media error aborts the compound and the oops
     // record reaches the ring.
     rig.machine.faults.arm(11);
-    rig.machine.faults.add_policy(Some(sites::KVFS_BLOCKDEV_WRITE), Policy::FailNth(1));
+    rig.machine
+        .faults
+        .add_policy(Some(sites::KVFS_BLOCKDEV_WRITE), Policy::FailNth(1));
     let err = submit_failing("/o1");
     assert!(matches!(err, CosyError::Vfs(VfsError::Io)), "{err:?}");
     let mut out = Vec::new();
@@ -310,8 +433,12 @@ fn oops_capture_and_ring_loss_surface_through_kevents() {
     // dropped at the (injected-full) ring but the loss stays countable.
     rig.machine.faults.clear_policies();
     rig.machine.faults.arm(12);
-    rig.machine.faults.add_policy(Some(sites::KVFS_NOSPC), Policy::FailNth(1));
-    rig.machine.faults.add_policy(Some(sites::KEVENTS_RING_FULL), Policy::FailNth(1));
+    rig.machine
+        .faults
+        .add_policy(Some(sites::KVFS_NOSPC), Policy::FailNth(1));
+    rig.machine
+        .faults
+        .add_policy(Some(sites::KEVENTS_RING_FULL), Policy::FailNth(1));
     let err = submit_failing("/o2");
     assert!(matches!(err, CosyError::Vfs(VfsError::NoSpace)), "{err:?}");
     rig.machine.faults.disarm();
@@ -326,10 +453,18 @@ fn allocator_failure_surfaces_as_enospc_through_the_stacked_fs() {
     let rig = Rig::wrapfs_kmalloc();
     let p = rig.user(1 << 16);
     rig.machine.faults.arm(3);
-    rig.machine.faults.add_policy(Some(sites::KALLOC_SLAB), Policy::FailNth(1));
-    let r = rig.sys.sys_open(p.pid, "/wrapped", OpenFlags::WRONLY | OpenFlags::CREAT);
+    rig.machine
+        .faults
+        .add_policy(Some(sites::KALLOC_SLAB), Policy::FailNth(1));
+    let r = rig
+        .sys
+        .sys_open(p.pid, "/wrapped", OpenFlags::WRONLY | OpenFlags::CREAT);
     rig.machine.faults.disarm();
-    assert_eq!(r, VfsError::NoSpace.errno(), "kmalloc failure maps to ENOSPC");
+    assert_eq!(
+        r,
+        VfsError::NoSpace.errno(),
+        "kmalloc failure maps to ENOSPC"
+    );
     assert_eq!(rig.machine.faults.fired_count(), 1);
 }
 
@@ -341,8 +476,11 @@ fn chaos_run(seed: u64) -> (u64, u64, Vec<Result<Vec<i64>, String>>) {
     let rig = Rig::memfs();
     let p = rig.user(1 << 16);
     for i in 0..4 {
-        let fd =
-            rig.sys.sys_open(p.pid, &format!("/seed{i}"), OpenFlags::RDWR | OpenFlags::CREAT);
+        let fd = rig.sys.sys_open(
+            p.pid,
+            &format!("/seed{i}"),
+            OpenFlags::RDWR | OpenFlags::CREAT,
+        );
         p.stage(&rig, b"pre-populated");
         rig.sys.sys_write(p.pid, fd as i32, p.buf, 13);
         rig.sys.sys_close(p.pid, fd as i32);
@@ -350,9 +488,14 @@ fn chaos_run(seed: u64) -> (u64, u64, Vec<Result<Vec<i64>, String>>) {
     let (cb, db) = regions(&rig, &p, 0);
 
     rig.machine.faults.arm(seed);
-    rig.machine.faults.add_policy(Some("kvfs."), Policy::Probability(120));
+    rig.machine
+        .faults
+        .add_policy(Some("kvfs."), Policy::Probability(120));
     let opts = CosyOptions {
-        fallback: FallbackMode::Replay { max_retries: 2, backoff_cycles: 400 },
+        fallback: FallbackMode::Replay {
+            max_retries: 2,
+            backoff_cycles: 400,
+        },
         ..Default::default()
     };
     let mut outcomes = Vec::new();
@@ -363,7 +506,11 @@ fn chaos_run(seed: u64) -> (u64, u64, Vec<Result<Vec<i64>, String>>) {
         let fd = b.syscall(CosyCall::Open, vec![path, CompoundBuilder::lit(0x42)]);
         b.syscall(
             CosyCall::Write,
-            vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(21)],
+            vec![
+                CompoundBuilder::result_of(fd),
+                data,
+                CompoundBuilder::lit(21),
+            ],
         );
         b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
         if i % 5 == 0 {
@@ -371,11 +518,17 @@ fn chaos_run(seed: u64) -> (u64, u64, Vec<Result<Vec<i64>, String>>) {
             b.syscall(CosyCall::Unlink, vec![victim]);
         }
         b.finish().unwrap();
-        outcomes
-            .push(rig.cosy.submit(p.pid, &cb, &db, &opts).map_err(|e| format!("{e:?}")));
+        outcomes.push(
+            rig.cosy
+                .submit(p.pid, &cb, &db, &opts)
+                .map_err(|e| format!("{e:?}")),
+        );
     }
     let trace_hash = rig.machine.faults.trace_hash();
-    assert!(rig.machine.faults.fired_count() > 0, "p=0.12 over 24 compounds must fire");
+    assert!(
+        rig.machine.faults.fired_count() > 0,
+        "p=0.12 over 24 compounds must fire"
+    );
     rig.machine.faults.disarm();
     (trace_hash, snap(&rig).hash(), outcomes)
 }
@@ -389,5 +542,8 @@ fn same_seed_reproduces_the_same_trace_and_final_state() {
     assert_eq!(a.2, b.2, "same seed, same per-compound outcomes");
 
     let c = chaos_run(0xBADD);
-    assert_ne!(a.0, c.0, "a different seed draws a different fault schedule");
+    assert_ne!(
+        a.0, c.0,
+        "a different seed draws a different fault schedule"
+    );
 }
