@@ -21,10 +21,12 @@
 //! VMALLOC_BASE     0xffff_c000_0000_0000   vmalloc / Kefence arena
 //! ```
 
+pub mod pool;
 pub mod slab;
 pub mod varange;
 pub mod vmalloc;
 
+pub use pool::{BufPool, ObjPool, PoolBuf};
 pub use slab::SlabAllocator;
 pub use varange::VaAllocator;
 pub use vmalloc::{VfreeIndex, Vmalloc, VmallocStats};

@@ -7,13 +7,12 @@
 //! lands in the neighbouring object. Kefence trades this density for
 //! page-granular protection (see the `kefence` crate).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ksim::{Machine, Pte, PteFlags, SimError, SimResult, PAGE_SIZE};
+use ksim::{FxHashMap, Machine, Pte, PteFlags, SimError, SimResult, PAGE_SIZE};
 
 use crate::DIRECT_MAP_BASE;
 
@@ -39,7 +38,7 @@ struct Live {
 pub struct SlabAllocator {
     machine: Arc<Machine>,
     classes: [Mutex<SizeClass>; CLASSES.len()],
-    live: Mutex<HashMap<u64, Live>>,
+    live: Mutex<FxHashMap<u64, Live>>,
     allocs: AtomicU64,
     frees: AtomicU64,
     bytes_requested: AtomicU64,
@@ -50,7 +49,7 @@ impl SlabAllocator {
         SlabAllocator {
             machine,
             classes: Default::default(),
-            live: Mutex::new(HashMap::new()),
+            live: Mutex::new(FxHashMap::default()),
             allocs: AtomicU64::new(0),
             frees: AtomicU64::new(0),
             bytes_requested: AtomicU64::new(0),
@@ -248,7 +247,7 @@ mod proptests {
     use ksim::MachineConfig;
     use proptest::prelude::*;
     use std::collections::HashMap;
-
+    
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         /// Under arbitrary alloc/free interleavings, live objects never

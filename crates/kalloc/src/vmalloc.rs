@@ -7,13 +7,12 @@
 //! adding a hash table to speed this up. [`VfreeIndex`] selects either
 //! behaviour so ablation A4 can measure the difference.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use ksim::{Machine, PteFlags, SimError, SimResult, PAGE_SIZE};
+use ksim::{FxHashMap, Machine, PteFlags, SimError, SimResult, PAGE_SIZE};
 
 use crate::varange::VaAllocator;
 use crate::{VMALLOC_BASE, VMALLOC_END};
@@ -57,7 +56,7 @@ pub struct Vmalloc {
     /// Insertion-ordered allocation list (the `vmlist`).
     list: Mutex<Vec<VmAlloc>>,
     /// Hash index over the same records (when enabled).
-    hash: Mutex<HashMap<u64, VmAlloc>>,
+    hash: Mutex<FxHashMap<u64, VmAlloc>>,
     allocs: AtomicU64,
     frees: AtomicU64,
     bytes_requested: AtomicU64,
@@ -78,7 +77,7 @@ impl Vmalloc {
             va: VaAllocator::new(VMALLOC_BASE, VMALLOC_END),
             index,
             list: Mutex::new(Vec::new()),
-            hash: Mutex::new(HashMap::new()),
+            hash: Mutex::new(FxHashMap::default()),
             allocs: AtomicU64::new(0),
             frees: AtomicU64::new(0),
             bytes_requested: AtomicU64::new(0),

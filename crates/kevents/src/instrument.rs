@@ -7,10 +7,12 @@
 //! monitors), and with a dispatcher plus ring (user-space logging), which
 //! is precisely the ladder of configurations E6 measures.
 
-use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::Mutex;
+
+use ksim::sync::{SpinMutex, SpinMutexGuard};
 
 use ksim::Machine;
 
@@ -19,9 +21,13 @@ use crate::record::{EventRecord, EventType};
 
 /// A spinlock whose acquire/release can be logged to a dispatcher.
 pub struct InstrumentedSpinLock<T> {
-    inner: Mutex<T>,
+    inner: SpinMutex<T>,
     machine: Arc<Machine>,
     dispatcher: Mutex<Option<Arc<EventDispatcher>>>,
+    /// Mirrors `dispatcher.is_some()`: the vanilla (uninstrumented) path
+    /// checks this one flag instead of taking the dispatcher mutex on
+    /// every acquire and release.
+    instrumented: AtomicBool,
     /// Stable identity reported as the event object (the lock's "address").
     obj: u64,
     site_file: &'static str,
@@ -30,7 +36,7 @@ pub struct InstrumentedSpinLock<T> {
 
 /// RAII guard: logs the release event when dropped.
 pub struct SpinGuard<'a, T> {
-    guard: Option<MutexGuard<'a, T>>,
+    guard: Option<SpinMutexGuard<'a, T>>,
     lock: &'a InstrumentedSpinLock<T>,
 }
 
@@ -45,9 +51,10 @@ impl<T> InstrumentedSpinLock<T> {
         site_line: u32,
     ) -> Self {
         InstrumentedSpinLock {
-            inner: Mutex::new(value),
+            inner: SpinMutex::new(value),
             machine,
             dispatcher: Mutex::new(None),
+            instrumented: AtomicBool::new(false),
             obj,
             site_file,
             site_line,
@@ -56,7 +63,9 @@ impl<T> InstrumentedSpinLock<T> {
 
     /// Attach instrumentation (or `None` to return to the vanilla baseline).
     pub fn set_dispatcher(&self, d: Option<Arc<EventDispatcher>>) {
-        *self.dispatcher.lock() = d;
+        let mut slot = self.dispatcher.lock();
+        self.instrumented.store(d.is_some(), Relaxed);
+        *slot = d;
     }
 
     /// Acquire the lock, charging the uncontended spinlock cost and logging
@@ -64,14 +73,16 @@ impl<T> InstrumentedSpinLock<T> {
     pub fn lock(&self) -> SpinGuard<'_, T> {
         self.machine.charge_sys(self.machine.cost.spinlock_pair);
         let guard = self.inner.lock();
-        if let Some(d) = self.dispatcher.lock().as_ref() {
-            d.log_event(EventRecord::new(
-                self.obj,
-                EventType::LockAcquire,
-                self.site_file,
-                self.site_line,
-                0,
-            ));
+        if self.instrumented.load(Relaxed) {
+            if let Some(d) = self.dispatcher.lock().as_ref() {
+                d.log_event(EventRecord::new(
+                    self.obj,
+                    EventType::LockAcquire,
+                    self.site_file,
+                    self.site_line,
+                    0,
+                ));
+            }
         }
         SpinGuard { guard: Some(guard), lock: self }
     }
@@ -99,14 +110,16 @@ impl<T> Drop for SpinGuard<'_, T> {
         // Release the mutex before logging so the event path never runs
         // under the lock (non-intrusiveness requirement).
         self.guard.take();
-        if let Some(d) = self.lock.dispatcher.lock().as_ref() {
-            d.log_event(EventRecord::new(
-                self.lock.obj,
-                EventType::LockRelease,
-                self.lock.site_file,
-                self.lock.site_line,
-                0,
-            ));
+        if self.lock.instrumented.load(Relaxed) {
+            if let Some(d) = self.lock.dispatcher.lock().as_ref() {
+                d.log_event(EventRecord::new(
+                    self.lock.obj,
+                    EventType::LockRelease,
+                    self.lock.site_file,
+                    self.lock.site_line,
+                    0,
+                ));
+            }
         }
     }
 }

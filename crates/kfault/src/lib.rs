@@ -104,22 +104,34 @@ pub enum Policy {
     Probability(u32),
 }
 
+// The per-policy site masks below pack one bit per registered site.
+const _: () = assert!(sites::ALL.len() <= 16, "site masks are u16");
+
 /// A policy armed against an optional site-name prefix (`None` = all sites).
+///
+/// The prefix is resolved ONCE, when the policy is added: `mask` has bit
+/// `i` set iff the policy covers `sites::ALL[i]`. A consultation then
+/// tests one bit instead of running `starts_with` over the prefix string —
+/// the per-hit cost no longer depends on site-name lengths at all.
 #[derive(Debug, Clone)]
 struct ArmedPolicy {
-    prefix: Option<String>,
+    /// Bit `i` ⇔ this policy covers `sites::ALL[i]`.
+    mask: u16,
     policy: Policy,
     /// Hits this policy has matched (its own counter, so two policies with
     /// different filters keep independent `nth` positions).
     matched: u64,
 }
 
-impl ArmedPolicy {
-    fn matches(&self, site: &str) -> bool {
-        match &self.prefix {
-            None => true,
-            Some(p) => site.starts_with(p.as_str()),
-        }
+/// Compile an optional site-name prefix into its coverage mask.
+fn site_mask(prefix: Option<&str>) -> u16 {
+    match prefix {
+        None => ((1u32 << sites::ALL.len()) - 1) as u16,
+        Some(p) => sites::ALL
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.starts_with(p))
+            .fold(0u16, |m, (i, _)| m | (1 << i)),
     }
 }
 
@@ -149,6 +161,9 @@ struct PlaneState {
     seed: u64,
     rng: u64,
     policies: Vec<ArmedPolicy>,
+    /// Union of every armed policy's mask: a consulted site outside the
+    /// union counts its hit and returns without walking the policy list.
+    covered: u16,
     /// Parallel to [`sites::ALL`].
     hits: Vec<u64>,
     fired: Vec<u64>,
@@ -157,7 +172,13 @@ struct PlaneState {
 
 impl PlaneState {
     fn site_index(site: &str) -> Option<usize> {
-        sites::ALL.iter().position(|&s| s == site)
+        // The instrumented layers pass the `sites::*` constants, so a
+        // pointer-equality scan usually resolves the index without reading
+        // the string bytes; dynamic names fall back to a content scan.
+        sites::ALL
+            .iter()
+            .position(|&s| std::ptr::eq(s.as_ptr(), site.as_ptr()) && s.len() == site.len())
+            .or_else(|| sites::ALL.iter().position(|&s| s == site))
     }
 }
 
@@ -215,18 +236,20 @@ impl FaultPlane {
 
     /// Add a policy, optionally filtered to sites whose name starts with
     /// `prefix`. Policies are evaluated in insertion order; the first that
-    /// fires wins.
+    /// fires wins. The prefix is resolved to a site mask here, once, so a
+    /// consultation never does string matching.
     pub fn add_policy(&self, prefix: Option<&str>, policy: Policy) {
-        self.state.lock().policies.push(ArmedPolicy {
-            prefix: prefix.map(str::to_owned),
-            policy,
-            matched: 0,
-        });
+        let mask = site_mask(prefix);
+        let mut st = self.state.lock();
+        st.covered |= mask;
+        st.policies.push(ArmedPolicy { mask, policy, matched: 0 });
     }
 
     /// Drop every policy (the plane stays armed but injects nothing).
     pub fn clear_policies(&self) {
-        self.state.lock().policies.clear();
+        let mut st = self.state.lock();
+        st.policies.clear();
+        st.covered = 0;
     }
 
     /// Should the operation at `site` fail now? The heart of the plane:
@@ -244,12 +267,18 @@ impl FaultPlane {
         let Some(idx) = PlaneState::site_index(site) else {
             return false;
         };
+        let bit = 1u16 << idx;
         let mut st = self.state.lock();
         st.hits[idx] += 1;
         let hit = st.hits[idx];
+        // No policy covers this site: nothing below could match, fire, or
+        // advance the random stream — skip the policy walk entirely.
+        if st.covered & bit == 0 {
+            return false;
+        }
         let mut fire = false;
         for i in 0..st.policies.len() {
-            if !st.policies[i].matches(site) {
+            if st.policies[i].mask & bit == 0 {
                 continue;
             }
             st.policies[i].matched += 1;
@@ -450,6 +479,46 @@ mod tests {
             };
             assert_eq!(classify(site), expect, "{site}");
         }
+    }
+
+    #[test]
+    fn compiled_masks_agree_with_starts_with_for_every_prefix() {
+        // The arm-time mask must be extensionally identical to the old
+        // per-consultation starts_with, for every prefix of every site
+        // name (plus the catch-alls).
+        let mut prefixes: Vec<Option<String>> = vec![None, Some(String::new())];
+        for site in sites::ALL {
+            for n in 1..=site.len() {
+                prefixes.push(Some(site[..n].to_string()));
+            }
+        }
+        prefixes.push(Some("no.such.prefix".to_string()));
+        for prefix in prefixes {
+            let mask = site_mask(prefix.as_deref());
+            for (i, site) in sites::ALL.iter().enumerate() {
+                let old = match &prefix {
+                    None => true,
+                    Some(p) => site.starts_with(p.as_str()),
+                };
+                assert_eq!(
+                    mask & (1 << i) != 0,
+                    old,
+                    "prefix {prefix:?} vs site {site}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_sites_still_count_hits() {
+        let p = FaultPlane::new();
+        p.add_policy(Some("net."), Policy::EveryNth(1));
+        p.arm(1);
+        assert!(!p.should_fail(sites::KALLOC_SLAB));
+        assert!(!p.should_fail(sites::KALLOC_SLAB));
+        let st = p.site_stats();
+        let slab = st.iter().find(|s| s.site == sites::KALLOC_SLAB).unwrap();
+        assert_eq!((slab.hits, slab.fired), (2, 0));
     }
 
     #[test]

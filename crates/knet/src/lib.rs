@@ -31,12 +31,12 @@
 //! consults `net.send_again` (spurious flow-control stall) and
 //! `net.peer_reset` (connection torn down mid-stream, both directions).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ksim::SpinMutex;
 
-use ksim::{Machine, Pid};
+use ksim::{FxHashMap, Machine, Pid};
 
 /// Readiness: data (or a pending connection, or an EOF) to read.
 pub const POLL_IN: i32 = 1;
@@ -159,15 +159,15 @@ impl ByteRing {
         self.buf.len() - self.len
     }
 
-    /// Append as much of `data` as fits; returns bytes accepted.
+    /// Append as much of `data` as fits; returns bytes accepted. At most
+    /// two slice copies (the ring wraps once).
     fn push(&mut self, data: &[u8]) -> usize {
         let n = data.len().min(self.free());
         let cap = self.buf.len();
-        let mut tail = (self.head + self.len) % cap;
-        for &b in &data[..n] {
-            self.buf[tail] = b;
-            tail = (tail + 1) % cap;
-        }
+        let tail = (self.head + self.len) % cap;
+        let first = n.min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&data[..first]);
+        self.buf[..n - first].copy_from_slice(&data[first..n]);
         self.len += n;
         n
     }
@@ -176,10 +176,10 @@ impl ByteRing {
     fn pop(&mut self, out: &mut [u8]) -> usize {
         let n = out.len().min(self.len);
         let cap = self.buf.len();
-        for slot in out[..n].iter_mut() {
-            *slot = self.buf[self.head];
-            self.head = (self.head + 1) % cap;
-        }
+        let first = n.min(cap - self.head);
+        out[..first].copy_from_slice(&self.buf[self.head..self.head + first]);
+        out[first..n].copy_from_slice(&self.buf[..n - first]);
+        self.head = (self.head + n) % cap;
         self.len -= n;
         n
     }
@@ -222,9 +222,14 @@ struct State {
     socks: Vec<Option<SockKind>>,
     free: Vec<usize>,
     /// port → listener's global slot.
-    ports: HashMap<u16, usize>,
-    /// pid → descriptor table (small ints → global slots).
-    tables: HashMap<u32, Vec<Option<usize>>>,
+    ports: FxHashMap<u16, usize>,
+    /// pid-indexed descriptor tables (small ints → global slots). Pids
+    /// are dense and monotonic, so the per-call table fetch is a bounds
+    /// checked index, not a hash probe.
+    tables: Vec<Option<Vec<Option<usize>>>>,
+    /// Recycled receive-ring buffers: a request/response server churns
+    /// through two rings per connection, all the same capacity.
+    ring_pool: Vec<Vec<u8>>,
     ring_capacity: usize,
     stats: NetStats,
 }
@@ -249,7 +254,11 @@ impl State {
     }
 
     fn install_sd(&mut self, pid: Pid, gid: usize) -> i32 {
-        let table = self.tables.entry(pid.0).or_default();
+        let idx = pid.0 as usize;
+        if self.tables.len() <= idx {
+            self.tables.resize_with(idx + 1, || None);
+        }
+        let table = self.tables[idx].get_or_insert_with(Vec::new);
         match table.iter().position(|e| e.is_none()) {
             Some(sd) => {
                 table[sd] = Some(gid);
@@ -267,12 +276,33 @@ impl State {
             return Err(NetError::BadSock);
         }
         self.tables
-            .get(&pid.0)
+            .get(pid.0 as usize)
+            .and_then(Option::as_ref)
             .and_then(|t| t.get(sd as usize).copied().flatten())
             .ok_or(NetError::BadSock)
     }
 
     /// Mark `gid`'s peer as orphaned (its other end is going away).
+    /// A ring for a new connection: a recycled buffer resized to the
+    /// current capacity, or a fresh one.
+    fn take_ring(&mut self, cap: usize) -> ByteRing {
+        let cap = cap.max(1);
+        match self.ring_pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(cap, 0);
+                ByteRing { buf, head: 0, len: 0 }
+            }
+            None => ByteRing::with_capacity(cap),
+        }
+    }
+
+    fn recycle_ring(&mut self, ring: ByteRing) {
+        if self.ring_pool.len() < 64 {
+            self.ring_pool.push(ring.buf);
+        }
+    }
+
     fn orphan_peer(&mut self, gid: usize) {
         if let Some(Some(SockKind::Stream(st))) = self.socks.get_mut(gid) {
             st.peer = None;
@@ -314,18 +344,19 @@ impl State {
 /// the syscall layer wraps them in crossings and boundary copies.
 pub struct NetStack {
     machine: Arc<Machine>,
-    state: Mutex<State>,
+    state: SpinMutex<State>,
 }
 
 impl NetStack {
     pub fn new(machine: Arc<Machine>) -> NetStack {
         NetStack {
             machine,
-            state: Mutex::new(State {
+            state: SpinMutex::new(State {
                 socks: Vec::new(),
                 free: Vec::new(),
-                ports: HashMap::new(),
-                tables: HashMap::new(),
+                ports: FxHashMap::default(),
+                tables: Vec::new(),
+                ring_pool: Vec::new(),
                 ring_capacity: DEFAULT_RING_CAPACITY,
                 stats: NetStats::default(),
             }),
@@ -425,9 +456,11 @@ impl NetStack {
             return Err(NetError::ConnRefused);
         }
         let cap = st.ring_capacity;
+        let srv_rx = st.take_ring(cap);
+        let cli_rx = st.take_ring(cap);
         let srv = st.alloc(SockKind::Stream(Stream {
             peer: Some(gid),
-            rx: ByteRing::with_capacity(cap),
+            rx: srv_rx,
             peer_closed: false,
             reset: false,
         }));
@@ -436,7 +469,7 @@ impl NetStack {
         }
         st.socks[gid] = Some(SockKind::Stream(Stream {
             peer: Some(srv),
-            rx: ByteRing::with_capacity(cap),
+            rx: cli_rx,
             peer_closed: false,
             reset: false,
         }));
@@ -558,7 +591,7 @@ impl NetStack {
         self.charge_proto();
         let mut st = self.state.lock();
         let gid = st.lookup(pid, sd)?;
-        if let Some(t) = st.tables.get_mut(&pid.0) {
+        if let Some(t) = st.tables.get_mut(pid.0 as usize).and_then(Option::as_mut) {
             t[sd as usize] = None;
         }
         match st.socks[gid].take() {
@@ -567,7 +600,11 @@ impl NetStack {
                 st.ports.remove(&port);
                 for srv in pending {
                     let peer = match st.socks[srv].take() {
-                        Some(SockKind::Stream(s)) => s.peer,
+                        Some(SockKind::Stream(s)) => {
+                            let p = s.peer;
+                            st.recycle_ring(s.rx);
+                            p
+                        }
                         _ => None,
                     };
                     st.free.push(srv);
@@ -580,6 +617,7 @@ impl NetStack {
                 if let Some(p) = s.peer {
                     st.orphan_peer(p);
                 }
+                st.recycle_ring(s.rx);
             }
         }
         st.release(gid);
@@ -617,7 +655,8 @@ impl NetStack {
         self.state
             .lock()
             .tables
-            .get(&pid.0)
+            .get(pid.0 as usize)
+            .and_then(Option::as_ref)
             .map_or(0, |t| t.iter().filter(|e| e.is_some()).count())
     }
 
@@ -845,5 +884,84 @@ mod tests {
         // plus two 1 KiB ring moves.
         let expect = 7 * m.cost.net_proto + 2 * 64 * m.cost.sock_move_block16;
         assert_eq!(spent, expect);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ksim::MachineConfig;
+    use proptest::prelude::*;
+
+    /// One connection's worth of traffic: each message is (client→server?,
+    /// payload length). Lengths straddle the 32-byte ring so both partial
+    /// sends and EAGAIN show up in the trace.
+    fn arb_session() -> impl Strategy<Value = Vec<(bool, u8)>> {
+        proptest::collection::vec((any::<bool>(), 0u8..48), 0..6)
+    }
+
+    fn run_pass(
+        net: &NetStack,
+        pid: Pid,
+        sessions: &[Vec<(bool, u8)>],
+        trace: &mut Vec<String>,
+    ) {
+        let l = net.socket(pid).unwrap();
+        net.bind_listen(pid, l, 7000, 64).unwrap();
+        for msgs in sessions {
+            let c = net.socket(pid).unwrap();
+            net.connect(pid, c, 7000).unwrap();
+            let s = net.accept(pid, l).unwrap();
+            for &(from_client, len) in msgs {
+                let (tx, rx) = if from_client { (c, s) } else { (s, c) };
+                let data = vec![len; len as usize];
+                trace.push(format!("send {:?}", net.send(pid, tx, &data)));
+                let mut buf = [0u8; 64];
+                match net.recv(pid, rx, &mut buf) {
+                    Ok(n) => trace.push(format!("recv {:?}", &buf[..n])),
+                    Err(e) => trace.push(format!("recv {e:?}")),
+                }
+            }
+            trace.push(format!("down {:?}", net.shutdown(pid, c)));
+            trace.push(format!("down {:?}", net.shutdown(pid, s)));
+        }
+        net.shutdown(pid, l).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Recycled receive rings are observationally identical to fresh
+        /// ones. The same randomized connect/send/recv/shutdown schedule
+        /// runs twice on one stack: pass one starts on an empty pool (its
+        /// first session allocates fresh rings), each shutdown returns
+        /// them, and pass two runs entirely on recycled buffers. Errno and
+        /// byte traces and simulated cycle totals (free cost model) must
+        /// match.
+        #[test]
+        fn recycled_rings_match_fresh_rings(sessions in proptest::collection::vec(arb_session(), 1..8)) {
+            let m = Arc::new(Machine::new(MachineConfig::small_free()));
+            let pid = m.spawn_process();
+            let net = NetStack::new(m.clone());
+            net.set_ring_capacity(32);
+            let cycles = |m: &Machine| {
+                m.clock.user_cycles() + m.clock.sys_cycles() + m.clock.io_cycles()
+            };
+
+            let c0 = cycles(&m);
+            let mut cold = Vec::new();
+            run_pass(&net, pid, &sessions, &mut cold);
+            let c1 = cycles(&m);
+            // Each session's shutdown recycled its two endpoint rings (and
+            // the next session reused them); the warm pass starts with the
+            // last pair waiting in the pool.
+            prop_assert_eq!(net.state.lock().ring_pool.len(), 2);
+            let mut warm = Vec::new();
+            run_pass(&net, pid, &sessions, &mut warm);
+            let c2 = cycles(&m);
+
+            prop_assert_eq!(&cold, &warm, "recycled rings changed observable behavior");
+            prop_assert_eq!(c1 - c0, c2 - c1, "recycled rings changed cycle charges");
+            prop_assert_eq!(net.open_socks(pid), 0, "every descriptor was shut down");
+        }
     }
 }

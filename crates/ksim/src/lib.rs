@@ -46,18 +46,21 @@
 pub mod clock;
 pub mod cost;
 pub mod error;
+pub mod hash;
 pub mod irq;
 pub mod machine;
 pub mod mem;
 pub mod proc;
 pub mod seg;
 pub mod stats;
+pub mod sync;
 
 pub use kfault;
 
-pub use clock::Clock;
+pub use clock::{BatchGuard, Clock};
 pub use cost::{CostModel, CYCLES_PER_SEC};
 pub use error::{SimError, SimResult};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use irq::{IrqController, IrqHandler, IRQ_OVERHEAD_CYCLES};
 pub use machine::{KernelToken, Machine, MachineConfig};
 pub use mem::{
@@ -67,3 +70,4 @@ pub use mem::{
 pub use proc::{Pid, ProcState, Process, Scheduler};
 pub use seg::{SegKind, SegSelector, Segment, SegmentTable};
 pub use stats::Stats;
+pub use sync::{SpinMutex, SpinMutexGuard};

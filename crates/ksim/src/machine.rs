@@ -9,6 +9,7 @@
 //! one crossing execute an entire marked code region and by letting
 //! operations share kernel-resident buffers instead of copying.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -18,10 +19,21 @@ use crate::cost::CostModel;
 use crate::error::{SimError, SimResult};
 use crate::irq::IrqController;
 use crate::mem::{AsId, MemSys, PteFlags, PAGE_SIZE};
-use crate::proc::{Pid, ProcState, Process, Scheduler};
+use crate::proc::{Boundary, Pid, ProcState, Process, Scheduler};
 use crate::seg::SegmentTable;
 use crate::stats::Stats;
-use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Distinguishes machines so the per-thread boundary cache cannot hand
+/// pid 0 of one machine the boundary of pid 0 on another.
+static NEXT_MACHINE_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The (machine, pid) → boundary handle this thread last crossed with.
+    /// Syscall streams repeat the same pid, so the process-table lock is
+    /// paid once per thread migration instead of twice per syscall.
+    static LAST_BOUNDARY: RefCell<Option<(u64, u32, Arc<Boundary>)>> = const { RefCell::new(None) };
+}
 
 /// Construction parameters for a [`Machine`].
 #[derive(Debug, Clone)]
@@ -73,6 +85,8 @@ pub struct Machine {
     /// Disarmed by default; the fault sweep arms it per episode.
     pub faults: Arc<kfault::FaultPlane>,
     kernel_asid: AsId,
+    /// This machine's key in the per-thread boundary cache.
+    id: u64,
     procs: RwLock<Vec<Option<Process>>>,
     sched: Mutex<Scheduler>,
 }
@@ -99,6 +113,7 @@ impl Machine {
             irq: IrqController::new(),
             faults,
             kernel_asid,
+            id: NEXT_MACHINE_ID.fetch_add(1, Relaxed),
             procs: RwLock::new(Vec::new()),
             sched: Mutex::new(Scheduler::new()),
         }
@@ -142,9 +157,29 @@ impl Machine {
         Ok(f(p))
     }
 
+    /// Run `f` with the process's hot boundary state, using the per-thread
+    /// cache to skip the process-table lock when the pid repeats (the shape
+    /// of every syscall stream). Correctness does not depend on the cache:
+    /// kill and the watchdog write through the same shared handle, so a
+    /// cached boundary observes death immediately.
+    fn with_boundary<R>(&self, pid: Pid, f: impl FnOnce(&Boundary) -> R) -> SimResult<R> {
+        LAST_BOUNDARY.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if let Some((mid, cached_pid, b)) = slot.as_ref() {
+                if *mid == self.id && *cached_pid == pid.0 {
+                    return Ok(f(b));
+                }
+            }
+            let b = self.with_proc(pid, |p| p.boundary.clone())?;
+            let r = f(&b);
+            *slot = Some((self.id, pid.0, b));
+            Ok(r)
+        })
+    }
+
     /// The address space of `pid`.
     pub fn proc_asid(&self, pid: Pid) -> SimResult<AsId> {
-        self.with_proc(pid, |p| p.asid)
+        self.with_boundary(pid, |b| b.asid)
     }
 
     /// Set (or clear) the per-kernel-visit cycle budget — the Cosy watchdog.
@@ -157,6 +192,7 @@ impl Machine {
     pub fn kill_process(&self, pid: Pid) -> SimResult<()> {
         let asid = self.with_proc_mut(pid, |p| {
             p.state = ProcState::Dead;
+            p.boundary.dead.store(true, Relaxed);
             p.asid
         })?;
         self.sched.lock().remove(pid);
@@ -187,10 +223,10 @@ impl Machine {
         self.clock.charge_sys(self.cost.preempt_tick);
         self.stats.preempt_ticks.fetch_add(1, Relaxed);
         let verdict = self.with_proc(pid, |p| {
-            if !p.in_kernel {
+            if !p.in_kernel() {
                 return None;
             }
-            let used = self.clock.sys_cycles().saturating_sub(p.kernel_entry_sys);
+            let used = self.clock.sys_cycles().saturating_sub(p.kernel_entry_sys());
             // Injected kill: the watchdog fires regardless of budget (a
             // fatal fault — the process is dead, exactly as on a genuine
             // budget overrun).
@@ -204,6 +240,7 @@ impl Machine {
             self.with_proc_mut(pid, |p| {
                 p.killed_by_watchdog = true;
                 p.state = ProcState::Dead;
+                p.boundary.dead.store(true, Relaxed);
             })?;
             self.sched.lock().remove(pid);
             return Err(SimError::WatchdogKilled { pid: pid.0, used, budget });
@@ -214,23 +251,27 @@ impl Machine {
     // ---- user/kernel boundary --------------------------------------------
 
     /// Trap into the kernel: charges entry + dispatch and starts the
-    /// watchdog window.
+    /// watchdog window. The boundary is crossed per simulated syscall, so
+    /// it runs entirely on the cached lock-free [`Boundary`] handle — no
+    /// process-table lock on the repeat-pid fast path.
     pub fn enter_kernel(&self, pid: Pid) -> SimResult<KernelToken> {
-        self.with_proc(pid, |p| {
-            if p.state == ProcState::Dead {
+        let entry_sys = self.with_boundary(pid, |b| {
+            if b.dead.load(Relaxed) {
                 return Err(SimError::NoSuchProcess(pid.0));
             }
-            if p.in_kernel {
+            // Load-then-store (not a swap): a pid is driven by one thread
+            // at a time, so the nesting check needs no atomicity — only
+            // visibility, which the per-pid cache handoff provides.
+            if b.in_kernel.load(Relaxed) {
                 return Err(SimError::BoundaryMisuse("nested enter_kernel"));
             }
-            Ok(())
+            b.in_kernel.store(true, Relaxed);
+            // A rejected entry charges nothing, exactly as before.
+            self.clock.charge_sys(self.cost.kernel_entry + self.cost.syscall_dispatch);
+            let entry_sys = self.clock.sys_cycles();
+            b.kernel_entry_sys.store(entry_sys, Relaxed);
+            Ok(entry_sys)
         })??;
-        self.clock.charge_sys(self.cost.kernel_entry + self.cost.syscall_dispatch);
-        let entry_sys = self.clock.sys_cycles();
-        self.with_proc_mut(pid, |p| {
-            p.in_kernel = true;
-            p.kernel_entry_sys = entry_sys;
-        })?;
         self.stats.crossings.fetch_add(1, Relaxed);
         Ok(KernelToken { pid, entry_sys })
     }
@@ -238,19 +279,27 @@ impl Machine {
     /// Return to user mode, consuming the entry token.
     pub fn exit_kernel(&self, token: KernelToken) {
         self.clock.charge_sys(self.cost.kernel_exit);
-        // The process may have been killed by the watchdog while inside.
-        let _ = self.with_proc_mut(token.pid, |p| p.in_kernel = false);
+        // The process may have been killed by the watchdog while inside;
+        // the flag is cleared regardless, exactly as before.
+        let _ = self.with_boundary(token.pid, |b| b.in_kernel.store(false, Relaxed));
     }
 
     /// Copy `len` bytes from user space into a kernel buffer, charging the
     /// per-byte copy cost.
     pub fn copy_from_user(&self, pid: Pid, uaddr: u64, len: usize) -> SimResult<Vec<u8>> {
-        let asid = self.proc_asid(pid)?;
         let mut buf = vec![0u8; len];
-        self.mem.read_virt(asid, uaddr, &mut buf)?;
-        self.clock.charge_sys(self.cost.copy_cost(len));
-        self.stats.bytes_copied_in.fetch_add(len as u64, Relaxed);
+        self.copy_from_user_into(pid, uaddr, &mut buf)?;
         Ok(buf)
+    }
+
+    /// [`Self::copy_from_user`] into a caller-provided buffer (typically a
+    /// pooled scratch buffer), avoiding the per-call allocation.
+    pub fn copy_from_user_into(&self, pid: Pid, uaddr: u64, buf: &mut [u8]) -> SimResult<()> {
+        let asid = self.proc_asid(pid)?;
+        self.mem.read_virt(asid, uaddr, buf)?;
+        self.clock.charge_sys(self.cost.copy_cost(buf.len()));
+        self.stats.bytes_copied_in.fetch_add(buf.len() as u64, Relaxed);
+        Ok(())
     }
 
     /// Copy a kernel buffer out to user space, charging the copy cost.

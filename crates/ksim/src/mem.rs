@@ -403,7 +403,11 @@ impl Tlb {
             if access == AccessKind::Write && tag & 2 == 0 {
                 return None; // permission upgrade requires a walk
             }
-            self.hits.fetch_add(1, Relaxed);
+            // Statistics-only counter (no correctness consumers): a plain
+            // load+store keeps the lock prefix off the per-access hot path.
+            // Concurrent lookups may drop an increment; the hit *charge*
+            // below in `translate` is per-thread-batched and stays exact.
+            self.hits.store(self.hits.load(Relaxed) + 1, Relaxed);
             Some(Pfn(data as u32))
         } else {
             None

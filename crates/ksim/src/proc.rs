@@ -8,6 +8,8 @@
 //! is enforced (see [`crate::Machine::preempt_tick`]).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 use crate::mem::AsId;
 
@@ -26,6 +28,34 @@ pub enum ProcState {
     Dead,
 }
 
+/// The slice of process state the syscall hot path touches on *every*
+/// crossing: liveness, the in-kernel flag, the watchdog's entry stamp, and
+/// the address space for user copies. It lives behind an `Arc` inside
+/// [`Process`] so the boundary can run on cached handles without taking the
+/// process-table lock per syscall; slow-path transitions (kill, watchdog)
+/// write through the same handle, so cached copies can never go stale.
+#[derive(Debug)]
+pub struct Boundary {
+    /// The user address space — immutable for the process's lifetime.
+    pub asid: AsId,
+    /// Mirrors `Process::state == Dead`; set once, never cleared.
+    pub(crate) dead: AtomicBool,
+    pub(crate) in_kernel: AtomicBool,
+    /// System-clock reading captured when this process entered the kernel.
+    pub(crate) kernel_entry_sys: AtomicU64,
+}
+
+impl Boundary {
+    fn new(asid: AsId) -> Self {
+        Boundary {
+            asid,
+            dead: AtomicBool::new(false),
+            in_kernel: AtomicBool::new(false),
+            kernel_entry_sys: AtomicU64::new(0),
+        }
+    }
+}
+
 /// One simulated process.
 #[derive(Debug, Clone)]
 pub struct Process {
@@ -36,12 +66,10 @@ pub struct Process {
     /// Maximum kernel cycles allowed per kernel visit (`None` = unlimited).
     /// This is the Cosy watchdog budget.
     pub kernel_budget: Option<u64>,
-    /// System-clock reading captured when this process entered the kernel.
-    pub kernel_entry_sys: u64,
-    /// Whether the process is currently executing in kernel mode.
-    pub in_kernel: bool,
     /// Set when the watchdog kills the process.
     pub killed_by_watchdog: bool,
+    /// Hot crossing state, shared with the lock-free boundary path.
+    pub boundary: Arc<Boundary>,
 }
 
 impl Process {
@@ -51,10 +79,19 @@ impl Process {
             asid,
             state: ProcState::Ready,
             kernel_budget: None,
-            kernel_entry_sys: 0,
-            in_kernel: false,
             killed_by_watchdog: false,
+            boundary: Arc::new(Boundary::new(asid)),
         }
+    }
+
+    /// Whether the process is currently executing in kernel mode.
+    pub fn in_kernel(&self) -> bool {
+        self.boundary.in_kernel.load(Relaxed)
+    }
+
+    /// System-clock reading captured at the last kernel entry.
+    pub fn kernel_entry_sys(&self) -> u64 {
+        self.boundary.kernel_entry_sys.load(Relaxed)
     }
 }
 
@@ -181,7 +218,7 @@ mod tests {
     fn process_new_defaults() {
         let p = Process::new(Pid(5), AsId(3));
         assert_eq!(p.state, ProcState::Ready);
-        assert!(!p.in_kernel);
+        assert!(!p.in_kernel());
         assert!(p.kernel_budget.is_none());
         assert!(!p.killed_by_watchdog);
     }

@@ -110,6 +110,10 @@ impl SyscallLayer {
                 return -6; // ENXIO
             };
             ring.flush_overflow();
+            // One lock round-trip drains the whole batch; the per-entry
+            // SQE-move charges are identical to popping them one by one.
+            let mut sqes = Vec::with_capacity(to_submit.min(64));
+            ring.take_sqes(to_submit, &mut sqes);
             let mut submitted = 0i64;
             // Chain state: `in_chain` while the previous SQE carried
             // IOSQE_LINK; a fresh chain resets the failure flag and the
@@ -117,8 +121,7 @@ impl SyscallLayer {
             let mut in_chain = false;
             let mut chain_failed = false;
             let mut chain_fd: i64 = -1;
-            for _ in 0..to_submit {
-                let Some(sqe) = ring.take_sqe() else { break };
+            for sqe in &sqes {
                 submitted += 1;
                 if !in_chain {
                     chain_failed = false;
@@ -128,7 +131,7 @@ impl SyscallLayer {
                 let res = if chain_failed {
                     ECANCELED
                 } else {
-                    let r = s.exec_ring_op(pid, &ring, &sqe, chain_fd);
+                    let r = s.exec_ring_op(pid, &ring, sqe, chain_fd);
                     if r >= 0 && matches!(sqe.opcode, Opcode::Open | Opcode::Accept) {
                         chain_fd = r;
                     }
@@ -180,17 +183,16 @@ impl SyscallLayer {
         Ok(())
     }
 
-    /// Read `len` bytes out of a pinned range at the in-kernel memcpy rate.
-    fn fixed_move_out(&self, pid: Pid, addr: u64, len: usize) -> Result<Vec<u8>, i64> {
+    /// Fill `buf` from a pinned range at the in-kernel memcpy rate.
+    fn fixed_move_out(&self, pid: Pid, addr: u64, buf: &mut [u8]) -> Result<(), i64> {
         let asid = self.machine.proc_asid(pid).map_err(|_| -3i64)?;
-        let mut buf = vec![0u8; len];
         self.machine
             .mem
-            .read_virt(asid, addr, &mut buf)
+            .read_virt(asid, addr, buf)
             .map_err(|_| -14i64)?;
         self.machine
-            .charge_sys((len as u64).div_ceil(16) * self.machine.cost.sock_move_block16);
-        Ok(buf)
+            .charge_sys((buf.len() as u64).div_ceil(16) * self.machine.cost.sock_move_block16);
+        Ok(())
     }
 
     /// Position `fd`'s cursor for an explicit-offset read/write.
@@ -211,10 +213,14 @@ impl SyscallLayer {
             Opcode::Nop => 0,
             Opcode::Open => {
                 let len = (sqe.len as usize).min(RING_PATH_MAX);
-                let bytes = match self.machine.copy_from_user(pid, sqe.buf, len) {
-                    Ok(b) => b,
-                    Err(_) => return -14,
-                };
+                let mut bytes = self.scratch.take(len);
+                if self
+                    .machine
+                    .copy_from_user_into(pid, sqe.buf, &mut bytes)
+                    .is_err()
+                {
+                    return -14;
+                }
                 let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
                 let path = match std::str::from_utf8(&bytes[..end]) {
                     Ok(p) => p,
@@ -238,7 +244,7 @@ impl SyscallLayer {
                         Ok(b) => b,
                         Err(e) => return e,
                     };
-                    let mut buf = vec![0u8; take];
+                    let mut buf = self.scratch.take(take);
                     match self.k_read(pid, fd, &mut buf) {
                         Ok(n) => match self.fixed_move_in(pid, addr, &buf[..n]) {
                             Ok(()) => n as i64,
@@ -247,7 +253,7 @@ impl SyscallLayer {
                         Err(e) => e.errno(),
                     }
                 } else {
-                    let mut buf = vec![0u8; sqe.len as usize];
+                    let mut buf = self.scratch.take(sqe.len as usize);
                     match self.k_read(pid, fd, &mut buf) {
                         Ok(n) => match self.machine.copy_to_user(pid, sqe.buf, &buf[..n]) {
                             Ok(()) => n as i64,
@@ -265,21 +271,26 @@ impl SyscallLayer {
                 if let Err(e) = self.ring_seek(pid, fd, sqe.off) {
                     return e;
                 }
-                let data = if fixed {
+                let mut data;
+                if fixed {
                     let (addr, take) = match Self::ring_buf(ring, sqe) {
                         Ok(b) => b,
                         Err(e) => return e,
                     };
-                    match self.fixed_move_out(pid, addr, take) {
-                        Ok(d) => d,
-                        Err(e) => return e,
+                    data = self.scratch.take(take);
+                    if let Err(e) = self.fixed_move_out(pid, addr, &mut data) {
+                        return e;
                     }
                 } else {
-                    match self.machine.copy_from_user(pid, sqe.buf, sqe.len as usize) {
-                        Ok(d) => d,
-                        Err(_) => return -14,
+                    data = self.scratch.take(sqe.len as usize);
+                    if self
+                        .machine
+                        .copy_from_user_into(pid, sqe.buf, &mut data)
+                        .is_err()
+                    {
+                        return -14;
                     }
-                };
+                }
                 match self.k_write(pid, fd, &data) {
                     Ok(n) => n as i64,
                     Err(e) => e.errno(),
@@ -313,21 +324,26 @@ impl SyscallLayer {
                     Ok(sd) => sd,
                     Err(e) => return e,
                 };
-                let data = if fixed {
+                let mut data;
+                if fixed {
                     let (addr, take) = match Self::ring_buf(ring, sqe) {
                         Ok(b) => b,
                         Err(e) => return e,
                     };
-                    match self.fixed_move_out(pid, addr, take) {
-                        Ok(d) => d,
-                        Err(e) => return e,
+                    data = self.scratch.take(take);
+                    if let Err(e) = self.fixed_move_out(pid, addr, &mut data) {
+                        return e;
                     }
                 } else {
-                    match self.machine.copy_from_user(pid, sqe.buf, sqe.len as usize) {
-                        Ok(d) => d,
-                        Err(_) => return -14,
+                    data = self.scratch.take(sqe.len as usize);
+                    if self
+                        .machine
+                        .copy_from_user_into(pid, sqe.buf, &mut data)
+                        .is_err()
+                    {
+                        return -14;
                     }
-                };
+                }
                 match self.k_send(pid, sd, &data) {
                     Ok(n) => n as i64,
                     Err(e) => e.errno(),
@@ -343,7 +359,7 @@ impl SyscallLayer {
                         Ok(b) => b,
                         Err(e) => return e,
                     };
-                    let mut buf = vec![0u8; take];
+                    let mut buf = self.scratch.take(take);
                     match self.k_recv(pid, sd, &mut buf) {
                         Ok(n) => match self.fixed_move_in(pid, addr, &buf[..n]) {
                             Ok(()) => n as i64,
@@ -352,7 +368,7 @@ impl SyscallLayer {
                         Err(e) => e.errno(),
                     }
                 } else {
-                    let mut buf = vec![0u8; sqe.len as usize];
+                    let mut buf = self.scratch.take(sqe.len as usize);
                     match self.k_recv(pid, sd, &mut buf) {
                         Ok(n) => match self.machine.copy_to_user(pid, sqe.buf, &buf[..n]) {
                             Ok(()) => n as i64,

@@ -329,6 +329,20 @@ impl Uring {
         sqe
     }
 
+    /// Drain up to `max` submissions into `out` under a single lock
+    /// acquisition, charging the same per-entry SQE move as
+    /// [`Self::take_sqe`] would for each. Returns how many were drained.
+    pub fn take_sqes(&self, max: usize, out: &mut Vec<Sqe>) -> usize {
+        let mut st = self.state.lock();
+        let n = max.min(st.sq.len());
+        out.extend(st.sq.drain(..n));
+        if n > 0 {
+            self.machine
+                .charge_sys(self.machine.cost.uring_sqe_move * n as u64);
+        }
+        n
+    }
+
     /// Post a completion; one CQE move of sys time. A full CQ — or the
     /// `uring.cq_overflow` fault site firing — diverts the entry onto the
     /// counted overflow list instead of dropping it.

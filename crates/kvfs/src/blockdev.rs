@@ -14,13 +14,12 @@
 //! [`ELEVATOR_BATCH`] writes — pdflush batched dirty pages and the elevator
 //! sorted them, so 2.6-era small-file writes did not seek per block.
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ksim::SpinMutex;
 
-use ksim::{Machine, PAGE_SIZE};
+use ksim::{FxHashSet, Machine, PAGE_SIZE};
 
 use crate::error::{VfsError, VfsResult};
 
@@ -38,13 +37,21 @@ pub struct BlockAddr {
 }
 
 /// The simulated disk + page cache.
+/// The page cache's presence set plus its hit counter — counted under
+/// the same lock so a cached read is one lock round-trip, not a lock
+/// plus an atomic.
+#[derive(Default)]
+struct BlockCache {
+    set: FxHashSet<BlockAddr>,
+    hits: u64,
+}
+
 pub struct BlockDev {
     machine: Arc<Machine>,
-    cache: Mutex<HashSet<BlockAddr>>,
-    last: Mutex<Option<BlockAddr>>,
+    cache: SpinMutex<BlockCache>,
+    last: SpinMutex<Option<BlockAddr>>,
     reads: AtomicU64,
     writes: AtomicU64,
-    cache_hits: AtomicU64,
     seeks: AtomicU64,
     dirty: AtomicU64,
 }
@@ -53,11 +60,10 @@ impl BlockDev {
     pub fn new(machine: Arc<Machine>) -> Self {
         BlockDev {
             machine,
-            cache: Mutex::new(HashSet::new()),
-            last: Mutex::new(None),
+            cache: SpinMutex::new(BlockCache::default()),
+            last: SpinMutex::new(None),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
             seeks: AtomicU64::new(0),
             dirty: AtomicU64::new(0),
         }
@@ -93,9 +99,12 @@ impl BlockDev {
     /// (injected at `kvfs.blockdev.read`) surfaces as EIO and leaves the
     /// block uncached, exactly like a failed BIO.
     pub fn read_block(&self, addr: BlockAddr, bytes: usize) -> VfsResult<()> {
-        if self.cache.lock().contains(&addr) {
-            self.cache_hits.fetch_add(1, Relaxed);
-            return Ok(());
+        {
+            let mut cache = self.cache.lock();
+            if cache.set.contains(&addr) {
+                cache.hits += 1;
+                return Ok(());
+            }
         }
         if self.machine.faults.should_fail(kfault::sites::KVFS_BLOCKDEV_READ) {
             return Err(VfsError::Io);
@@ -103,7 +112,7 @@ impl BlockDev {
         self.reads.fetch_add(1, Relaxed);
         self.machine.stats.disk_reads.fetch_add(1, Relaxed);
         self.charge_access(addr, bytes.min(PAGE_SIZE));
-        self.cache.lock().insert(addr);
+        self.cache.lock().set.insert(addr);
         Ok(())
     }
 
@@ -124,19 +133,19 @@ impl BlockDev {
             m.charge_io(m.cost.disk_seek + m.cost.disk_rotate);
         }
         *self.last.lock() = Some(addr);
-        self.cache.lock().insert(addr);
+        self.cache.lock().set.insert(addr);
         Ok(())
     }
 
     /// Mark a block as cached without charging (e.g. the inode block of a
     /// freshly created file already lives in memory).
     pub fn prime_cache(&self, addr: BlockAddr) {
-        self.cache.lock().insert(addr);
+        self.cache.lock().set.insert(addr);
     }
 
     /// Drop an object's blocks from the cache (file deletion).
     pub fn evict_object(&self, obj: u64) {
-        self.cache.lock().retain(|b| b.obj != obj);
+        self.cache.lock().set.retain(|b| b.obj != obj);
     }
 
     /// (disk reads, disk writes, cache hits, seeks).
@@ -144,7 +153,7 @@ impl BlockDev {
         (
             self.reads.load(Relaxed),
             self.writes.load(Relaxed),
-            self.cache_hits.load(Relaxed),
+            self.cache.lock().hits,
             self.seeks.load(Relaxed),
         )
     }

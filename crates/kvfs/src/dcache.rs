@@ -7,21 +7,35 @@
 //! experiment E6 can attach the dispatcher and reproduce exactly that
 //! measurement ladder.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use kevents::{EventDispatcher, InstrumentedSpinLock};
-use ksim::Machine;
+use ksim::{FxHashMap, Machine};
+
+use crate::name::Name;
 
 /// Stable event-object identity for the dcache lock (its "address").
 pub const DCACHE_LOCK_OBJ: u64 = 0xDCAC_4E10;
 
-/// Name-lookup cache: `(parent ino, name) → child ino`.
+/// Map plus hit/miss counters, all under the one dcache_lock — counting
+/// inside the critical section costs a plain increment, not another
+/// atomic round-trip on every lookup.
+#[derive(Default)]
+struct DcacheInner {
+    map: FxHashMap<(u64, Name), u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Name-lookup cache: `(parent ino, interned name) → child ino`.
+///
+/// Keys are `(u64, Name)` — the name bytes were hashed once at intern
+/// time, so a lookup hashes 12 fixed bytes with the Fx mix and never
+/// allocates. The `&str` convenience methods intern on the way in; the
+/// resolution hot loop in [`crate::vfs::Vfs`] interns each component once
+/// and uses the `*_name` variants directly.
 pub struct DentryCache {
-    lock: InstrumentedSpinLock<HashMap<(u64, String), u64>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    lock: InstrumentedSpinLock<DcacheInner>,
 }
 
 impl DentryCache {
@@ -29,13 +43,11 @@ impl DentryCache {
         DentryCache {
             lock: InstrumentedSpinLock::new(
                 machine,
-                HashMap::new(),
+                DcacheInner::default(),
                 DCACHE_LOCK_OBJ,
                 "fs/dcache.c",
                 324,
             ),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
@@ -46,14 +58,19 @@ impl DentryCache {
 
     /// Cached lookup of `name` in `parent`.
     pub fn lookup(&self, parent: u64, name: &str) -> Option<u64> {
-        let map = self.lock.lock();
-        match map.get(&(parent, name.to_string())).copied() {
+        self.lookup_name(parent, Name::intern(name))
+    }
+
+    /// [`Self::lookup`] with a pre-interned name.
+    pub fn lookup_name(&self, parent: u64, name: Name) -> Option<u64> {
+        let mut inner = self.lock.lock();
+        match inner.map.get(&(parent, name)).copied() {
             Some(ino) => {
-                self.hits.fetch_add(1, Relaxed);
+                inner.hits += 1;
                 Some(ino)
             }
             None => {
-                self.misses.fetch_add(1, Relaxed);
+                inner.misses += 1;
                 None
             }
         }
@@ -61,32 +78,38 @@ impl DentryCache {
 
     /// Populate after a successful file-system lookup.
     pub fn insert(&self, parent: u64, name: &str, ino: u64) {
-        self.lock.lock().insert((parent, name.to_string()), ino);
+        self.insert_name(parent, Name::intern(name), ino);
+    }
+
+    /// [`Self::insert`] with a pre-interned name.
+    pub fn insert_name(&self, parent: u64, name: Name, ino: u64) {
+        self.lock.lock().map.insert((parent, name), ino);
     }
 
     /// Invalidate one entry (unlink, rename source/target).
     pub fn remove(&self, parent: u64, name: &str) {
-        self.lock.lock().remove(&(parent, name.to_string()));
+        self.lock.lock().map.remove(&(parent, Name::intern(name)));
     }
 
     /// Invalidate everything under a directory (rmdir, recursive ops).
     pub fn invalidate_dir(&self, parent: u64) {
-        self.lock.lock().retain(|(p, _), _| *p != parent);
+        self.lock.lock().map.retain(|(p, _), _| *p != parent);
     }
 
     /// Drop the whole cache.
     pub fn clear(&self) {
-        self.lock.lock().clear();
+        self.lock.lock().map.clear();
     }
 
     /// (cache hits, cache misses).
     pub fn counters(&self) -> (u64, u64) {
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+        let inner = self.lock.lock();
+        (inner.hits, inner.misses)
     }
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.lock.lock().len()
+        self.lock.lock().map.len()
     }
 
     pub fn is_empty(&self) -> bool {

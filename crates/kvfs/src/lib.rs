@@ -27,6 +27,7 @@ pub mod dcache;
 pub mod error;
 pub mod fs;
 pub mod memfs;
+pub mod name;
 pub mod snapshot;
 pub mod vfs;
 pub mod wrapfs;
@@ -36,6 +37,7 @@ pub use dcache::DentryCache;
 pub use error::{VfsError, VfsResult};
 pub use fs::{DirEntry, FileKind, FileSystem, Ino, Stat, DIRENT_WIRE_BYTES, STAT_WIRE_BYTES};
 pub use memfs::MemFs;
+pub use name::Name;
 pub use snapshot::{SnapshotEntry, VfsSnapshot};
 pub use vfs::Vfs;
 pub use wrapfs::WrapFs;

@@ -1,0 +1,134 @@
+//! Interned path components for the dentry-cache hot path.
+//!
+//! Path resolution is the inner loop of every file syscall, and the dcache
+//! used to key its map with `(parent_ino, String)` — one heap allocation
+//! plus a byte-wise SipHash per component per lookup. A [`Name`] is a
+//! `u32` handle into a global intern table (the same idiom as `kclang`'s
+//! `Sym` identifiers): the string bytes are hashed once, at intern time,
+//! and the dcache compares plain integers from then on.
+//!
+//! The table is global and append-only (names are never garbage
+//! collected). That is the right trade for a simulator: path components
+//! repeat massively — PostMark reuses a few thousand file names millions
+//! of times — and an interned component is 4 bytes in every dcache key
+//! that mentions it.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+use ksim::{FxBuildHasher, FxHashMap};
+
+/// An interned path component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(u32);
+
+#[derive(Default)]
+struct Interner {
+    by_str: FxHashMap<&'static str, u32>,
+    strs: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+thread_local! {
+    /// Per-thread memo of the global table. Interning is the first step of
+    /// every path resolution, and the global table's read lock was the
+    /// hottest atomic on the warm open path; a repeat component resolves
+    /// here with one hash and zero shared-memory traffic. Ids always come
+    /// from the global table, so every thread agrees on them.
+    static LOCAL: RefCell<FxHashMap<String, Name>> =
+        const { RefCell::new(FxHashMap::with_hasher(FxBuildHasher::new())) };
+}
+
+impl Name {
+    /// Intern `s`, returning its stable handle. Repeat names resolve in a
+    /// thread-local memo; a first sighting goes through the global table
+    /// (read lock, then write lock if truly new).
+    pub fn intern(s: &str) -> Name {
+        LOCAL.with(|memo| {
+            if let Some(&name) = memo.borrow().get(s) {
+                return name;
+            }
+            let name = Self::intern_global(s);
+            memo.borrow_mut().insert(s.to_owned(), name);
+            name
+        })
+    }
+
+    fn intern_global(s: &str) -> Name {
+        let t = table();
+        if let Some(&id) = t.read().by_str.get(s) {
+            return Name(id);
+        }
+        let mut w = t.write();
+        if let Some(&id) = w.by_str.get(s) {
+            return Name(id); // raced: someone interned it between locks
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = w.strs.len() as u32;
+        w.strs.push(leaked);
+        w.by_str.insert(leaked, id);
+        Name(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        table().read().strs[self.0 as usize]
+    }
+
+    /// The raw handle (stable for the process lifetime).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_distinct() {
+        let a1 = Name::intern("alpha");
+        let a2 = Name::intern("alpha");
+        let b = Name::intern("beta");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.as_str(), "alpha");
+        assert_eq!(b.as_str(), "beta");
+        assert_eq!(a1.id(), a2.id());
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64)
+                        .map(|i| Name::intern(&format!("race-{i}")).id())
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let ids: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "every thread resolves the same ids");
+        }
+    }
+}

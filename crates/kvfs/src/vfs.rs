@@ -7,6 +7,7 @@ use ksim::Machine;
 use crate::dcache::DentryCache;
 use crate::error::{VfsError, VfsResult};
 use crate::fs::{DirEntry, FileSystem, Ino, Stat};
+use crate::name::Name;
 
 /// A mounted file system plus the dentry cache in front of it.
 pub struct Vfs {
@@ -35,38 +36,40 @@ impl Vfs {
         path.split('/').filter(|c| !c.is_empty() && *c != ".")
     }
 
+    /// One resolution step: dcache first (on the interned name), file
+    /// system on a miss, warming the dcache with the result.
+    fn lookup_step(&self, cur: Ino, comp: &str) -> VfsResult<Ino> {
+        let name = Name::intern(comp);
+        match self.dcache.lookup_name(cur.0, name) {
+            Some(ino) => Ok(Ino(ino)),
+            None => {
+                let ino = self.fs.lookup(cur, comp)?;
+                self.dcache.insert_name(cur.0, name, ino.0);
+                Ok(ino)
+            }
+        }
+    }
+
     /// Resolve an absolute path to an inode, walking the dentry cache and
     /// falling back to the file system on misses.
     pub fn resolve(&self, path: &str) -> VfsResult<Ino> {
         let mut cur = self.fs.root();
         for comp in Self::components(path) {
-            cur = match self.dcache.lookup(cur.0, comp) {
-                Some(ino) => Ino(ino),
-                None => {
-                    let ino = self.fs.lookup(cur, comp)?;
-                    self.dcache.insert(cur.0, comp, ino.0);
-                    ino
-                }
-            };
+            cur = self.lookup_step(cur, comp)?;
         }
         Ok(cur)
     }
 
     /// Resolve the parent directory of `path` and return it with the final
-    /// component.
+    /// component. Walks the components with one slot of lookahead instead
+    /// of collecting them — path resolution allocates nothing.
     pub fn resolve_parent<'p>(&self, path: &'p str) -> VfsResult<(Ino, &'p str)> {
-        let comps: Vec<&str> = Self::components(path).collect();
-        let (last, parents) = comps.split_last().ok_or(VfsError::Invalid("empty path"))?;
+        let mut comps = Self::components(path);
+        let mut last = comps.next().ok_or(VfsError::Invalid("empty path"))?;
         let mut cur = self.fs.root();
-        for comp in parents {
-            cur = match self.dcache.lookup(cur.0, comp) {
-                Some(ino) => Ino(ino),
-                None => {
-                    let ino = self.fs.lookup(cur, comp)?;
-                    self.dcache.insert(cur.0, comp, ino.0);
-                    ino
-                }
-            };
+        for comp in comps {
+            cur = self.lookup_step(cur, last)?;
+            last = comp;
         }
         Ok((cur, last))
     }

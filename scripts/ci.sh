@@ -34,4 +34,29 @@ echo "== bench smoke: knet web server connection sweep =="
 echo "== bench smoke: kuring batched-syscall rings =="
 ./target/release/a10_uring --quick
 
+echo "== bench smoke: host substrate throughput =="
+# Gate: the sustained simulated-syscalls/sec must not regress more than
+# 10% against the baseline recorded in bench_report.json (written by the
+# last full `bench --bin all` run on this machine — host wall-clock rates
+# do not transfer between machines). Override with THROUGHPUT_MIN=<sps>,
+# or set THROUGHPUT_MIN=0 to skip (e.g. on shared/throttled runners).
+sps=$(./target/release/a11_throughput --quick | grep '^THROUGHPUT_SPS=' | cut -d= -f2)
+echo "sustained: ${sps} simulated syscalls/sec"
+if [ -z "${THROUGHPUT_MIN:-}" ] && [ -f bench_report.json ]; then
+    baseline=$(grep -A3 '"metric": *"THROUGHPUT_SPS"' bench_report.json \
+        | grep -o '"measured": *"[0-9]*"' | grep -o '[0-9]*' || true)
+    if [ -n "${baseline}" ]; then
+        THROUGHPUT_MIN=$((baseline * 90 / 100))
+        echo "baseline ${baseline} sps from bench_report.json (floor: ${THROUGHPUT_MIN})"
+    fi
+fi
+if [ -n "${THROUGHPUT_MIN:-}" ] && [ "${THROUGHPUT_MIN}" -gt 0 ]; then
+    if [ "${sps}" -lt "${THROUGHPUT_MIN}" ]; then
+        echo "throughput regression: ${sps} < ${THROUGHPUT_MIN} sps" >&2
+        exit 1
+    fi
+else
+    echo "no baseline recorded; skipping the regression gate"
+fi
+
 echo "CI pass complete."
