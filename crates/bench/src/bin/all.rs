@@ -18,6 +18,8 @@ mod a1;
 mod a10;
 #[path = "a11_throughput.rs"]
 mod a11;
+#[path = "a12_smp.rs"]
+mod a12;
 #[path = "a2_kgcc_ablate.rs"]
 mod a2;
 #[path = "a3_splay_mt.rs"]
@@ -56,6 +58,9 @@ fn main() {
     // costs ~20% of the measured rate. Every other bench reports
     // simulated cycles and is insensitive to ordering.
     a11::run(&mut report);
+    // A12's SMP_SPS phase is also wall-clock; run it second, before the
+    // cycle-domain experiments churn the heap.
+    a12::run(&mut report);
     e1::run(&mut report);
     e2::run(&mut report);
     e3::run(&mut report);

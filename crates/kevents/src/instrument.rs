@@ -68,6 +68,14 @@ impl<T> InstrumentedSpinLock<T> {
         *slot = d;
     }
 
+    /// Whether a dispatcher is currently attached. Lock-avoiding fast
+    /// paths (e.g. the dcache epoch read table) must consult this and take
+    /// the real lock whenever instrumentation is on, so monitors observe
+    /// every acquire/release pair.
+    pub fn is_instrumented(&self) -> bool {
+        self.instrumented.load(Relaxed)
+    }
+
     /// Acquire the lock, charging the uncontended spinlock cost and logging
     /// the acquire event if instrumented.
     pub fn lock(&self) -> SpinGuard<'_, T> {

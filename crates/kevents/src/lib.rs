@@ -37,6 +37,7 @@ pub mod dispatch;
 pub mod instrument;
 pub mod logfile;
 pub mod monitors;
+pub mod percpu;
 pub mod record;
 pub mod ring;
 
@@ -45,5 +46,6 @@ pub use dispatch::{EventDispatcher, EventMonitor};
 pub use instrument::{InstrumentedRefcount, InstrumentedSemaphore, InstrumentedSpinLock};
 pub use monitors::{IrqMonitor, RefcountMonitor, SemaphoreMonitor, SpinlockMonitor, Violation};
 pub use logfile::{read_log, replay, write_log, LoggedEvent};
+pub use percpu::PerCpuRing;
 pub use record::{EventRecord, EventType, OOPS_EVENT, RECORDS_LOST_EVENT};
 pub use ring::EventRing;

@@ -54,8 +54,17 @@ pub mod sites {
     /// Completion queue reports full on CQE post: the completion is
     /// diverted onto the ring's counted overflow list instead of the CQ.
     pub const URING_CQ_OVERFLOW: &str = "uring.cq_overflow";
+    /// Work-stealing scheduler: abort a steal attempt after the victim is
+    /// chosen (the draining CPU stays idle this tick).
+    pub const SCHED_STEAL_FAIL: &str = "sched.steal_fail";
+    /// Work-stealing scheduler: force-migrate the local head task to a
+    /// random other CPU before a pick.
+    pub const SCHED_MIGRATE: &str = "sched.migrate";
 
-    /// Every registered site, for sweeps.
+    /// Every registered site, for sweeps. The two `sched.*` sites need an
+    /// SMP driving harness, so the a8 single-rig workload sweep skips them
+    /// (keeping its TRACE_HASH stable); `tests/integration_smp.rs` covers
+    /// their determinism instead.
     pub const ALL: &[&str] = &[
         KSIM_FRAME_ALLOC,
         KSIM_TLB_FILL,
@@ -70,6 +79,8 @@ pub mod sites {
         NET_SEND_AGAIN,
         NET_PEER_RESET,
         URING_CQ_OVERFLOW,
+        SCHED_STEAL_FAIL,
+        SCHED_MIGRATE,
     ];
 }
 

@@ -212,6 +212,12 @@ enum SockKind {
         /// Global slots of connection-pending server-side endpoints.
         pending: VecDeque<usize>,
         capacity: usize,
+        /// SO_REUSEPORT-style accept sharding: when set, `connect` routes
+        /// each new connection to the queue of the connecting thread's CPU
+        /// (`ksim::thread_cpu() % n`) and `accept` drains its own CPU's
+        /// queue first. `None` (the default) keeps the single shared
+        /// backlog and its exact legacy behavior.
+        shards: Option<Vec<VecDeque<usize>>>,
     },
     Stream(Stream),
 }
@@ -313,8 +319,14 @@ impl State {
     fn readiness_of(&self, gid: usize) -> i32 {
         match &self.socks[gid] {
             Some(SockKind::Fresh) | None => 0,
-            Some(SockKind::Listener { pending, .. }) => {
-                if pending.is_empty() {
+            Some(SockKind::Listener {
+                pending, shards, ..
+            }) => {
+                let empty = pending.is_empty()
+                    && shards
+                        .as_ref()
+                        .is_none_or(|s| s.iter().all(VecDeque::is_empty));
+                if empty {
                     0
                 } else {
                     POLL_IN
@@ -349,18 +361,20 @@ pub struct NetStack {
 
 impl NetStack {
     pub fn new(machine: Arc<Machine>) -> NetStack {
-        NetStack {
-            machine,
-            state: SpinMutex::new(State {
-                socks: Vec::new(),
-                free: Vec::new(),
-                ports: FxHashMap::default(),
-                tables: Vec::new(),
-                ring_pool: Vec::new(),
-                ring_capacity: DEFAULT_RING_CAPACITY,
-                stats: NetStats::default(),
-            }),
-        }
+        let state = SpinMutex::new(State {
+            socks: Vec::new(),
+            free: Vec::new(),
+            ports: FxHashMap::default(),
+            tables: Vec::new(),
+            ring_pool: Vec::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            stats: NetStats::default(),
+        });
+        // The stack's one big lock is the first suspect in any SMP run:
+        // feed its contention into the `ksim::stats` lock table (recorded
+        // only on contended acquires — free on the fast path).
+        state.set_contention(ksim::register_lock("knet.state"));
+        NetStack { machine, state }
     }
 
     /// Receive-ring capacity for sockets created from now on (tests use a
@@ -410,9 +424,46 @@ impl NetStack {
             port,
             pending: VecDeque::new(),
             capacity: backlog.max(1),
+            shards: None,
         });
         st.ports.insert(port, gid);
         Ok(())
+    }
+
+    /// Enable SO_REUSEPORT-style accept sharding on a listener: `cpus`
+    /// per-CPU accept queues. New connections land on the connecting
+    /// thread's CPU queue; `accept` serves its own CPU's queue first and
+    /// falls back to sibling queues so no connection strands. Connections
+    /// already pending stay on the shared backlog and are drained before
+    /// sibling-queue stealing.
+    pub fn set_accept_sharding(&self, pid: Pid, sd: i32, cpus: usize) -> Result<(), NetError> {
+        self.charge_proto();
+        let mut st = self.state.lock();
+        let gid = st.lookup(pid, sd)?;
+        match st.socks[gid].as_mut() {
+            Some(SockKind::Listener { shards, .. }) => {
+                *shards = Some(vec![VecDeque::new(); cpus.max(1)]);
+                Ok(())
+            }
+            Some(_) => Err(NetError::Invalid("not a listener")),
+            None => Err(NetError::BadSock),
+        }
+    }
+
+    /// Depth of each per-CPU accept queue (empty vec when unsharded).
+    /// For tests and the SMP bench's load-balance report.
+    pub fn listener_shard_depths(&self, pid: Pid, sd: i32) -> Result<Vec<usize>, NetError> {
+        let st = self.state.lock();
+        let gid = st.lookup(pid, sd)?;
+        match &st.socks[gid] {
+            Some(SockKind::Listener { shards, .. }) => {
+                Ok(shards.as_ref().map_or(Vec::new(), |s| {
+                    s.iter().map(VecDeque::len).collect()
+                }))
+            }
+            Some(_) => Err(NetError::Invalid("not a listener")),
+            None => Err(NetError::BadSock),
+        }
     }
 
     /// `connect()`: pair with a listener on `port`. The handshake completes
@@ -438,13 +489,20 @@ impl NetStack {
         };
         let overflow = {
             let Some(SockKind::Listener {
-                pending, capacity, ..
+                pending,
+                capacity,
+                shards,
+                ..
             }) = &st.socks[lgid]
             else {
                 st.stats.refused += 1;
                 return Err(NetError::ConnRefused);
             };
-            pending.len() >= *capacity
+            let queued = pending.len()
+                + shards
+                    .as_ref()
+                    .map_or(0, |s| s.iter().map(VecDeque::len).sum::<usize>());
+            queued >= *capacity
         };
         if overflow
             || self
@@ -464,8 +522,17 @@ impl NetStack {
             peer_closed: false,
             reset: false,
         }));
-        if let Some(SockKind::Listener { pending, .. }) = st.socks[lgid].as_mut() {
-            pending.push_back(srv);
+        if let Some(SockKind::Listener {
+            pending, shards, ..
+        }) = st.socks[lgid].as_mut()
+        {
+            match shards {
+                Some(sh) => {
+                    let n = sh.len();
+                    sh[ksim::thread_cpu() % n].push_back(srv);
+                }
+                None => pending.push_back(srv),
+            }
         }
         st.socks[gid] = Some(SockKind::Stream(Stream {
             peer: Some(srv),
@@ -484,9 +551,24 @@ impl NetStack {
         let mut st = self.state.lock();
         let gid = st.lookup(pid, sd)?;
         let srv = match st.socks[gid].as_mut() {
-            Some(SockKind::Listener { pending, .. }) => {
-                pending.pop_front().ok_or(NetError::Again)?
-            }
+            Some(SockKind::Listener {
+                pending, shards, ..
+            }) => match shards {
+                Some(sh) => {
+                    let n = sh.len();
+                    let own = ksim::thread_cpu() % n;
+                    // Own CPU's queue, then pre-sharding leftovers, then
+                    // siblings' queues (work conservation).
+                    sh[own]
+                        .pop_front()
+                        .or_else(|| pending.pop_front())
+                        .or_else(|| {
+                            (1..n).find_map(|i| sh[(own + i) % n].pop_front())
+                        })
+                        .ok_or(NetError::Again)?
+                }
+                None => pending.pop_front().ok_or(NetError::Again)?,
+            },
             Some(_) => return Err(NetError::Invalid("not a listener")),
             None => return Err(NetError::BadSock),
         };
@@ -596,8 +678,16 @@ impl NetStack {
         }
         match st.socks[gid].take() {
             Some(SockKind::Fresh) | None => {}
-            Some(SockKind::Listener { port, pending, .. }) => {
+            Some(SockKind::Listener {
+                port,
+                mut pending,
+                shards,
+                ..
+            }) => {
                 st.ports.remove(&port);
+                if let Some(sh) = shards {
+                    pending.extend(sh.into_iter().flatten());
+                }
                 for srv in pending {
                     let peer = match st.socks[srv].take() {
                         Some(SockKind::Stream(s)) => {
@@ -870,6 +960,63 @@ mod tests {
             .unwrap();
         net.connect(pid_a, sa, 80).unwrap();
         assert_eq!(net.send(pid_a, sa, b"hi").unwrap(), 2);
+    }
+
+    #[test]
+    fn sharded_listener_routes_and_steals_by_cpu() {
+        let (m, net, pid) = stack();
+        let l = net.socket(pid).unwrap();
+        net.bind_listen(pid, l, 80, 16).unwrap();
+        net.set_accept_sharding(pid, l, 4).unwrap();
+        // Connects from CPU 1 and CPU 2 land on their own shards.
+        let c1 = net.socket(pid).unwrap();
+        {
+            let _b = m.bind_cpu(1);
+            net.connect(pid, c1, 80).unwrap();
+        }
+        let c2 = net.socket(pid).unwrap();
+        {
+            let _b = m.bind_cpu(2);
+            net.connect(pid, c2, 80).unwrap();
+        }
+        assert_eq!(net.listener_shard_depths(pid, l).unwrap(), vec![0, 1, 1, 0]);
+        assert_eq!(net.readiness(pid, l).unwrap(), POLL_IN);
+        // CPU 2's worker accepts its own connection first...
+        {
+            let _b = m.bind_cpu(2);
+            net.accept(pid, l).unwrap();
+        }
+        assert_eq!(net.listener_shard_depths(pid, l).unwrap(), vec![0, 1, 0, 0]);
+        // ...and an idle CPU with an empty shard steals from a sibling.
+        {
+            let _b = m.bind_cpu(3);
+            net.accept(pid, l).unwrap();
+        }
+        assert_eq!(net.accept(pid, l), Err(NetError::Again));
+        assert_eq!(net.readiness(pid, l).unwrap(), 0);
+    }
+
+    #[test]
+    fn sharded_capacity_and_shutdown_cover_all_queues() {
+        let (m, net, pid) = stack();
+        let l = net.socket(pid).unwrap();
+        net.bind_listen(pid, l, 80, 2).unwrap();
+        net.set_accept_sharding(pid, l, 4).unwrap();
+        let mut clients = Vec::new();
+        for cpu in 0..2 {
+            let c = net.socket(pid).unwrap();
+            let _b = m.bind_cpu(cpu);
+            net.connect(pid, c, 80).unwrap();
+            clients.push(c);
+        }
+        // Backlog capacity counts across every shard.
+        let c3 = net.socket(pid).unwrap();
+        assert_eq!(net.connect(pid, c3, 80), Err(NetError::ConnRefused));
+        // Shutdown drops pending connections from all shards: clients see EOF.
+        net.shutdown(pid, l).unwrap();
+        for c in clients {
+            assert_eq!(net.recv(pid, c, &mut [0u8; 4]).unwrap(), 0);
+        }
     }
 
     #[test]

@@ -57,17 +57,19 @@ pub mod sync;
 
 pub use kfault;
 
-pub use clock::{BatchGuard, Clock};
+pub use clock::{BatchGuard, Clock, MirrorGuard};
 pub use cost::{CostModel, CYCLES_PER_SEC};
 pub use error::{SimError, SimResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use irq::{IrqController, IrqHandler, IRQ_OVERHEAD_CYCLES};
-pub use machine::{KernelToken, Machine, MachineConfig};
+pub use machine::{thread_cpu, CpuBinding, CpuState, KernelToken, Machine, MachineConfig};
 pub use mem::{
     AccessKind, AddressSpace, AsId, Fault, FaultHandler, FaultKind, FaultResolution, MemSys, Pfn,
     PhysMemory, Pte, PteFlags, Tlb, PAGE_SHIFT, PAGE_SIZE,
 };
-pub use proc::{Pid, ProcState, Process, Scheduler};
+pub use proc::{Pid, ProcState, Process, Scheduler, SmpScheduler};
 pub use seg::{SegKind, SegSelector, Segment, SegmentTable};
-pub use stats::Stats;
+pub use stats::{
+    lock_contention_report, register_lock, reset_lock_contention, LockContention, Stats,
+};
 pub use sync::{SpinMutex, SpinMutexGuard};

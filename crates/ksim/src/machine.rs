@@ -9,17 +9,17 @@
 //! one crossing execute an entire marked code region and by letting
 //! operations share kernel-resident buffers instead of copying.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::clock::Clock;
+use crate::clock::{Clock, MirrorGuard};
 use crate::cost::CostModel;
 use crate::error::{SimError, SimResult};
 use crate::irq::IrqController;
 use crate::mem::{AsId, MemSys, PteFlags, PAGE_SIZE};
-use crate::proc::{Boundary, Pid, ProcState, Process, Scheduler};
+use crate::proc::{Boundary, Pid, ProcState, Process, SmpScheduler};
 use crate::seg::SegmentTable;
 use crate::stats::Stats;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -33,6 +33,19 @@ thread_local! {
     /// Syscall streams repeat the same pid, so the process-table lock is
     /// paid once per thread migration instead of twice per syscall.
     static LAST_BOUNDARY: RefCell<Option<(u64, u32, Arc<Boundary>)>> = const { RefCell::new(None) };
+
+    /// The simulated CPU this thread is currently bound to (see
+    /// [`Machine::bind_cpu`]). Defaults to CPU 0, which keeps every
+    /// pre-SMP single-threaded workload byte-identical.
+    static THREAD_CPU: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The simulated CPU index the calling thread is bound to (0 when never
+/// bound). Sharded structures (pool magazines, per-CPU event rings,
+/// accept queues) index themselves with this.
+#[inline]
+pub fn thread_cpu() -> usize {
+    THREAD_CPU.with(|c| c.get())
 }
 
 /// Construction parameters for a [`Machine`].
@@ -42,6 +55,10 @@ pub struct MachineConfig {
     /// Physical memory size in 4 KiB frames. The default models the paper's
     /// 884 MB testbed (≈226k frames).
     pub phys_frames: usize,
+    /// Number of simulated CPUs (run queues, per-CPU clocks).
+    pub cpus: usize,
+    /// Seed for the work-stealing scheduler's victim-choice stream.
+    pub sched_seed: u64,
 }
 
 impl Default for MachineConfig {
@@ -49,6 +66,8 @@ impl Default for MachineConfig {
         MachineConfig {
             cost: CostModel::default(),
             phys_frames: 884 * 1024 * 1024 / PAGE_SIZE,
+            cpus: 8,
+            sched_seed: 0x5EED_C0DE,
         }
     }
 }
@@ -56,7 +75,34 @@ impl Default for MachineConfig {
 impl MachineConfig {
     /// A small machine for unit tests: free costs, few frames.
     pub fn small_free() -> Self {
-        MachineConfig { cost: CostModel::free(), phys_frames: 4096 }
+        MachineConfig {
+            cost: CostModel::free(),
+            phys_frames: 4096,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// Per-CPU state. The clock accumulates this CPU's share of the machine
+/// totals while a thread is bound to it (see [`Machine::bind_cpu`]); the
+/// machine-wide [`Machine::clock`] remains the authoritative sum.
+#[derive(Debug, Default)]
+pub struct CpuState {
+    pub clock: Clock,
+}
+
+/// RAII binding of the calling thread to one simulated CPU: restores the
+/// previous binding on drop. While bound, clock charges tee into the
+/// CPU's own clock and sharded structures use the CPU's shard.
+#[must_use = "the thread is bound only while the guard lives"]
+pub struct CpuBinding<'m> {
+    prev: usize,
+    _mirror: MirrorGuard<'m>,
+}
+
+impl Drop for CpuBinding<'_> {
+    fn drop(&mut self) {
+        THREAD_CPU.with(|c| c.set(self.prev));
     }
 }
 
@@ -88,7 +134,8 @@ pub struct Machine {
     /// This machine's key in the per-thread boundary cache.
     id: u64,
     procs: RwLock<Vec<Option<Process>>>,
-    sched: Mutex<Scheduler>,
+    sched: Mutex<SmpScheduler>,
+    cpus: Box<[CpuState]>,
 }
 
 impl Machine {
@@ -115,7 +162,8 @@ impl Machine {
             kernel_asid,
             id: NEXT_MACHINE_ID.fetch_add(1, Relaxed),
             procs: RwLock::new(Vec::new()),
-            sched: Mutex::new(Scheduler::new()),
+            sched: Mutex::new(SmpScheduler::new(config.cpus, config.sched_seed)),
+            cpus: (0..config.cpus).map(|_| CpuState::default()).collect(),
         }
     }
 
@@ -124,16 +172,50 @@ impl Machine {
         self.kernel_asid
     }
 
+    // ---- simulated CPUs ---------------------------------------------------
+
+    /// Number of simulated CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Per-CPU state (its clock accumulates the CPU's share of charges).
+    pub fn cpu(&self, cpu: usize) -> &CpuState {
+        &self.cpus[cpu]
+    }
+
+    /// The simulated CPU the calling thread is bound to, clamped to this
+    /// machine's CPU count (a thread bound to CPU 5 of an 8-CPU machine
+    /// that then touches a 2-CPU machine lands on its last CPU).
+    pub fn current_cpu(&self) -> usize {
+        thread_cpu().min(self.cpus.len() - 1)
+    }
+
+    /// Bind the calling thread to simulated CPU `cpu` until the guard
+    /// drops. While bound, every charge against the machine clock also
+    /// accrues to `self.cpu(cpu).clock`, spawns enqueue on this CPU's run
+    /// queue, and sharded structures use this CPU's shard. Bindings nest.
+    pub fn bind_cpu(&self, cpu: usize) -> CpuBinding<'_> {
+        assert!(cpu < self.cpus.len(), "cpu {cpu} out of range");
+        let prev = THREAD_CPU.with(|c| c.replace(cpu));
+        CpuBinding {
+            prev,
+            _mirror: Clock::mirror_into(&self.clock, &self.cpus[cpu].clock),
+        }
+    }
+
     // ---- processes --------------------------------------------------------
 
-    /// Create a process with a fresh address space and enqueue it.
+    /// Create a process with a fresh address space and enqueue it on the
+    /// spawning thread's current CPU (CPU 0 for unbound threads, so
+    /// single-CPU workloads behave exactly as before).
     pub fn spawn_process(&self) -> Pid {
         let asid = self.mem.create_space();
         let mut procs = self.procs.write();
         let pid = Pid(procs.len() as u32);
         procs.push(Some(Process::new(pid, asid)));
         drop(procs);
-        self.sched.lock().enqueue(pid);
+        self.sched.lock().enqueue_on(self.current_cpu(), pid);
         pid
     }
 
@@ -202,17 +284,30 @@ impl Machine {
 
     // ---- scheduler --------------------------------------------------------
 
-    /// Invoke the scheduler: rotate to the next runnable process, charging a
-    /// context switch when the running process changes.
+    /// Invoke the scheduler on the calling thread's current CPU: rotate to
+    /// the next runnable process, charging a context switch when the
+    /// running process changes.
     pub fn schedule(&self) -> Option<Pid> {
+        self.schedule_on(self.current_cpu())
+    }
+
+    /// Invoke the scheduler on a specific CPU. An empty run queue steals
+    /// half of a random victim's queue first (seeded, deterministic).
+    pub fn schedule_on(&self, cpu: usize) -> Option<Pid> {
         let mut sched = self.sched.lock();
         let before = sched.switches();
-        let next = sched.pick_next();
+        let next = sched.pick_next_on(cpu, &self.faults);
         if sched.switches() > before {
             self.clock.charge_sys(self.cost.context_switch);
             self.stats.context_switches.fetch_add(1, Relaxed);
         }
         next
+    }
+
+    /// Scheduler counters: `(switches, steals, steal_fails, migrations)`.
+    pub fn sched_counters(&self) -> (u64, u64, u64, u64) {
+        let s = self.sched.lock();
+        (s.switches(), s.steals(), s.steal_fails(), s.migrations())
     }
 
     /// A preemption point (§2.3): charges tick bookkeeping and enforces the
@@ -466,6 +561,39 @@ mod tests {
         assert_eq!(m.schedule(), Some(b));
         assert!(m.clock.sys_cycles() - sys0 >= m.cost.context_switch);
         assert!(m.stats.context_switches.load(Relaxed) >= 1);
+    }
+
+    #[test]
+    fn bind_cpu_tees_charges_into_the_cpu_clock() {
+        let m = Machine::new(MachineConfig::small_free());
+        {
+            let _b = m.bind_cpu(3);
+            m.charge_sys(100);
+            m.charge_user(10);
+        }
+        m.charge_sys(50);
+        assert_eq!(m.cpu(3).clock.sys_cycles(), 100);
+        assert_eq!(m.cpu(3).clock.user_cycles(), 10);
+        assert_eq!(m.cpu(0).clock.sys_cycles(), 0);
+        assert_eq!(m.clock.sys_cycles(), 150, "the machine clock stays the total");
+    }
+
+    #[test]
+    fn spawn_lands_on_the_bound_cpu_and_idle_cpus_steal() {
+        let m = Machine::new(MachineConfig::small_free());
+        let a = {
+            let _b = m.bind_cpu(1);
+            m.spawn_process()
+        };
+        let b = {
+            let _b = m.bind_cpu(1);
+            m.spawn_process()
+        };
+        assert_eq!(m.schedule_on(1), Some(a), "cpu1 runs its own queue first");
+        // cpu1 still queues b; an idle CPU steals it rather than sitting idle.
+        assert_eq!(m.schedule_on(5), Some(b));
+        let (_, steals, _, _) = m.sched_counters();
+        assert_eq!(steals, 1);
     }
 
     #[test]

@@ -159,6 +159,173 @@ impl Scheduler {
     }
 }
 
+/// Per-CPU run queues with seeded work stealing.
+///
+/// Each simulated CPU owns a round-robin queue ([`Scheduler`] semantics,
+/// one per CPU). When a CPU's queue drains, it steals the colder half of a
+/// random victim's queue (from the back — the front is the victim's next
+/// pick). The victim choice comes from a splitmix64 stream seeded at
+/// construction, so a sequentially driven schedule is a pure function of
+/// the seed — the property A8's run-twice trace gate relies on.
+///
+/// Two fault sites hook the stealing policy: `sched.steal_fail` aborts a
+/// steal attempt after the victim is chosen, and `sched.migrate` forcibly
+/// moves the local head task to a random other CPU before a pick — both
+/// consulted through the machine's [`kfault::FaultPlane`], so seeded chaos
+/// schedules replay exactly.
+#[derive(Debug)]
+pub struct SmpScheduler {
+    queues: Vec<VecDeque<Pid>>,
+    current: Vec<Option<Pid>>,
+    switches: u64,
+    steals: u64,
+    steal_fails: u64,
+    migrations: u64,
+    rng: u64,
+}
+
+impl SmpScheduler {
+    pub fn new(cpus: usize, seed: u64) -> Self {
+        assert!(cpus >= 1, "a machine has at least one CPU");
+        SmpScheduler {
+            queues: (0..cpus).map(|_| VecDeque::new()).collect(),
+            current: vec![None; cpus],
+            switches: 0,
+            steals: 0,
+            steal_fails: 0,
+            migrations: 0,
+            rng: seed,
+        }
+    }
+
+    pub fn cpus(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Add a process to the tail of `cpu`'s run queue.
+    pub fn enqueue_on(&mut self, cpu: usize, pid: Pid) {
+        debug_assert!(
+            !self.queues.iter().any(|q| q.contains(&pid)),
+            "pid {pid:?} enqueued twice"
+        );
+        self.queues[cpu].push_back(pid);
+    }
+
+    /// Remove a process from scheduling entirely (exit / watchdog kill).
+    pub fn remove(&mut self, pid: Pid) {
+        for q in &mut self.queues {
+            q.retain(|&p| p != pid);
+        }
+        for cur in &mut self.current {
+            if *cur == Some(pid) {
+                *cur = None;
+            }
+        }
+    }
+
+    /// The process currently running on `cpu`, if any.
+    pub fn current_on(&self, cpu: usize) -> Option<Pid> {
+        self.current[cpu]
+    }
+
+    /// Context switches across all CPUs.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Successful steal operations (each moves half a victim queue).
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Steal attempts aborted by the `sched.steal_fail` fault site.
+    pub fn steal_fails(&self) -> u64 {
+        self.steal_fails
+    }
+
+    /// Tasks force-migrated by the `sched.migrate` fault site.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Runnable processes across all CPUs (including running ones).
+    pub fn runnable(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum::<usize>()
+            + self.current.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Steal the colder half of a random non-empty victim queue into
+    /// `cpu`'s queue. One rng draw per attempt (victim choice), then one
+    /// `sched.steal_fail` consult — so the schedule stays a pure function
+    /// of the seed and the armed fault policy.
+    fn try_steal(&mut self, cpu: usize, faults: &kfault::FaultPlane) {
+        let candidates: Vec<usize> = (0..self.queues.len())
+            .filter(|&i| i != cpu && !self.queues[i].is_empty())
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let victim = candidates[(self.next_rand() as usize) % candidates.len()];
+        if faults.should_fail(kfault::sites::SCHED_STEAL_FAIL) {
+            self.steal_fails += 1;
+            return;
+        }
+        let take = self.queues[victim].len().div_ceil(2);
+        for _ in 0..take {
+            if let Some(p) = self.queues[victim].pop_back() {
+                self.queues[cpu].push_back(p);
+            }
+        }
+        self.steals += 1;
+    }
+
+    /// Pick the next process to run on `cpu`, stealing when the local
+    /// queue drains. Same switch-counting rule as [`Scheduler::pick_next`]:
+    /// only an actual change of the running process counts.
+    pub fn pick_next_on(&mut self, cpu: usize, faults: &kfault::FaultPlane) -> Option<Pid> {
+        let prev = self.current[cpu].take();
+        if let Some(cur) = prev {
+            self.queues[cpu].push_back(cur);
+        }
+        if !self.queues[cpu].is_empty() && faults.should_fail(kfault::sites::SCHED_MIGRATE) {
+            if let Some(victim) = self.random_other(cpu) {
+                if let Some(p) = self.queues[cpu].pop_front() {
+                    self.queues[victim].push_back(p);
+                    self.migrations += 1;
+                }
+            }
+        }
+        if self.queues[cpu].is_empty() {
+            self.try_steal(cpu, faults);
+        }
+        let next = self.queues[cpu].pop_front()?;
+        if prev.is_some() && prev != Some(next) {
+            self.switches += 1;
+        }
+        self.current[cpu] = Some(next);
+        Some(next)
+    }
+
+    /// A random CPU other than `cpu` (migration target); `None` on a
+    /// single-CPU machine.
+    fn random_other(&mut self, cpu: usize) -> Option<usize> {
+        let n = self.queues.len();
+        if n < 2 {
+            return None;
+        }
+        let pick = (self.next_rand() as usize) % (n - 1);
+        Some(if pick >= cpu { pick + 1 } else { pick })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +379,64 @@ mod tests {
         s.pick_next();
         s.pick_next();
         assert!(s.switches() >= 2);
+    }
+
+    #[test]
+    fn smp_local_round_robin_matches_single_queue_semantics() {
+        let f = kfault::FaultPlane::new();
+        let mut s = SmpScheduler::new(4, 42);
+        s.enqueue_on(0, Pid(1));
+        s.enqueue_on(0, Pid(2));
+        assert_eq!(s.pick_next_on(0, &f), Some(Pid(1)));
+        assert_eq!(s.pick_next_on(0, &f), Some(Pid(2)));
+        assert_eq!(s.pick_next_on(0, &f), Some(Pid(1)));
+        assert_eq!(s.switches(), 2);
+        // cpu0 runs Pid(1) with Pid(2) queued; an idle CPU steals the
+        // queued (not the running) task.
+        assert_eq!(s.pick_next_on(2, &f), Some(Pid(2)));
+        assert_eq!(s.steals(), 1);
+    }
+
+    #[test]
+    fn draining_cpu_steals_half_from_a_loaded_victim() {
+        let f = kfault::FaultPlane::new();
+        let mut s = SmpScheduler::new(2, 7);
+        for i in 0..8 {
+            s.enqueue_on(0, Pid(i));
+        }
+        let got = s.pick_next_on(1, &f);
+        assert!(got.is_some(), "cpu1 stole work from cpu0");
+        assert_eq!(s.steals(), 1);
+        assert_eq!(s.runnable(), 8, "stealing moves tasks, never loses them");
+    }
+
+    #[test]
+    fn seeded_stealing_replays_identically() {
+        let run = |seed: u64| {
+            let f = kfault::FaultPlane::new();
+            let mut s = SmpScheduler::new(4, seed);
+            for i in 0..12 {
+                s.enqueue_on((i % 2) as usize, Pid(i));
+            }
+            let order: Vec<Option<Pid>> =
+                (0..64).map(|t| s.pick_next_on(t % 4, &f)).collect();
+            (order, s.steals(), s.switches())
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn smp_remove_clears_queues_and_running_slots() {
+        let f = kfault::FaultPlane::new();
+        let mut s = SmpScheduler::new(2, 1);
+        s.enqueue_on(0, Pid(1));
+        s.enqueue_on(1, Pid(2));
+        assert_eq!(s.pick_next_on(0, &f), Some(Pid(1)));
+        s.remove(Pid(1));
+        assert_eq!(s.current_on(0), None);
+        s.remove(Pid(2));
+        assert_eq!(s.runnable(), 0);
+        assert_eq!(s.pick_next_on(0, &f), None);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! and Locks*): increments are hot paths, reads happen after workloads end.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Counters for every simulated event class the experiments report.
 #[derive(Debug, Default)]
@@ -117,6 +118,66 @@ impl StatsSnapshot {
     }
 }
 
+/// Contention counters for one named lock (or a family of locks sharing a
+/// name — fd tables register per subsystem, not per pid). Recorded only
+/// from [`crate::SpinMutex`]'s contended slow path, so attaching one costs
+/// nothing while a lock stays uncontended.
+#[derive(Debug)]
+pub struct LockContention {
+    pub name: &'static str,
+    /// Acquires that found the lock held and had to spin.
+    pub contended: AtomicU64,
+    /// Total relaxed-load iterations spent waiting across those acquires.
+    pub spins: AtomicU64,
+}
+
+impl LockContention {
+    pub fn record(&self, spins: u64) {
+        self.contended.fetch_add(1, Relaxed);
+        self.spins.fetch_add(spins, Relaxed);
+    }
+}
+
+/// Process-wide registry of lock-contention counters; entries are leaked
+/// once per distinct name and live for the process.
+static LOCK_REGISTRY: Mutex<Vec<&'static LockContention>> = Mutex::new(Vec::new());
+
+/// Get-or-create the contention counter for `name`. Repeated calls with
+/// the same name return the same counter, so re-built subsystems (every
+/// bench episode makes a fresh `NetStack`) aggregate instead of leaking.
+pub fn register_lock(name: &'static str) -> &'static LockContention {
+    let mut reg = LOCK_REGISTRY.lock().unwrap();
+    if let Some(e) = reg.iter().find(|e| e.name == name) {
+        return e;
+    }
+    let e: &'static LockContention = Box::leak(Box::new(LockContention {
+        name,
+        contended: AtomicU64::new(0),
+        spins: AtomicU64::new(0),
+    }));
+    reg.push(e);
+    e
+}
+
+/// Snapshot every registered lock: `(name, contended acquires, spins)`,
+/// in registration order.
+pub fn lock_contention_report() -> Vec<(&'static str, u64, u64)> {
+    LOCK_REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|e| (e.name, e.contended.load(Relaxed), e.spins.load(Relaxed)))
+        .collect()
+}
+
+/// Zero every registered counter (between measurement windows).
+pub fn reset_lock_contention() {
+    for e in LOCK_REGISTRY.lock().unwrap().iter() {
+        e.contended.store(0, Relaxed);
+        e.spins.store(0, Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +196,18 @@ mod tests {
         assert_eq!(d.bytes_copied_in, 0);
         assert_eq!(d.bytes_copied_out, 7);
         assert_eq!(b.bytes_crossed(), 107);
+    }
+
+    #[test]
+    fn lock_registry_aggregates_by_name() {
+        let a = register_lock("test.stats.lock");
+        let b = register_lock("test.stats.lock");
+        assert!(std::ptr::eq(a, b), "same name, same counter");
+        a.record(17);
+        let rep = lock_contention_report();
+        let row = rep.iter().find(|r| r.0 == "test.stats.lock").unwrap();
+        assert!(row.1 >= 1);
+        assert!(row.2 >= 17);
     }
 
     #[test]

@@ -13,13 +13,22 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use crate::stats::LockContention;
 
 /// A spinlock protecting `T`. API mirrors `parking_lot::Mutex` for the
 /// subset the simulator uses (`new`, `lock`, guard deref).
+///
+/// Contention is observable: attach a [`LockContention`] counter (from
+/// [`crate::stats::register_lock`]) with [`SpinMutex::set_contention`] and
+/// every contended acquire records itself plus its spin count. The
+/// counters cost nothing on the uncontended fast path — they are only
+/// touched from the `#[cold]` slow path.
 #[derive(Default)]
 pub struct SpinMutex<T> {
     locked: AtomicBool,
+    contention: AtomicPtr<LockContention>,
     value: UnsafeCell<T>,
 }
 
@@ -36,8 +45,17 @@ impl<T> SpinMutex<T> {
     pub const fn new(value: T) -> Self {
         SpinMutex {
             locked: AtomicBool::new(false),
+            contention: AtomicPtr::new(std::ptr::null_mut()),
             value: UnsafeCell::new(value),
         }
+    }
+
+    /// Attach a contention counter (see [`crate::stats::register_lock`]).
+    /// Several locks may share one counter — the a12 table aggregates by
+    /// subsystem, not by instance.
+    pub fn set_contention(&self, stats: &'static LockContention) {
+        self.contention
+            .store(stats as *const LockContention as *mut LockContention, Ordering::Relaxed);
     }
 
     /// Acquire the lock, spinning (then yielding) until it is free.
@@ -55,7 +73,7 @@ impl<T> SpinMutex<T> {
 
     #[cold]
     fn lock_contended(&self) {
-        let mut spins = 0u32;
+        let mut spins = 0u64;
         loop {
             // Wait on a plain load so the line stays shared while held.
             while self.locked.load(Ordering::Relaxed) {
@@ -71,6 +89,11 @@ impl<T> SpinMutex<T> {
                 .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                let st = self.contention.load(Ordering::Relaxed);
+                if !st.is_null() {
+                    // Safety: set_contention only accepts 'static counters.
+                    unsafe { &*st }.record(spins);
+                }
                 return;
             }
         }
@@ -149,6 +172,26 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn contended_acquires_record_into_the_attached_counter() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let st = crate::stats::register_lock("test.sync.contended");
+        let m = Arc::new(SpinMutex::new(0u64));
+        m.set_contention(st);
+        let held = m.lock();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        // Give the thread time to hit the contended path, then release.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        h.join().unwrap();
+        assert!(st.contended.load(Relaxed) >= 1);
+        assert!(st.spins.load(Relaxed) >= 1);
+        assert_eq!(*m.lock(), 1);
     }
 
     #[test]

@@ -70,6 +70,8 @@ pub struct SyscallLayer {
 
 impl SyscallLayer {
     pub fn new(machine: Arc<Machine>, vfs: Arc<Vfs>) -> Self {
+        let scratch = kalloc::BufPool::new();
+        scratch.monitor("ksyscall.scratch");
         SyscallLayer {
             net: Arc::new(NetStack::new(machine.clone())),
             machine,
@@ -78,7 +80,7 @@ impl SyscallLayer {
             fds: Mutex::new(FxHashMap::default()),
             id: NEXT_LAYER_ID.fetch_add(1, Relaxed),
             urings: Mutex::new(FxHashMap::default()),
-            scratch: kalloc::BufPool::new(),
+            scratch,
         }
     }
 

@@ -25,4 +25,6 @@ pub use dbscan::{
 };
 pub use postmark::{run_postmark, PostmarkConfig, PostmarkReport};
 pub use rig::{Rig, UserProc};
-pub use webserver::{serve, setup_docs, ServeMode, WebConfig, WebReport};
+pub use webserver::{
+    serve, serve_smp, setup_docs, ServeMode, SmpWebReport, WebConfig, WebReport,
+};

@@ -284,6 +284,7 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
                 p,
                 cfg,
                 batch,
+                0,
                 lsd,
                 logfd,
                 req_at,
@@ -400,12 +401,16 @@ pub fn serve(rig: &Rig, p: &UserProc, cfg: &WebConfig, mode: ServeMode) -> WebRe
 /// copies); wave 3 submits, per request, a linked `open→sendfile→close`
 /// chain (the sendfile and close take the opened file fd *from the chain*)
 /// plus an unlinked socket shutdown and a fixed-buffer access-log write.
+///
+/// `slot0` offsets the fixed-buffer slots this batch uses, so SMP workers
+/// sharing one registered range table each get a private slice.
 #[allow(clippy::too_many_arguments)]
 fn serve_batch_uring(
     rig: &Rig,
     p: &UserProc,
     cfg: &WebConfig,
     batch: usize,
+    slot0: usize,
     lsd: i32,
     logfd: i32,
     req_at: u64,
@@ -430,7 +435,7 @@ fn serve_batch_uring(
     // Wave 2: fixed-buffer recvs — request bytes land in the registered
     // ranges without crossing the boundary.
     for (i, &sd) in sds.iter().enumerate() {
-        ring.push_sqe(Sqe::recv_fixed(sd, i as u32, 64, i as u64))
+        ring.push_sqe(Sqe::recv_fixed(sd, (slot0 + i) as u32, 64, i as u64))
             .expect("sq room");
     }
     assert_eq!(sys.sys_ring_enter(pid, batch, batch), batch as i64);
@@ -443,7 +448,7 @@ fn serve_batch_uring(
     let asid = rig.machine.proc_asid(pid).expect("server alive");
     for (i, &sd) in sds.iter().enumerate() {
         rig.machine.charge_user(cfg.cpu_per_request);
-        let addr = req_at + 64 * i as u64;
+        let addr = req_at + 64 * (slot0 + i) as u64;
         let mut req = [0u8; 64];
         rig.machine
             .mem
@@ -474,6 +479,309 @@ fn serve_batch_uring(
             4 => assert_eq!(c.res, 96, "log line written"),
             _ => assert!(c.res >= 0, "ring op failed: {}", c.res),
         }
+    }
+}
+
+/// Results of an SMP serve run: one worker per CPU against a sharded
+/// listener.
+#[derive(Debug, Clone)]
+pub struct SmpWebReport {
+    pub cpus: usize,
+    pub requests: u64,
+    pub bytes_served: u64,
+    /// Server-phase cycles (user + sys) each worker accumulated on its
+    /// per-CPU clock.
+    pub cpu_server_cycles: Vec<u64>,
+    /// The busiest worker's total: the simulated wall time of the server
+    /// when every worker runs on its own CPU. This is what scales with
+    /// CPU count.
+    pub critical_path_cycles: u64,
+    /// Sum across workers — total CPU burned serving. Equals
+    /// `critical_path_cycles * cpus` under perfect balance.
+    pub total_server_cycles: u64,
+    pub crossings: u64,
+    pub net: knet::NetStats,
+}
+
+impl SmpWebReport {
+    /// Requests per simulated second of server wall time (critical path).
+    pub fn req_per_sec(&self) -> f64 {
+        let secs = ksim::cost::cycles_to_secs(self.critical_path_cycles);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+}
+
+/// Serve `cfg.requests` requests with one logical worker per CPU, all
+/// workers accepting from a single SO_REUSEPORT-sharded listener.
+///
+/// The host drives the workers sequentially — the simulation stays
+/// deterministic — but each worker runs bound to its CPU
+/// (`Machine::bind_cpu`), so its syscall costs tee into that CPU's clock.
+/// Connections are routed to the connecting CPU's accept shard, each
+/// worker serves its own shard's batch slice in `mode`, and the report's
+/// `critical_path_cycles` (the busiest CPU) is the simulated parallel
+/// serve time. Per-batch fixed costs (the poll, the uring enter waves)
+/// amortize over a per-worker slice instead of the whole batch, which is
+/// exactly where sub-linear scaling comes from.
+pub fn serve_smp(
+    rig: &Rig,
+    p: &UserProc,
+    cfg: &WebConfig,
+    mode: ServeMode,
+    cpus: usize,
+) -> SmpWebReport {
+    let cpus = cpus.clamp(1, rig.machine.num_cpus());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xBEEF);
+    let sys = &rig.sys;
+    let pid = p.pid;
+    let client = rig.user(64 * 1024);
+    let cpid = client.pid;
+    let chunk = 4096.min(p.buf_len / 4);
+    // Per-worker connection slots per batch; the batch is their union.
+    let per = cfg.connections.max(1).div_ceil(cpus);
+    let conns = per * cpus;
+
+    let log_at = p.buf + 512;
+    let poll_at = p.buf + 1024;
+    let chunk_at = p.buf + 4096;
+    {
+        let asid = rig.machine.proc_asid(pid).expect("server alive");
+        rig.machine
+            .mem
+            .write_virt(asid, log_at, &[b'L'; 96])
+            .expect("stage log line");
+    }
+
+    let logfd = sys.sys_open(
+        pid,
+        "/access.log",
+        OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::APPEND,
+    ) as i32;
+    assert!(logfd >= 0);
+
+    let sizes: Vec<u64> = (0..cfg.documents)
+        .map(|d| sys.k_stat(&doc_path(d)).expect("doc exists").size)
+        .collect();
+
+    let lsd = sys.sys_socket(pid) as i32;
+    assert!(lsd >= 0);
+    assert_eq!(sys.sys_bind_listen(pid, lsd, cfg.port, conns), 0);
+    sys.net()
+        .set_accept_sharding(pid, lsd, cpus)
+        .expect("shard the accept queue");
+
+    let regions = if mode == ServeMode::Cosy {
+        let cb = SharedRegion::new(rig.machine.clone(), pid, 1, 6).expect("compound buf");
+        let db = SharedRegion::new(rig.machine.clone(), pid, 1, 7).expect("data buf");
+        {
+            let mut b = CompoundBuilder::new(&cb, &db);
+            let reqbuf = b.alloc_buf(256).expect("request buffer");
+            let logref = b.stage_bytes(&[b'L'; 95]).expect("log line");
+            let a = b.syscall(CosyCall::Accept, vec![CompoundBuilder::lit(lsd as i64)]);
+            b.syscall(
+                CosyCall::Recv,
+                vec![
+                    CompoundBuilder::result_of(a),
+                    reqbuf,
+                    CompoundBuilder::lit(256),
+                ],
+            );
+            let f = b.syscall(CosyCall::Open, vec![reqbuf, CompoundBuilder::lit(0)]);
+            b.syscall(
+                CosyCall::Sendfile,
+                vec![
+                    CompoundBuilder::result_of(a),
+                    CompoundBuilder::result_of(f),
+                    CompoundBuilder::lit(cfg.doc_max as i64),
+                ],
+            );
+            b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(f)]);
+            b.syscall(CosyCall::ShutdownSock, vec![CompoundBuilder::result_of(a)]);
+            b.syscall(
+                CosyCall::Write,
+                vec![
+                    CompoundBuilder::lit(logfd as i64),
+                    logref,
+                    CompoundBuilder::lit(96),
+                ],
+            );
+            b.finish().expect("encode");
+        }
+        Some((cb, db))
+    } else {
+        None
+    };
+
+    let req_at = chunk_at;
+    let log_buf_idx = conns as u32;
+    if mode == ServeMode::Uring {
+        assert_eq!(sys.sys_ring_setup(pid, 8 * conns, 8 * conns), 0);
+        let mut ranges: Vec<(u64, usize)> =
+            (0..conns).map(|i| (req_at + 64 * i as u64, 64)).collect();
+        ranges.push((log_at, 96));
+        assert_eq!(sys.sys_ring_register(pid, &ranges), ranges.len() as i64);
+    }
+
+    let n0 = sys.net().stats();
+    let s0 = rig.machine.stats.snapshot();
+    let mut bytes_served = 0u64;
+    let mut cpu_cycles = vec![0u64; cpus];
+    let mut done = 0usize;
+
+    while done < cfg.requests {
+        let this_batch = conns.min(cfg.requests - done);
+        let base = this_batch / cpus;
+        let rem = this_batch % cpus;
+        let count_of = |w: usize| base + usize::from(w < rem);
+
+        // Client phase, per worker CPU: connections made on CPU `w` land
+        // on accept shard `w`.
+        let mut pending: Vec<(i32, usize)> = Vec::with_capacity(this_batch);
+        let casid = rig.machine.proc_asid(cpid).expect("client alive");
+        for w in 0..cpus {
+            let _cpu = rig.machine.bind_cpu(w);
+            for _ in 0..count_of(w) {
+                let doc = rng.gen_range(0..cfg.documents);
+                let csd = sys.sys_socket(cpid) as i32;
+                assert!(csd >= 0);
+                assert_eq!(sys.sys_connect(cpid, csd, cfg.port), 0);
+                let mut req = [0u8; 64];
+                let path = doc_path(doc);
+                req[..path.len()].copy_from_slice(path.as_bytes());
+                rig.machine
+                    .mem
+                    .write_virt(casid, client.buf, &req)
+                    .expect("stage request");
+                assert_eq!(sys.sys_send(cpid, csd, client.buf, 64), 64);
+                pending.push((csd, doc));
+            }
+        }
+
+        // Server phase, per worker CPU: each worker drains its own shard.
+        #[allow(clippy::needless_range_loop)] // `w` is the CPU id, not just an index
+        for w in 0..cpus {
+            let batch = count_of(w);
+            if batch == 0 {
+                continue;
+            }
+            let _cpu = rig.machine.bind_cpu(w);
+            let c0 = rig.machine.cpu(w).clock.snapshot();
+            if mode == ServeMode::Uring {
+                serve_batch_uring(
+                    rig,
+                    p,
+                    cfg,
+                    batch,
+                    w * per,
+                    lsd,
+                    logfd,
+                    req_at,
+                    log_buf_idx,
+                    &mut bytes_served,
+                );
+            } else {
+                assert!(
+                    sys.sys_poll_wait(pid, &[lsd], poll_at) >= 1,
+                    "worker {w}'s shard pending"
+                );
+                for _ in 0..batch {
+                    rig.machine.charge_user(cfg.cpu_per_request);
+                    match mode {
+                        ServeMode::Classic => {
+                            let csd = sys.sys_accept(pid, lsd) as i32;
+                            assert!(csd >= 0);
+                            assert_eq!(sys.sys_recv(pid, csd, p.buf, 64), 64);
+                            let path = read_request(rig, p);
+                            let fd = sys.sys_open(pid, &path, OpenFlags::RDONLY) as i32;
+                            assert!(fd >= 0);
+                            loop {
+                                let n = sys.sys_read(pid, fd, chunk_at, chunk);
+                                if n <= 0 {
+                                    break;
+                                }
+                                bytes_served += n as u64;
+                                assert_eq!(sys.sys_send(pid, csd, chunk_at, n as usize), n);
+                            }
+                            sys.sys_close(pid, fd);
+                            sys.sys_shutdown(pid, csd);
+                            assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
+                        }
+                        ServeMode::Consolidated => {
+                            let csd = sys.sys_accept(pid, lsd) as i32;
+                            assert!(csd >= 0);
+                            assert_eq!(sys.sys_recv(pid, csd, p.buf, 64), 64);
+                            let path = read_request(rig, p);
+                            let fd = sys.sys_open(pid, &path, OpenFlags::RDONLY) as i32;
+                            assert!(fd >= 0);
+                            let n = sys.sys_sendfile(pid, csd, fd, cfg.doc_max);
+                            assert!(n > 0);
+                            bytes_served += n as u64;
+                            sys.sys_close(pid, fd);
+                            sys.sys_shutdown(pid, csd);
+                            assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
+                        }
+                        ServeMode::OneShot => {
+                            let n = sys.sys_accept_recv_send_close(pid, lsd, p.buf, 64);
+                            assert!(n > 0, "one-shot serve failed: {n}");
+                            bytes_served += n as u64;
+                            assert_eq!(sys.sys_write(pid, logfd, log_at, 96), 96);
+                        }
+                        ServeMode::Cosy => {
+                            let (cb, db) = regions.as_ref().expect("cosy regions");
+                            let results = rig
+                                .cosy
+                                .submit(pid, cb, db, &CosyOptions::default())
+                                .expect("serve compound");
+                            let n = results[3];
+                            assert!(n > 0, "compound sendfile failed: {n}");
+                            bytes_served += n as u64;
+                            assert_eq!(results[6], 96, "log line written");
+                        }
+                        ServeMode::Uring => unreachable!("handled batch-wise above"),
+                    }
+                }
+            }
+            let c1 = rig.machine.cpu(w).clock.snapshot();
+            cpu_cycles[w] += (c1.user - c0.user) + (c1.sys - c0.sys);
+        }
+
+        // Client phase: drain every response (unbound — load-generator
+        // work must not land on a server CPU's clock).
+        for (csd, doc) in pending {
+            let mut got = 0u64;
+            loop {
+                let n = sys.sys_recv(cpid, csd, client.buf, 4096);
+                if n <= 0 {
+                    assert_eq!(n, 0, "clean EOF after the document");
+                    break;
+                }
+                got += n as u64;
+            }
+            assert_eq!(got, sizes[doc], "client received the whole document");
+            sys.sys_shutdown(cpid, csd);
+        }
+        done += this_batch;
+    }
+
+    let d = rig.machine.stats.snapshot().delta(&s0);
+    sys.sys_shutdown(pid, lsd);
+    sys.sys_close(pid, logfd);
+    if let Some((cb, db)) = regions {
+        let _ = (cb.release(), db.release());
+    }
+    SmpWebReport {
+        cpus,
+        requests: cfg.requests as u64,
+        bytes_served,
+        critical_path_cycles: cpu_cycles.iter().copied().max().unwrap_or(0),
+        total_server_cycles: cpu_cycles.iter().sum(),
+        cpu_server_cycles: cpu_cycles,
+        crossings: d.crossings,
+        net: sys.net().stats().delta(&n0),
     }
 }
 
@@ -576,6 +884,62 @@ mod tests {
         assert!(server[0] > server[1] && server[1] > server[2], "{server:?}");
         assert!(server[2] > server[3], "{server:?}");
         assert!(server[4] < server[2], "uring under one-shot: {server:?}");
+    }
+
+    #[test]
+    fn smp_serves_identical_bytes_across_cpu_counts() {
+        let cfg = cfg();
+        for mode in MODES {
+            let mut bytes = Vec::new();
+            for cpus in [1usize, 4] {
+                let rig = Rig::memfs();
+                let p = rig.user(1 << 16);
+                setup_docs(&rig, &p, &cfg);
+                let r = serve_smp(&rig, &p, &cfg, mode, cpus);
+                assert_eq!(r.requests, cfg.requests as u64, "{mode:?}");
+                assert_eq!(r.net.send_eagains, 0, "{mode:?}: {:?}", r.net);
+                bytes.push(r.bytes_served);
+            }
+            assert!(bytes[0] > 0 && bytes[0] == bytes[1], "{mode:?}: {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn smp_scaling_shrinks_the_critical_path() {
+        let cfg = WebConfig {
+            documents: 10,
+            requests: 96,
+            doc_min: 1_024,
+            doc_max: 8_192,
+            connections: 16,
+            ..Default::default()
+        };
+        for mode in [ServeMode::Classic, ServeMode::Uring] {
+            let run = |cpus: usize| {
+                let rig = Rig::memfs();
+                let p = rig.user(1 << 16);
+                setup_docs(&rig, &p, &cfg);
+                serve_smp(&rig, &p, &cfg, mode, cpus)
+            };
+            let r1 = run(1);
+            let r4 = run(4);
+            assert!(
+                r4.cpu_server_cycles.iter().all(|&c| c > 0),
+                "{mode:?}: every worker served: {:?}",
+                r4.cpu_server_cycles
+            );
+            let speedup =
+                r1.critical_path_cycles as f64 / r4.critical_path_cycles as f64;
+            assert!(
+                speedup > 2.0,
+                "{mode:?}: 4 CPUs must cut the critical path >2x, got {speedup:.2}"
+            );
+            // The load stays balanced: no worker does more than twice the
+            // least-loaded worker's cycles.
+            let max = *r4.cpu_server_cycles.iter().max().unwrap();
+            let min = *r4.cpu_server_cycles.iter().min().unwrap();
+            assert!(max < 2 * min, "{mode:?}: imbalance {:?}", r4.cpu_server_cycles);
+        }
     }
 
     #[test]

@@ -36,9 +36,10 @@ echo "== bench smoke: kuring batched-syscall rings =="
 
 echo "== bench smoke: host substrate throughput =="
 # Gate: the sustained simulated-syscalls/sec must not regress more than
-# 10% against the baseline recorded in bench_report.json (written by the
+# 25% against the baseline recorded in bench_report.json (written by the
 # last full `bench --bin all` run on this machine — host wall-clock rates
-# do not transfer between machines). Override with THROUGHPUT_MIN=<sps>,
+# do not transfer between machines, and single runs swing ±15-25%; see
+# the A11 notes in EXPERIMENTS.md). Override with THROUGHPUT_MIN=<sps>,
 # or set THROUGHPUT_MIN=0 to skip (e.g. on shared/throttled runners).
 sps=$(./target/release/a11_throughput --quick | grep '^THROUGHPUT_SPS=' | cut -d= -f2)
 echo "sustained: ${sps} simulated syscalls/sec"
@@ -46,7 +47,7 @@ if [ -z "${THROUGHPUT_MIN:-}" ] && [ -f bench_report.json ]; then
     baseline=$(grep -A3 '"metric": *"THROUGHPUT_SPS"' bench_report.json \
         | grep -o '"measured": *"[0-9]*"' | grep -o '[0-9]*' || true)
     if [ -n "${baseline}" ]; then
-        THROUGHPUT_MIN=$((baseline * 90 / 100))
+        THROUGHPUT_MIN=$((baseline * 75 / 100))
         echo "baseline ${baseline} sps from bench_report.json (floor: ${THROUGHPUT_MIN})"
     fi
 fi
@@ -57,6 +58,30 @@ if [ -n "${THROUGHPUT_MIN:-}" ] && [ "${THROUGHPUT_MIN}" -gt 0 ]; then
     fi
 else
     echo "no baseline recorded; skipping the regression gate"
+fi
+
+echo "== bench smoke: SMP scaling sweep =="
+# Gate: 8-CPU uring req/sec must reach at least SMP_MIN x the 1-CPU rate.
+# Both rates are simulated (critical-path cycles), so unlike the wall-clock
+# throughput gate this transfers between machines. Override the factor with
+# SMP_MIN=<x>, or set SMP_MIN=0 to skip.
+SMP_MIN=${SMP_MIN:-3}
+smp_out=$(./target/release/a12_smp --quick)
+echo "${smp_out}" | grep -E '^(SMP_RPS_|SMP_SPS=)' || true
+u1=$(echo "${smp_out}" | grep '^SMP_RPS_URING_1=' | cut -d= -f2)
+u8=$(echo "${smp_out}" | grep '^SMP_RPS_URING_8=' | cut -d= -f2)
+if [ "${SMP_MIN}" -gt 0 ]; then
+    if [ -z "${u1}" ] || [ -z "${u8}" ] || [ "${u1}" -eq 0 ]; then
+        echo "SMP sweep produced no uring rates" >&2
+        exit 1
+    fi
+    if [ "${u8}" -lt $((u1 * SMP_MIN)) ]; then
+        echo "SMP scaling regression: uring 8-CPU ${u8} < ${SMP_MIN}x 1-CPU ${u1}" >&2
+        exit 1
+    fi
+    echo "SMP scaling ok: uring ${u1} -> ${u8} req/sec (>= ${SMP_MIN}x)"
+else
+    echo "SMP_MIN=0; skipping the SMP scaling gate"
 fi
 
 echo "CI pass complete."

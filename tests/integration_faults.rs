@@ -124,6 +124,20 @@ fn fire_site(site: &'static str) -> u64 {
             assert_eq!(rig.sys.sys_ring_enter(p.pid, 0, 0), 0);
             assert!(ring.reap_cqe().is_some());
         }
+        s if s == sites::SCHED_STEAL_FAIL => {
+            // `p` sits on CPU 0's run queue. CPU 1 is empty, so its pick
+            // must steal — and the injected abort leaves it idle this tick.
+            assert!(rig.machine.schedule_on(1).is_none());
+            let (_, steals, steal_fails, _) = rig.machine.sched_counters();
+            assert_eq!((steals, steal_fails), (0, 1));
+        }
+        s if s == sites::SCHED_MIGRATE => {
+            // The pick on CPU 0 first deports its head task to a random
+            // other CPU; the pick still succeeds by stealing it back.
+            assert_eq!(rig.machine.schedule_on(0), Some(p.pid));
+            let (_, steals, _, migrations) = rig.machine.sched_counters();
+            assert_eq!((steals, migrations), (1, 1));
+        }
         s if s == sites::KEVENTS_RING_FULL => {
             let disp = EventDispatcher::new(rig.machine.clone());
             let ring = Arc::new(EventRing::with_capacity(16));
@@ -531,6 +545,45 @@ fn chaos_run(seed: u64) -> (u64, u64, Vec<Result<Vec<i64>, String>>) {
     );
     rig.machine.faults.disarm();
     (trace_hash, snap(&rig).hash(), outcomes)
+}
+
+/// One seeded scheduler-chaos episode: 16 processes spread over all CPUs,
+/// a 20% probability policy over both `sched.*` sites, 96 round-robin
+/// picks. Returns the full pick sequence, the fault trace hash, and the
+/// scheduler counters.
+#[allow(clippy::type_complexity)]
+fn sched_chaos_run(seed: u64) -> (Vec<Option<Pid>>, u64, (u64, u64, u64, u64)) {
+    let m = Machine::new(MachineConfig::default());
+    let _pids: Vec<Pid> = (0..16)
+        .map(|i| {
+            let _cpu = m.bind_cpu(i % m.num_cpus());
+            m.spawn_process()
+        })
+        .collect();
+    m.faults.arm(seed);
+    m.faults.add_policy(Some("sched."), Policy::Probability(200));
+    let order: Vec<Option<Pid>> = (0..96)
+        .map(|tick| m.schedule_on(tick % m.num_cpus()))
+        .collect();
+    assert!(
+        m.faults.fired_count() > 0,
+        "p=0.2 over 96 picks must perturb the scheduler"
+    );
+    let hash = m.faults.trace_hash();
+    m.faults.disarm();
+    (order, hash, m.sched_counters())
+}
+
+#[test]
+fn sched_chaos_is_deterministic_across_cpus() {
+    let a = sched_chaos_run(0xC4A0);
+    let b = sched_chaos_run(0xC4A0);
+    assert_eq!(a.0, b.0, "same seed, same pick sequence on every CPU");
+    assert_eq!(a.1, b.1, "same seed, same fault trace hash");
+    assert_eq!(a.2, b.2, "same seed, same steal/migration counters");
+
+    let c = sched_chaos_run(0xD00D);
+    assert_ne!(a.1, c.1, "a different seed draws a different schedule");
 }
 
 #[test]
