@@ -20,6 +20,8 @@ mod a10;
 mod a11;
 #[path = "a12_smp.rs"]
 mod a12;
+#[path = "a13_crashsweep.rs"]
+mod a13;
 #[path = "a2_kgcc_ablate.rs"]
 mod a2;
 #[path = "a3_splay_mt.rs"]
@@ -78,6 +80,7 @@ fn main() {
     a8::run(&mut report);
     a9::run(&mut report);
     a10::run(&mut report);
+    a13::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

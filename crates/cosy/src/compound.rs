@@ -36,6 +36,9 @@ pub enum CosyCall {
     /// Close a socket descriptor (named to avoid clashing with a future
     /// half-close).
     ShutdownSock = 16,
+    /// Flush an fd durable (arg 1 selects fdatasync). Durability is an
+    /// external effect: like the socket ops it gets a barrier, not an undo.
+    Fsync = 17,
 }
 
 impl CosyCall {
@@ -57,6 +60,7 @@ impl CosyCall {
             14 => CosyCall::Send,
             15 => CosyCall::Sendfile,
             16 => CosyCall::ShutdownSock,
+            17 => CosyCall::Fsync,
             _ => return None,
         })
     }
@@ -80,6 +84,7 @@ impl CosyCall {
             CosyCall::Send => "sys_send",
             CosyCall::Sendfile => "sys_sendfile",
             CosyCall::ShutdownSock => "sys_shutdown",
+            CosyCall::Fsync => "sys_fsync",
         }
     }
 
@@ -101,6 +106,7 @@ impl CosyCall {
             "sys_send" => CosyCall::Send,
             "sys_sendfile" => CosyCall::Sendfile,
             "sys_shutdown" => CosyCall::ShutdownSock,
+            "sys_fsync" => CosyCall::Fsync,
             _ => return None,
         })
     }
@@ -111,7 +117,7 @@ impl CosyCall {
             CosyCall::Getpid => 0,
             CosyCall::Close | CosyCall::Unlink | CosyCall::Mkdir | CosyCall::Accept
             | CosyCall::ShutdownSock => 1,
-            CosyCall::Open | CosyCall::Stat | CosyCall::Fstat => 2,
+            CosyCall::Open | CosyCall::Stat | CosyCall::Fstat | CosyCall::Fsync => 2,
             CosyCall::Read | CosyCall::Write | CosyCall::Lseek | CosyCall::Readdir
             | CosyCall::Recv | CosyCall::Send | CosyCall::Sendfile => 3,
         }
@@ -412,6 +418,7 @@ mod tests {
             CosyCall::Send,
             CosyCall::Sendfile,
             CosyCall::ShutdownSock,
+            CosyCall::Fsync,
         ] {
             assert_eq!(CosyCall::from_intrinsic(call.intrinsic()), Some(call));
             assert_eq!(CosyCall::from_u8(call as u8), Some(call));
@@ -439,7 +446,7 @@ mod proptests {
     fn arb_op() -> impl Strategy<Value = CosyOp> {
         prop_oneof![
             any::<u8>().prop_flat_map(|sel| {
-                let call = CosyCall::from_u8(sel % 16 + 1).expect("1..=16 are valid");
+                let call = CosyCall::from_u8(sel % 17 + 1).expect("1..=17 are valid");
                 proptest::collection::vec(arb_arg(), call.arity()..=call.arity())
                     .prop_map(move |args| CosyOp::Syscall { call, args })
             }),

@@ -678,6 +678,20 @@ impl CosyExtension {
                 }
                 Err(e) => neterrno(&machine, fired0, e)?,
             },
+            // Durability leaves the machine too: once fsync acknowledges,
+            // the bytes are on stable storage and no in-memory rollback can
+            // take that promise back — barrier, not undo.
+            CosyCall::Fsync => {
+                let fd = scalar(&args[0])? as i32;
+                let data_only = scalar(&args[1])? != 0;
+                match s.k_fsync(pid, fd, data_only) {
+                    Ok(()) => {
+                        undo.record(UndoEntry::NetBarrier { op: "fsync" });
+                        0
+                    }
+                    Err(e) => errno(e)?,
+                }
+            }
         })
     }
 

@@ -60,11 +60,25 @@ pub mod sites {
     /// Work-stealing scheduler: force-migrate the local head task to a
     /// random other CPU before a pick.
     pub const SCHED_MIGRATE: &str = "sched.migrate";
+    /// Torn block write: only the first half of the block's bytes land
+    /// before the device reports EIO — the power-cut failure mode.
+    pub const KVFS_BLOCKDEV_TORN: &str = "kvfs.blockdev.torn";
+    /// kjfs journal commit: kill the machine at a journal-record or
+    /// commit-block write (crash-consistency harness kill point).
+    pub const KJFS_JOURNAL_COMMIT: &str = "kjfs.journal.commit";
+    /// kjfs mount-time journal replay: kill mid-replay (a crash during
+    /// recovery; replay must remain idempotent).
+    pub const KJFS_JOURNAL_REPLAY: &str = "kjfs.journal.replay";
+    /// kjfs page-cache writeback: kill at a checkpoint/writeback block
+    /// write after commit.
+    pub const KJFS_WRITEBACK: &str = "kjfs.writeback";
 
     /// Every registered site, for sweeps. The two `sched.*` sites need an
-    /// SMP driving harness, so the a8 single-rig workload sweep skips them
-    /// (keeping its TRACE_HASH stable); `tests/integration_smp.rs` covers
-    /// their determinism instead.
+    /// SMP driving harness, and the `kjfs.*`/torn sites a crash-remount
+    /// harness, so the a8 single-rig workload sweep skips them (keeping
+    /// its TRACE_HASH stable); `tests/integration_smp.rs` and the A13
+    /// crash sweep cover their determinism instead. New sites append at
+    /// the END: a8's per-combo seeds are derived from these indices.
     pub const ALL: &[&str] = &[
         KSIM_FRAME_ALLOC,
         KSIM_TLB_FILL,
@@ -81,6 +95,10 @@ pub mod sites {
         URING_CQ_OVERFLOW,
         SCHED_STEAL_FAIL,
         SCHED_MIGRATE,
+        KVFS_BLOCKDEV_TORN,
+        KJFS_JOURNAL_COMMIT,
+        KJFS_JOURNAL_REPLAY,
+        KJFS_WRITEBACK,
     ];
 }
 
@@ -116,7 +134,7 @@ pub enum Policy {
 }
 
 // The per-policy site masks below pack one bit per registered site.
-const _: () = assert!(sites::ALL.len() <= 16, "site masks are u16");
+const _: () = assert!(sites::ALL.len() <= 32, "site masks are u32");
 
 /// A policy armed against an optional site-name prefix (`None` = all sites).
 ///
@@ -127,7 +145,7 @@ const _: () = assert!(sites::ALL.len() <= 16, "site masks are u16");
 #[derive(Debug, Clone)]
 struct ArmedPolicy {
     /// Bit `i` ⇔ this policy covers `sites::ALL[i]`.
-    mask: u16,
+    mask: u32,
     policy: Policy,
     /// Hits this policy has matched (its own counter, so two policies with
     /// different filters keep independent `nth` positions).
@@ -135,14 +153,14 @@ struct ArmedPolicy {
 }
 
 /// Compile an optional site-name prefix into its coverage mask.
-fn site_mask(prefix: Option<&str>) -> u16 {
+fn site_mask(prefix: Option<&str>) -> u32 {
     match prefix {
-        None => ((1u32 << sites::ALL.len()) - 1) as u16,
+        None => ((1u64 << sites::ALL.len()) - 1) as u32,
         Some(p) => sites::ALL
             .iter()
             .enumerate()
             .filter(|(_, s)| s.starts_with(p))
-            .fold(0u16, |m, (i, _)| m | (1 << i)),
+            .fold(0u32, |m, (i, _)| m | (1 << i)),
     }
 }
 
@@ -174,7 +192,7 @@ struct PlaneState {
     policies: Vec<ArmedPolicy>,
     /// Union of every armed policy's mask: a consulted site outside the
     /// union counts its hit and returns without walking the policy list.
-    covered: u16,
+    covered: u32,
     /// Parallel to [`sites::ALL`].
     hits: Vec<u64>,
     fired: Vec<u64>,
@@ -278,7 +296,7 @@ impl FaultPlane {
         let Some(idx) = PlaneState::site_index(site) else {
             return false;
         };
-        let bit = 1u16 << idx;
+        let bit = 1u32 << idx;
         let mut st = self.state.lock();
         st.hits[idx] += 1;
         let hit = st.hits[idx];

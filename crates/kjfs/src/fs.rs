@@ -1,0 +1,1533 @@
+//! The journaled file system proper.
+//!
+//! ## Durability model (ext3 ordered mode, plus overwrite images)
+//!
+//! Mutating operations update in-memory state and accumulate in one open
+//! *compound transaction* (like jbd2). The transaction commits on `fsync`,
+//! `sync`, every [`KjfsConfig::commit_interval_ops`] operations, or under
+//! page-cache pressure. Commit order is sacred:
+//!
+//! 1. **Ordered data**: dirty pages of *newly allocated* blocks are written
+//!    in place. Committed metadata does not reference these blocks yet, so
+//!    a crash here leaves them invisible.
+//! 2. **Journal**: images of every dirty metadata block (inode table,
+//!    bitmap, directory blocks, fs header) *and of every overwritten data
+//!    page* are written to the journal, sealed by a commit block.
+//! 3. **Checkpoint**: the same images are written to their home locations,
+//!    and the commit block is zeroed to retire the transaction.
+//!
+//! Journaling overwrite images (rather than ext3's write-in-place) is what
+//! makes the crash harness's strongest invariant hold: the recovered tree
+//! is always *exactly* the tree as of some committed transaction — a legal
+//! prefix of the operation log — never a mix of old metadata and new data.
+//!
+//! Two allocator rules keep physical redo sound:
+//! * blocks freed by the open transaction are **quarantined** — not
+//!   reallocatable until the free commits, so an ordered write can never
+//!   clobber a block the committed tree still references;
+//! * pages are classified *new* vs *overwrite* against the last committed
+//!   allocation, so pre-commit in-place writes only ever touch blocks the
+//!   committed tree cannot see.
+//!
+//! Any write failure inside the journal/writeback path — injected or torn —
+//! marks the file system **crashed**: every subsequent operation returns
+//! `EIO`, exactly like a journal abort forcing a remount. Recovery is
+//! `Kjfs::mount` on the same device.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use kvfs::{BlockAddr, BlockDev, DirEntry, FileKind, FileSystem, Ino, Stat, VfsError, VfsResult};
+use ksim::{FxHashMap, FxHashSet, Machine, PAGE_SIZE};
+use parking_lot::Mutex;
+
+use crate::journal::{self, Tag, TAGS_PER_DESC};
+use crate::layout::{
+    dir_from_bytes, dir_to_bytes, fnv, Extent, Header, InodeRec, Superblock, BITMAP_OBJ,
+    BITS_PER_BITMAP_BLOCK, DATA_OBJ, INODES_PER_BLOCK, ITABLE_OBJ, JOURNAL_OBJ, MAX_EXTENTS,
+    ROOT_INO, SUPER_OBJ,
+};
+
+/// CPU charge constants, calibrated against memfs so kjfs-vs-memfs deltas
+/// measure journaling and I/O, not bookkeeping differences.
+pub const INODE_OP_COST: u64 = 350;
+pub const DIR_OP_COST: u64 = 420;
+pub const BLOCK_CPU_COST: u64 = 150;
+/// Per journal block: serialize + checksum.
+pub const JOURNAL_CPU_COST: u64 = 200;
+/// Entering `fsync`/`sync`: flush setup before any block I/O.
+pub const FSYNC_CPU_COST: u64 = 500;
+
+/// Mount-time geometry and runtime policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KjfsConfig {
+    /// Data-area size in blocks (bitmap bits).
+    pub data_blocks: u64,
+    /// Journal slots; one transaction must fit (images + descriptors + 1).
+    pub journal_slots: u64,
+    /// Inode table capacity.
+    pub inode_capacity: u64,
+    /// Auto-commit the open transaction every N mutating ops.
+    pub commit_interval_ops: u64,
+    /// Dirty-page ceiling before background writeback kicks in.
+    pub writeback_threshold: usize,
+    /// Blocks prefetched on detected sequential reads.
+    pub readahead: u64,
+}
+
+impl Default for KjfsConfig {
+    fn default() -> Self {
+        KjfsConfig {
+            data_blocks: 1 << 16,
+            journal_slots: 256,
+            inode_capacity: 8192,
+            commit_interval_ops: 16,
+            writeback_threshold: 64,
+            readahead: 4,
+        }
+    }
+}
+
+impl KjfsConfig {
+    /// A small geometry for tests: faster journal scans at mount.
+    pub fn small() -> Self {
+        KjfsConfig {
+            data_blocks: 4096,
+            journal_slots: 64,
+            inode_capacity: 512,
+            commit_interval_ops: 8,
+            writeback_threshold: 16,
+            readahead: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Inode {
+    kind: FileKind,
+    nlink: u32,
+    mode: u32,
+    size: u64,
+    mtime: u64,
+    extents: Vec<Extent>,
+    /// Mapped-block count as of the last committed transaction; the
+    /// new-vs-overwrite boundary for the ordered-data rule.
+    committed_blocks: u64,
+    committed_size: u64,
+}
+
+impl Inode {
+    fn mapped_blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.len as u64).sum()
+    }
+}
+
+#[derive(Debug)]
+struct Page {
+    bytes: Vec<u8>,
+    dirty: bool,
+    /// Block was not part of the committed allocation when dirtied:
+    /// eligible for pre-commit ordered (in-place) writeback.
+    new_alloc: bool,
+}
+
+/// Counters surfaced for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KjfsStats {
+    pub commits: u64,
+    pub journal_blocks: u64,
+    pub checkpoint_blocks: u64,
+    pub ordered_flushes: u64,
+    pub readahead_issued: u64,
+    pub dirty_pages: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    inodes: FxHashMap<u64, Inode>,
+    dirs: FxHashMap<u64, BTreeMap<String, u64>>,
+    free_inos: Vec<u64>,
+    next_ino: u64,
+    /// One bit per data block; set = allocated.
+    bitmap: Vec<u64>,
+    alloc_hint: u64,
+    /// Blocks freed by the open transaction: unallocatable until commit.
+    quarantine: FxHashSet<u32>,
+
+    next_txid: u64,
+    next_seq: u64,
+
+    pages: FxHashMap<(u64, u64), Page>,
+    dirty_order: Vec<(u64, u64)>,
+    dirty_count: usize,
+    last_read: FxHashMap<u64, u64>,
+
+    header_dirty: bool,
+    dirty_itable: FxHashSet<u64>,
+    dirty_bitmap: FxHashSet<u64>,
+    dirty_dirs: FxHashSet<u64>,
+    ops_since_commit: u64,
+
+    crashed: bool,
+    stats: KjfsStats,
+}
+
+/// The journaled file system. Mount with [`Kjfs::mount`]; all state shares
+/// one lock (coarse, like a single-threaded jbd2 handle), so the type is
+/// freely `Send + Sync`.
+pub struct Kjfs {
+    machine: Arc<Machine>,
+    dev: Arc<BlockDev>,
+    cfg: KjfsConfig,
+    inner: Mutex<Inner>,
+}
+
+fn data_addr(phys: u32) -> BlockAddr {
+    BlockAddr { obj: DATA_OBJ, index: phys as u64 }
+}
+
+fn journal_addr(slot: u64) -> BlockAddr {
+    BlockAddr { obj: JOURNAL_OBJ, index: slot }
+}
+
+impl Kjfs {
+    /// Mount the device: mkfs on a blank device, otherwise scan the journal,
+    /// replay the newest committed transaction (if any), and load the tree.
+    pub fn mount(machine: Arc<Machine>, dev: Arc<BlockDev>, cfg: KjfsConfig) -> VfsResult<Kjfs> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        dev.read_block_bytes(BlockAddr { obj: SUPER_OBJ, index: 0 }, &mut buf)?;
+        let fresh = match Superblock::from_block(&buf) {
+            Some(sb) => {
+                let want = Superblock {
+                    data_blocks: cfg.data_blocks,
+                    journal_slots: cfg.journal_slots,
+                    inode_capacity: cfg.inode_capacity,
+                };
+                if sb != want {
+                    return Err(VfsError::Invalid("kjfs geometry mismatch"));
+                }
+                false
+            }
+            None => true,
+        };
+
+        let fs = Kjfs { machine, dev, cfg, inner: Mutex::new(Inner::default()) };
+        {
+            let mut g = fs.inner.lock();
+            g.bitmap = vec![0u64; (fs.cfg.data_blocks as usize).div_ceil(64)];
+            g.next_ino = ROOT_INO + 1;
+            g.next_txid = 1;
+        }
+
+        if fresh {
+            let sb = Superblock {
+                data_blocks: fs.cfg.data_blocks,
+                journal_slots: fs.cfg.journal_slots,
+                inode_capacity: fs.cfg.inode_capacity,
+            };
+            fs.dev.write_block_bytes(BlockAddr { obj: SUPER_OBJ, index: 0 }, &sb.to_block())?;
+            let mut g = fs.inner.lock();
+            g.inodes.insert(
+                ROOT_INO,
+                Inode {
+                    kind: FileKind::Dir,
+                    nlink: 2,
+                    mode: 0o755,
+                    size: 0,
+                    mtime: 0,
+                    extents: Vec::new(),
+                    committed_blocks: 0,
+                    committed_size: 0,
+                },
+            );
+            g.dirs.insert(ROOT_INO, BTreeMap::new());
+            g.header_dirty = true;
+            g.dirty_dirs.insert(ROOT_INO);
+            let blk = ROOT_INO / INODES_PER_BLOCK;
+            g.dirty_itable.insert(blk);
+            // Make the empty tree itself durable: recovery from a crash
+            // before the first user commit must find a valid (empty) root.
+            fs.commit(&mut g)?;
+        } else {
+            fs.replay_and_load()?;
+        }
+        Ok(fs)
+    }
+
+    pub fn config(&self) -> &KjfsConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> KjfsStats {
+        let g = self.inner.lock();
+        let mut s = g.stats;
+        s.dirty_pages = g.dirty_count as u64;
+        s
+    }
+
+    /// True once a journal/writeback failure has aborted the file system;
+    /// every operation returns `EIO` until a fresh [`Kjfs::mount`].
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Crash-harness hook: run a commit up to and including the journal's
+    /// commit block, then power-cut *before* checkpointing. The journal
+    /// holds a committed transaction that only mount-time replay can
+    /// finish — the precise state `kjfs.journal.replay` faults exercise.
+    pub fn commit_without_checkpoint(&self) -> VfsResult<()> {
+        let mut g = self.inner.lock();
+        self.commit_inner(&mut g, false)?;
+        g.crashed = true;
+        Ok(())
+    }
+
+    fn now(&self) -> u64 {
+        self.machine.clock.elapsed_cycles()
+    }
+
+    /// Every journal and writeback block write funnels through here: first
+    /// the kill site (a clean power cut — nothing lands), then the device
+    /// write itself (which `kvfs.blockdev.torn` can tear mid-block). Either
+    /// failure aborts the file system, like a jbd2 journal abort.
+    fn guarded_write(
+        &self,
+        g: &mut Inner,
+        site: &'static str,
+        addr: BlockAddr,
+        data: &[u8],
+    ) -> VfsResult<()> {
+        if g.crashed {
+            return Err(VfsError::Io);
+        }
+        if self.machine.faults.should_fail(site) {
+            g.crashed = true;
+            return Err(VfsError::Io);
+        }
+        match self.dev.write_block_bytes(addr, data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                g.crashed = true;
+                Err(e)
+            }
+        }
+    }
+
+    // ---- allocator ----------------------------------------------------
+
+    fn bit(g: &Inner, b: u64) -> bool {
+        g.bitmap[(b / 64) as usize] >> (b % 64) & 1 == 1
+    }
+
+    fn set_bit(&self, g: &mut Inner, b: u64) {
+        g.bitmap[(b / 64) as usize] |= 1 << (b % 64);
+        g.dirty_bitmap.insert(b / BITS_PER_BITMAP_BLOCK);
+    }
+
+    fn clear_bit(&self, g: &mut Inner, b: u64) {
+        g.bitmap[(b / 64) as usize] &= !(1 << (b % 64));
+        g.dirty_bitmap.insert(b / BITS_PER_BITMAP_BLOCK);
+    }
+
+    fn allocatable(g: &Inner, b: u64) -> bool {
+        !Self::bit(g, b) && !g.quarantine.contains(&(b as u32))
+    }
+
+    /// First-fit a contiguous run of up to `want` blocks (at least one).
+    fn alloc_extent(&self, g: &mut Inner, want: u64) -> VfsResult<Extent> {
+        let total = self.cfg.data_blocks;
+        let mut b = g.alloc_hint % total;
+        for _ in 0..total {
+            if Self::allocatable(g, b) {
+                let mut len = 1u64;
+                while len < want && b + len < total && Self::allocatable(g, b + len) {
+                    len += 1;
+                }
+                for i in b..b + len {
+                    self.set_bit(g, i);
+                }
+                g.alloc_hint = b + len;
+                return Ok(Extent { start: b as u32, len: len as u32 });
+            }
+            b = (b + 1) % total;
+        }
+        Err(VfsError::NoSpace)
+    }
+
+    fn free_extent(&self, g: &mut Inner, e: Extent) {
+        for b in e.start as u64..e.start as u64 + e.len as u64 {
+            self.clear_bit(g, b);
+            g.quarantine.insert(b as u32);
+        }
+    }
+
+    fn phys_of(g: &Inner, ino: u64, lblock: u64) -> Option<u32> {
+        let i = g.inodes.get(&ino)?;
+        let mut cum = 0u64;
+        for e in &i.extents {
+            if lblock < cum + e.len as u64 {
+                return Some(e.start + (lblock - cum) as u32);
+            }
+            cum += e.len as u64;
+        }
+        None
+    }
+
+    /// Grow `ino`'s mapping to `needed` blocks. With `materialize`, install
+    /// zeroed dirty pages for every new block so reused physical blocks
+    /// never leak stale bytes through a hole. Rolls back on failure.
+    fn ensure_blocks(&self, g: &mut Inner, ino: u64, needed: u64, materialize: bool) -> VfsResult<()> {
+        let mut mapped = g.inodes[&ino].mapped_blocks();
+        if mapped >= needed {
+            return Ok(());
+        }
+        if self.machine.faults.should_fail(kfault::sites::KVFS_NOSPC) {
+            return Err(VfsError::NoSpace);
+        }
+        let first_new = mapped;
+        let mut added: Vec<Extent> = Vec::new();
+        while mapped < needed {
+            match self.alloc_extent(g, needed - mapped) {
+                Ok(e) => {
+                    added.push(e);
+                    mapped += e.len as u64;
+                }
+                Err(err) => {
+                    for e in added {
+                        for b in e.start as u64..e.start as u64 + e.len as u64 {
+                            self.clear_bit(g, b);
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        // Merge into the inode's extent list.
+        let too_fragmented = {
+            let i = g.inodes.get_mut(&ino).expect("inode exists");
+            for e in added {
+                match i.extents.last_mut() {
+                    Some(last) if last.start as u64 + last.len as u64 == e.start as u64 => {
+                        last.len += e.len
+                    }
+                    _ => i.extents.push(e),
+                }
+            }
+            i.extents.len() > MAX_EXTENTS
+        };
+        if too_fragmented {
+            // Undo: too fragmented for the on-disk record.
+            let mut freed = Vec::new();
+            {
+                let i = g.inodes.get_mut(&ino).expect("inode exists");
+                while i.mapped_blocks() > first_new {
+                    let last = i.extents.last_mut().expect("non-empty");
+                    last.len -= 1;
+                    freed.push(last.start as u64 + last.len as u64);
+                    if last.len == 0 {
+                        i.extents.pop();
+                    }
+                }
+            }
+            for b in freed {
+                g.bitmap[(b / 64) as usize] &= !(1 << (b % 64));
+            }
+            return Err(VfsError::NoSpace);
+        }
+        self.mark_inode_dirty(g, ino);
+        if materialize {
+            for lb in first_new..needed {
+                self.install_page(g, ino, lb, vec![0u8; PAGE_SIZE], true);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- page cache ---------------------------------------------------
+
+    fn install_page(&self, g: &mut Inner, ino: u64, lblock: u64, bytes: Vec<u8>, dirty: bool) {
+        let new_alloc = lblock >= g.inodes[&ino].committed_blocks;
+        if dirty {
+            g.dirty_count += 1;
+            g.dirty_order.push((ino, lblock));
+        }
+        g.pages.insert((ino, lblock), Page { bytes, dirty, new_alloc });
+    }
+
+    fn mark_page_dirty(&self, g: &mut Inner, ino: u64, lblock: u64) {
+        let committed = g.inodes[&ino].committed_blocks;
+        let p = g.pages.get_mut(&(ino, lblock)).expect("page present");
+        if !p.dirty {
+            p.dirty = true;
+            p.new_alloc = lblock >= committed;
+            g.dirty_count += 1;
+            g.dirty_order.push((ino, lblock));
+        }
+    }
+
+    /// Fault the page in from disk (clean) if it is mapped; `false` = hole.
+    fn page_in(&self, g: &mut Inner, ino: u64, lblock: u64) -> VfsResult<bool> {
+        if g.pages.contains_key(&(ino, lblock)) {
+            return Ok(true);
+        }
+        match Self::phys_of(g, ino, lblock) {
+            Some(phys) => {
+                let mut bytes = vec![0u8; PAGE_SIZE];
+                self.dev.read_block_bytes(data_addr(phys), &mut bytes)?;
+                self.install_page(g, ino, lblock, bytes, false);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drop every cached page of `ino` at or past `from` (truncate/unlink
+    /// invalidation).
+    fn invalidate_pages(&self, g: &mut Inner, ino: u64, from: u64) {
+        let doomed: Vec<(u64, u64)> = g
+            .pages
+            .keys()
+            .filter(|(i, lb)| *i == ino && *lb >= from)
+            .copied()
+            .collect();
+        for key in doomed {
+            if let Some(p) = g.pages.remove(&key) {
+                if p.dirty {
+                    g.dirty_count -= 1;
+                }
+            }
+        }
+        if from == 0 {
+            g.last_read.remove(&ino);
+        }
+    }
+
+    /// Ordered writeback: flush dirty *new-allocation* pages in place.
+    /// Overwrite pages stay dirty — they may only reach disk through the
+    /// journal (see module docs), so pressure from them forces a commit
+    /// in `op_epilogue` instead.
+    fn writeback_new_pages(&self, g: &mut Inner) -> VfsResult<()> {
+        let order = std::mem::take(&mut g.dirty_order);
+        let mut keep = Vec::new();
+        for (ino, lblock) in order {
+            let flush = match g.pages.get(&(ino, lblock)) {
+                Some(p) if p.dirty && p.new_alloc => true,
+                Some(p) if p.dirty => {
+                    keep.push((ino, lblock));
+                    false
+                }
+                _ => false, // invalidated or already clean: stale entry
+            };
+            if !flush {
+                continue;
+            }
+            let phys = Self::phys_of(g, ino, lblock).expect("dirty page is mapped");
+            let bytes = std::mem::take(&mut g.pages.get_mut(&(ino, lblock)).expect("page").bytes);
+            let res = self.guarded_write(g, kfault::sites::KJFS_WRITEBACK, data_addr(phys), &bytes);
+            let p = g.pages.get_mut(&(ino, lblock)).expect("page");
+            p.bytes = bytes;
+            res?;
+            p.dirty = false;
+            g.dirty_count -= 1;
+            g.stats.ordered_flushes += 1;
+        }
+        g.dirty_order = keep;
+        Ok(())
+    }
+
+    // ---- transaction commit -------------------------------------------
+
+    fn mark_inode_dirty(&self, g: &mut Inner, ino: u64) {
+        g.dirty_itable.insert(ino / INODES_PER_BLOCK);
+    }
+
+    fn anything_dirty(g: &Inner) -> bool {
+        g.header_dirty
+            || !g.dirty_itable.is_empty()
+            || !g.dirty_bitmap.is_empty()
+            || !g.dirty_dirs.is_empty()
+            || g.dirty_count > 0
+    }
+
+    fn commit(&self, g: &mut Inner) -> VfsResult<()> {
+        self.commit_inner(g, true)
+    }
+
+    fn commit_inner(&self, g: &mut Inner, checkpoint: bool) -> VfsResult<()> {
+        if g.crashed {
+            return Err(VfsError::Io);
+        }
+        if !Self::anything_dirty(g) {
+            g.ops_since_commit = 0;
+            return Ok(());
+        }
+
+        // (a) Re-serialize dirty directories into their data blocks; this
+        // may grow/shrink their allocations, dirtying bitmap and itable.
+        let mut dir_images: Vec<(BlockAddr, Vec<u8>)> = Vec::new();
+        let mut dirty_dirs: Vec<u64> = g.dirty_dirs.iter().copied().collect();
+        dirty_dirs.sort_unstable();
+        for ino in dirty_dirs {
+            if !g.inodes.contains_key(&ino) {
+                continue; // removed later in the same transaction
+            }
+            let bytes = {
+                let entries = g.dirs.get(&ino).expect("dir table entry");
+                dir_to_bytes(entries.iter().map(|(name, &child)| {
+                    let kind = match g.inodes.get(&child).map(|i| i.kind) {
+                        Some(FileKind::Dir) => 2u8,
+                        _ => 1u8,
+                    };
+                    (name.as_str(), child, kind)
+                }))
+            };
+            let needed = (bytes.len() as u64).div_ceil(PAGE_SIZE as u64);
+            let mapped = g.inodes[&ino].mapped_blocks();
+            if mapped > needed {
+                self.shrink_mapping(g, ino, needed);
+            } else if mapped < needed {
+                self.ensure_blocks(g, ino, needed, false)?;
+            }
+            {
+                let i = g.inodes.get_mut(&ino).expect("dir inode");
+                i.size = bytes.len() as u64;
+            }
+            self.mark_inode_dirty(g, ino);
+            for lb in 0..needed {
+                let phys = Self::phys_of(g, ino, lb).expect("dir block mapped");
+                let mut img = vec![0u8; PAGE_SIZE];
+                let lo = (lb as usize) * PAGE_SIZE;
+                let hi = bytes.len().min(lo + PAGE_SIZE);
+                img[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+                dir_images.push((data_addr(phys), img));
+            }
+        }
+
+        // (b) Ordered data: new-allocation pages reach their home blocks
+        // before any metadata referencing them can commit.
+        self.writeback_new_pages(g)?;
+
+        // (c) Overwrite data images: journaled, checkpointed after commit.
+        let mut overwrite_pages: Vec<(u64, u64)> = g
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&k, _)| k)
+            .collect();
+        overwrite_pages.sort_unstable();
+        let mut images: Vec<(BlockAddr, Vec<u8>)> = Vec::new();
+        for &(ino, lblock) in &overwrite_pages {
+            let phys = Self::phys_of(g, ino, lblock).expect("dirty page is mapped");
+            images.push((data_addr(phys), g.pages[&(ino, lblock)].bytes.clone()));
+        }
+
+        // (d) Metadata images.
+        images.extend(dir_images);
+        let mut itable: Vec<u64> = g.dirty_itable.iter().copied().collect();
+        itable.sort_unstable();
+        for blk in itable {
+            let mut img = vec![0u8; PAGE_SIZE];
+            for slot in 0..INODES_PER_BLOCK {
+                let ino = blk * INODES_PER_BLOCK + slot;
+                if let Some(i) = g.inodes.get(&ino) {
+                    let rec = InodeRec {
+                        kind: if i.kind == FileKind::Dir { 2 } else { 1 },
+                        nlink: i.nlink,
+                        mode: i.mode,
+                        size: i.size,
+                        mtime: i.mtime,
+                        extents: i.extents.clone(),
+                    };
+                    let at = slot as usize * crate::layout::INODE_WIRE;
+                    img[at..at + crate::layout::INODE_WIRE].copy_from_slice(&rec.to_wire());
+                }
+            }
+            images.push((BlockAddr { obj: ITABLE_OBJ, index: blk }, img));
+        }
+        let mut bmap: Vec<u64> = g.dirty_bitmap.iter().copied().collect();
+        bmap.sort_unstable();
+        for blk in bmap {
+            let mut img = vec![0u8; PAGE_SIZE];
+            let first_word = (blk * BITS_PER_BITMAP_BLOCK / 64) as usize;
+            for w in 0..PAGE_SIZE / 8 {
+                let word = g.bitmap.get(first_word + w).copied().unwrap_or(0);
+                img[w * 8..w * 8 + 8].copy_from_slice(&word.to_le_bytes());
+            }
+            images.push((BlockAddr { obj: BITMAP_OBJ, index: blk }, img));
+        }
+
+        // (e) Header image, with post-transaction counters baked in so a
+        // replayed header is already correct.
+        let txid = g.next_txid;
+        let nimages = images.len() as u64 + 1; // + header
+        let ndesc = nimages.div_ceil(TAGS_PER_DESC as u64);
+        let span = nimages + ndesc + 1;
+        if span >= self.cfg.journal_slots {
+            return Err(VfsError::NoSpace); // transaction larger than journal
+        }
+        let seq0 = g.next_seq;
+        let header = Header { next_ino: g.next_ino, next_txid: txid + 1, next_seq: seq0 + span };
+        images.push((BlockAddr { obj: SUPER_OBJ, index: 1 }, header.to_block()));
+
+        // (f) Journal: descriptors + images + commit block.
+        let slots = self.cfg.journal_slots;
+        let mut seq = seq0;
+        let mut checksums = Vec::with_capacity(images.len());
+        for chunk in images.chunks(TAGS_PER_DESC) {
+            let tags: Vec<Tag> = chunk
+                .iter()
+                .map(|(a, img)| Tag { obj: a.obj, index: a.index, checksum: fnv(img) })
+                .collect();
+            self.machine.charge_sys(JOURNAL_CPU_COST);
+            let desc = journal::desc_block(txid, seq, &tags);
+            self.guarded_write(g, kfault::sites::KJFS_JOURNAL_COMMIT, journal_addr(seq % slots), &desc)?;
+            seq += 1;
+            g.stats.journal_blocks += 1;
+            for (_, img) in chunk {
+                self.machine.charge_sys(JOURNAL_CPU_COST);
+                self.guarded_write(
+                    g,
+                    kfault::sites::KJFS_JOURNAL_COMMIT,
+                    journal_addr(seq % slots),
+                    img,
+                )?;
+                seq += 1;
+                g.stats.journal_blocks += 1;
+            }
+            checksums.extend(tags.iter().map(|t| t.checksum));
+        }
+        self.machine.charge_sys(JOURNAL_CPU_COST);
+        let commit = journal::commit_block(txid, seq, images.len() as u32, journal::txn_checksum(&checksums));
+        self.guarded_write(g, kfault::sites::KJFS_JOURNAL_COMMIT, journal_addr(seq % slots), &commit)?;
+        let commit_slot = seq % slots;
+        seq += 1;
+        g.stats.journal_blocks += 1;
+        debug_assert_eq!(seq, seq0 + span);
+
+        // The transaction is durable from this point on.
+        g.next_txid = txid + 1;
+        g.next_seq = seq;
+
+        if checkpoint {
+            // (g) Checkpoint: write every image home, retire the commit.
+            for (addr, img) in &images {
+                self.guarded_write(g, kfault::sites::KJFS_WRITEBACK, *addr, img)?;
+                g.stats.checkpoint_blocks += 1;
+            }
+            self.guarded_write(
+                g,
+                kfault::sites::KJFS_JOURNAL_COMMIT,
+                journal_addr(commit_slot),
+                &[0u8; PAGE_SIZE],
+            )?;
+        }
+
+        // (h) Post-commit bookkeeping.
+        for p in g.pages.values_mut() {
+            p.dirty = false;
+        }
+        g.dirty_count = 0;
+        g.dirty_order.clear();
+        for i in g.inodes.values_mut() {
+            i.committed_blocks = i.mapped_blocks();
+            i.committed_size = i.size;
+        }
+        g.quarantine.clear();
+        g.header_dirty = false;
+        g.dirty_itable.clear();
+        g.dirty_bitmap.clear();
+        g.dirty_dirs.clear();
+        g.ops_since_commit = 0;
+        g.stats.commits += 1;
+        Ok(())
+    }
+
+    /// End-of-operation policy: pressure writeback and periodic commit.
+    fn op_epilogue(&self, g: &mut Inner) -> VfsResult<()> {
+        g.ops_since_commit += 1;
+        if g.dirty_count > self.cfg.writeback_threshold {
+            self.writeback_new_pages(g)?;
+            if g.dirty_count > self.cfg.writeback_threshold {
+                // Overwrite pages dominate; only a commit can clean them.
+                return self.commit(g);
+            }
+        }
+        if g.ops_since_commit >= self.cfg.commit_interval_ops {
+            return self.commit(g);
+        }
+        Ok(())
+    }
+
+    /// Cut `ino`'s mapping down to `keep` blocks, quarantining the rest.
+    fn shrink_mapping(&self, g: &mut Inner, ino: u64, keep: u64) {
+        let mut extents = std::mem::take(&mut g.inodes.get_mut(&ino).expect("inode").extents);
+        let mut cum = 0u64;
+        let mut kept = Vec::new();
+        for e in extents.drain(..) {
+            let len = e.len as u64;
+            if cum + len <= keep {
+                kept.push(e);
+            } else if cum < keep {
+                let keep_len = (keep - cum) as u32;
+                kept.push(Extent { start: e.start, len: keep_len });
+                self.free_extent(
+                    g,
+                    Extent { start: e.start + keep_len, len: e.len - keep_len },
+                );
+            } else {
+                self.free_extent(g, e);
+            }
+            cum += len;
+        }
+        g.inodes.get_mut(&ino).expect("inode").extents = kept;
+        self.mark_inode_dirty(g, ino);
+    }
+
+    // ---- mount-time recovery ------------------------------------------
+
+    fn replay_and_load(&self) -> VfsResult<()> {
+        let slots = self.cfg.journal_slots;
+        let mut scanned: Vec<Vec<u8>> = Vec::with_capacity(slots as usize);
+        for slot in 0..slots {
+            let mut b = vec![0u8; PAGE_SIZE];
+            self.dev.read_block_bytes(journal_addr(slot), &mut b)?;
+            scanned.push(b);
+        }
+        if let Some(txn) = journal::scan(slots, |s| scanned[s as usize].clone()) {
+            let mut g = self.inner.lock();
+            for (addr, img) in &txn.images {
+                self.machine.charge_sys(JOURNAL_CPU_COST);
+                self.guarded_write(&mut g, kfault::sites::KJFS_JOURNAL_REPLAY, *addr, img)?;
+            }
+            // Retire the transaction so a later mount cannot re-apply it
+            // across still-newer in-place state (replay is idempotent only
+            // until new transactions run).
+            self.guarded_write(
+                &mut g,
+                kfault::sites::KJFS_JOURNAL_REPLAY,
+                journal_addr(txn.commit_slot),
+                &[0u8; PAGE_SIZE],
+            )?;
+        }
+
+        let mut g = self.inner.lock();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.dev.read_block_bytes(BlockAddr { obj: SUPER_OBJ, index: 1 }, &mut buf)?;
+        let header = Header::from_block(&buf);
+        if header.next_ino < ROOT_INO + 1 {
+            return Err(VfsError::Invalid("kjfs header corrupt"));
+        }
+        g.next_ino = header.next_ino;
+        g.next_txid = header.next_txid.max(1);
+        g.next_seq = header.next_seq;
+
+        for blk in 0..(self.cfg.data_blocks).div_ceil(BITS_PER_BITMAP_BLOCK) {
+            self.dev.read_block_bytes(BlockAddr { obj: BITMAP_OBJ, index: blk }, &mut buf)?;
+            let first_word = (blk * BITS_PER_BITMAP_BLOCK / 64) as usize;
+            for w in 0..PAGE_SIZE / 8 {
+                if first_word + w < g.bitmap.len() {
+                    g.bitmap[first_word + w] =
+                        u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                }
+            }
+        }
+
+        for blk in 0..g.next_ino.div_ceil(INODES_PER_BLOCK) {
+            self.dev.read_block_bytes(BlockAddr { obj: ITABLE_OBJ, index: blk }, &mut buf)?;
+            for slot in 0..INODES_PER_BLOCK {
+                let ino = blk * INODES_PER_BLOCK + slot;
+                if ino == 0 || ino >= g.next_ino {
+                    continue;
+                }
+                let at = slot as usize * crate::layout::INODE_WIRE;
+                let rec = InodeRec::from_wire(&buf[at..at + crate::layout::INODE_WIRE]);
+                if rec.kind == 0 {
+                    g.free_inos.push(ino);
+                    continue;
+                }
+                let mapped: u64 = rec.extents.iter().map(|e| e.len as u64).sum();
+                g.inodes.insert(
+                    ino,
+                    Inode {
+                        kind: if rec.kind == 2 { FileKind::Dir } else { FileKind::File },
+                        nlink: rec.nlink,
+                        mode: rec.mode,
+                        size: rec.size,
+                        mtime: rec.mtime,
+                        extents: rec.extents,
+                        committed_blocks: mapped,
+                        committed_size: rec.size,
+                    },
+                );
+            }
+        }
+        // Recycle in ascending order, matching the order frees happened.
+        g.free_inos.sort_unstable_by(|a, b| b.cmp(a));
+
+        if g.inodes.get(&ROOT_INO).map(|i| i.kind) != Some(FileKind::Dir) {
+            return Err(VfsError::Invalid("kjfs root missing"));
+        }
+        let mut queue = vec![ROOT_INO];
+        while let Some(dino) = queue.pop() {
+            let raw = self.read_raw_locked(&g, dino)?;
+            let mut entries = BTreeMap::new();
+            for (name, child, kind) in dir_from_bytes(&raw) {
+                if kind == 2 {
+                    queue.push(child);
+                }
+                entries.insert(name, child);
+            }
+            g.dirs.insert(dino, entries);
+        }
+        Ok(())
+    }
+
+    /// Read an inode's full mapped content straight from the device
+    /// (mount-time only: the page cache is empty and stays empty).
+    fn read_raw_locked(&self, g: &Inner, ino: u64) -> VfsResult<Vec<u8>> {
+        let i = g.inodes.get(&ino).ok_or(VfsError::NotFound)?;
+        let mut out = vec![0u8; i.size as usize];
+        let mut page = vec![0u8; PAGE_SIZE];
+        for lb in 0..i.size.div_ceil(PAGE_SIZE as u64) {
+            if let Some(phys) = Self::phys_of(g, ino, lb) {
+                self.dev.read_block_bytes(data_addr(phys), &mut page)?;
+                let lo = (lb as usize) * PAGE_SIZE;
+                let hi = out.len().min(lo + PAGE_SIZE);
+                out[lo..hi].copy_from_slice(&page[..hi - lo]);
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- shared op helpers --------------------------------------------
+
+    fn check_alive(g: &Inner) -> VfsResult<()> {
+        if g.crashed {
+            Err(VfsError::Io)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn dir_of(g: &Inner, dir: Ino) -> VfsResult<&BTreeMap<String, u64>> {
+        match g.inodes.get(&dir.0) {
+            None => Err(VfsError::NotFound),
+            Some(i) if i.kind != FileKind::Dir => Err(VfsError::NotADirectory),
+            Some(_) => Ok(g.dirs.get(&dir.0).expect("dir table entry")),
+        }
+    }
+
+    fn alloc_ino(&self, g: &mut Inner) -> VfsResult<u64> {
+        if let Some(ino) = g.free_inos.pop() {
+            return Ok(ino);
+        }
+        if g.next_ino >= self.cfg.inode_capacity {
+            return Err(VfsError::NoSpace);
+        }
+        let ino = g.next_ino;
+        g.next_ino += 1;
+        g.header_dirty = true;
+        Ok(ino)
+    }
+
+    fn new_entry(&self, g: &mut Inner, dir: Ino, name: &str, kind: FileKind) -> VfsResult<Ino> {
+        Self::check_alive(g)?;
+        if Self::dir_of(g, dir)?.contains_key(name) {
+            return Err(VfsError::Exists);
+        }
+        if self.machine.faults.should_fail(kfault::sites::KVFS_NOSPC) {
+            return Err(VfsError::NoSpace);
+        }
+        let ino = self.alloc_ino(g)?;
+        let now = self.now();
+        g.inodes.insert(
+            ino,
+            Inode {
+                kind,
+                nlink: if kind == FileKind::Dir { 2 } else { 1 },
+                mode: if kind == FileKind::Dir { 0o755 } else { 0o644 },
+                size: 0,
+                mtime: now,
+                extents: Vec::new(),
+                committed_blocks: 0,
+                committed_size: 0,
+            },
+        );
+        if kind == FileKind::Dir {
+            g.dirs.insert(ino, BTreeMap::new());
+            let parent = g.inodes.get_mut(&dir.0).expect("parent");
+            parent.nlink += 1;
+        }
+        g.dirs.get_mut(&dir.0).expect("parent dir").insert(name.to_string(), ino);
+        g.dirty_dirs.insert(dir.0);
+        {
+            let parent = g.inodes.get_mut(&dir.0).expect("parent");
+            parent.mtime = now;
+        }
+        self.mark_inode_dirty(g, dir.0);
+        self.mark_inode_dirty(g, ino);
+        self.op_epilogue(g)?;
+        Ok(Ino(ino))
+    }
+
+    /// Full structural check of the mounted tree — the crash harness's
+    /// invariant oracle. Returns human-readable violations; an empty vector
+    /// means every invariant holds:
+    ///
+    /// * the root exists and is a directory;
+    /// * every directory entry points at a live inode of matching kind,
+    ///   and every live inode is reachable from the root (no orphans);
+    /// * link counts are exact (files 1, directories 2 + subdirectories);
+    /// * extents stay inside the data area, never overlap, and agree
+    ///   bit-for-bit with the allocation bitmap (no dangling extents, no
+    ///   leaked blocks);
+    /// * no file maps more blocks than its size needs.
+    pub fn fsck(&self) -> Vec<String> {
+        let g = self.inner.lock();
+        let mut v = Vec::new();
+        match g.inodes.get(&ROOT_INO) {
+            None => {
+                v.push("root inode missing".to_string());
+                return v;
+            }
+            Some(i) if i.kind != FileKind::Dir => {
+                v.push("root is not a directory".to_string());
+                return v;
+            }
+            Some(_) => {}
+        }
+
+        let mut reachable: FxHashSet<u64> = FxHashSet::default();
+        let mut subdirs: FxHashMap<u64, u32> = FxHashMap::default();
+        reachable.insert(ROOT_INO);
+        let mut queue = vec![ROOT_INO];
+        while let Some(dino) = queue.pop() {
+            let Some(entries) = g.dirs.get(&dino) else {
+                v.push(format!("dir ino {dino} has no entry table"));
+                continue;
+            };
+            for (name, &child) in entries {
+                match g.inodes.get(&child) {
+                    None => v.push(format!("dangling entry {name:?} -> ino {child}")),
+                    Some(ci) => {
+                        if !reachable.insert(child) {
+                            v.push(format!("ino {child} reached twice (hardlinks unsupported)"));
+                            continue;
+                        }
+                        if ci.kind == FileKind::Dir {
+                            *subdirs.entry(dino).or_default() += 1;
+                            queue.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        for (&ino, i) in &g.inodes {
+            if !reachable.contains(&ino) {
+                v.push(format!("orphaned inode {ino} (nlink {})", i.nlink));
+            }
+            let want_nlink = match i.kind {
+                FileKind::File => 1,
+                FileKind::Dir => 2 + subdirs.get(&ino).copied().unwrap_or(0),
+            };
+            if reachable.contains(&ino) && i.nlink != want_nlink {
+                v.push(format!("ino {ino}: nlink {} != expected {want_nlink}", i.nlink));
+            }
+            let mapped = i.mapped_blocks();
+            if mapped > i.size.div_ceil(PAGE_SIZE as u64) {
+                v.push(format!("ino {ino}: {mapped} blocks mapped for size {}", i.size));
+            }
+        }
+
+        let mut owner: FxHashMap<u32, u64> = FxHashMap::default();
+        for (&ino, i) in &g.inodes {
+            for e in &i.extents {
+                if e.len == 0 {
+                    v.push(format!("ino {ino}: zero-length extent"));
+                }
+                if e.start as u64 + e.len as u64 > self.cfg.data_blocks {
+                    v.push(format!("ino {ino}: extent past data area"));
+                    continue;
+                }
+                for b in e.start..e.start + e.len {
+                    if let Some(prev) = owner.insert(b, ino) {
+                        v.push(format!("block {b} claimed by inos {prev} and {ino}"));
+                    }
+                    if !Self::bit(&g, b as u64) {
+                        v.push(format!("ino {ino}: block {b} mapped but free in bitmap"));
+                    }
+                }
+            }
+        }
+        for b in 0..self.cfg.data_blocks {
+            if Self::bit(&g, b) && !owner.contains_key(&(b as u32)) {
+                v.push(format!("block {b} allocated but unreferenced"));
+            }
+        }
+        v
+    }
+
+    fn drop_inode(&self, g: &mut Inner, ino: u64) {
+        self.invalidate_pages(g, ino, 0);
+        let extents = g.inodes.get_mut(&ino).map(|i| std::mem::take(&mut i.extents)).unwrap_or_default();
+        for e in extents {
+            self.free_extent(g, e);
+        }
+        g.inodes.remove(&ino);
+        g.dirs.remove(&ino);
+        g.dirty_dirs.remove(&ino);
+        g.free_inos.push(ino);
+        self.mark_inode_dirty(g, ino);
+    }
+}
+
+impl FileSystem for Kjfs {
+    fn root(&self) -> Ino {
+        Ino(ROOT_INO)
+    }
+
+    fn lookup(&self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        self.machine.charge_sys(DIR_OP_COST);
+        let g = self.inner.lock();
+        Self::check_alive(&g)?;
+        Self::dir_of(&g, dir)?.get(name).copied().map(Ino).ok_or(VfsError::NotFound)
+    }
+
+    fn create(&self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        self.machine.charge_sys(INODE_OP_COST + DIR_OP_COST);
+        let mut g = self.inner.lock();
+        self.new_entry(&mut g, dir, name, FileKind::File)
+    }
+
+    fn mkdir(&self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        self.machine.charge_sys(INODE_OP_COST + DIR_OP_COST);
+        let mut g = self.inner.lock();
+        self.new_entry(&mut g, dir, name, FileKind::Dir)
+    }
+
+    fn unlink(&self, dir: Ino, name: &str) -> VfsResult<()> {
+        self.machine.charge_sys(INODE_OP_COST + DIR_OP_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let &ino = Self::dir_of(&g, dir)?.get(name).ok_or(VfsError::NotFound)?;
+        if g.inodes[&ino].kind == FileKind::Dir {
+            return Err(VfsError::IsADirectory);
+        }
+        g.dirs.get_mut(&dir.0).expect("dir").remove(name);
+        g.dirty_dirs.insert(dir.0);
+        let now = self.now();
+        g.inodes.get_mut(&dir.0).expect("dir inode").mtime = now;
+        self.mark_inode_dirty(&mut g, dir.0);
+        let nlink = {
+            let i = g.inodes.get_mut(&ino).expect("target");
+            i.nlink -= 1;
+            i.nlink
+        };
+        if nlink == 0 {
+            self.drop_inode(&mut g, ino);
+        }
+        self.op_epilogue(&mut g)
+    }
+
+    fn rmdir(&self, dir: Ino, name: &str) -> VfsResult<()> {
+        self.machine.charge_sys(INODE_OP_COST + DIR_OP_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let &ino = Self::dir_of(&g, dir)?.get(name).ok_or(VfsError::NotFound)?;
+        if g.inodes[&ino].kind != FileKind::Dir {
+            return Err(VfsError::NotADirectory);
+        }
+        if !g.dirs.get(&ino).map(|d| d.is_empty()).unwrap_or(true) {
+            return Err(VfsError::NotEmpty);
+        }
+        g.dirs.get_mut(&dir.0).expect("dir").remove(name);
+        g.dirty_dirs.insert(dir.0);
+        let now = self.now();
+        {
+            let parent = g.inodes.get_mut(&dir.0).expect("dir inode");
+            parent.nlink -= 1;
+            parent.mtime = now;
+        }
+        self.mark_inode_dirty(&mut g, dir.0);
+        self.drop_inode(&mut g, ino);
+        self.op_epilogue(&mut g)
+    }
+
+    fn readdir(&self, dir: Ino) -> VfsResult<Vec<DirEntry>> {
+        let g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let entries = Self::dir_of(&g, dir)?;
+        self.machine.charge_sys(DIR_OP_COST + entries.len() as u64 * 25);
+        Ok(entries
+            .iter()
+            .map(|(name, &ino)| DirEntry {
+                name: name.clone(),
+                ino,
+                kind: g.inodes.get(&ino).map(|i| i.kind).unwrap_or(FileKind::File),
+            })
+            .collect())
+    }
+
+    fn stat(&self, ino: Ino) -> VfsResult<Stat> {
+        self.machine.charge_sys(INODE_OP_COST);
+        let g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let i = g.inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+        Ok(Stat {
+            ino: ino.0,
+            kind: i.kind,
+            size: i.size,
+            nlink: i.nlink,
+            mode: i.mode,
+            uid: 0,
+            gid: 0,
+            blocks: i.mapped_blocks() * (PAGE_SIZE as u64 / 512),
+            mtime: i.mtime,
+        })
+    }
+
+    fn read(&self, ino: Ino, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        self.machine.charge_sys(INODE_OP_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let (size, kind) = {
+            let i = g.inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+            (i.size, i.kind)
+        };
+        if kind != FileKind::File {
+            return Err(VfsError::IsADirectory);
+        }
+        if off >= size || buf.is_empty() {
+            return Ok(0);
+        }
+        let n = buf.len().min((size - off) as usize);
+        let first_lb = off / PAGE_SIZE as u64;
+        let last_lb = (off + n as u64 - 1) / PAGE_SIZE as u64;
+
+        let mut done = 0usize;
+        while done < n {
+            let pos = off as usize + done;
+            let lb = (pos / PAGE_SIZE) as u64;
+            let in_off = pos % PAGE_SIZE;
+            let take = (PAGE_SIZE - in_off).min(n - done);
+            self.machine.charge_sys(BLOCK_CPU_COST);
+            if self.page_in(&mut g, ino.0, lb)? {
+                let p = &g.pages[&(ino.0, lb)];
+                buf[done..done + take].copy_from_slice(&p.bytes[in_off..in_off + take]);
+            } else {
+                buf[done..done + take].fill(0); // hole
+            }
+            done += take;
+        }
+
+        // Readahead: a read continuing where the last one stopped prefetches
+        // the next few mapped blocks into clean pages.
+        let sequential = first_lb == 0 || g.last_read.get(&ino.0) == Some(&(first_lb - 1));
+        if sequential {
+            let file_blocks = size.div_ceil(PAGE_SIZE as u64);
+            for lb in last_lb + 1..(last_lb + 1 + self.cfg.readahead).min(file_blocks) {
+                if !g.pages.contains_key(&(ino.0, lb)) && Self::phys_of(&g, ino.0, lb).is_some() {
+                    self.page_in(&mut g, ino.0, lb)?;
+                    g.stats.readahead_issued += 1;
+                }
+            }
+        }
+        g.last_read.insert(ino.0, last_lb);
+        Ok(n)
+    }
+
+    fn write(&self, ino: Ino, off: u64, data: &[u8]) -> VfsResult<usize> {
+        self.machine.charge_sys(INODE_OP_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        {
+            let i = g.inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+            if i.kind != FileKind::File {
+                return Err(VfsError::IsADirectory);
+            }
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let end = off + data.len() as u64;
+        self.ensure_blocks(&mut g, ino.0, end.div_ceil(PAGE_SIZE as u64), true)?;
+
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = off as usize + done;
+            let lb = (pos / PAGE_SIZE) as u64;
+            let in_off = pos % PAGE_SIZE;
+            let take = (PAGE_SIZE - in_off).min(data.len() - done);
+            self.machine.charge_sys(BLOCK_CPU_COST);
+            if !self.page_in(&mut g, ino.0, lb)? {
+                unreachable!("write target mapped by ensure_blocks");
+            }
+            {
+                let p = g.pages.get_mut(&(ino.0, lb)).expect("page");
+                p.bytes[in_off..in_off + take].copy_from_slice(&data[done..done + take]);
+            }
+            self.mark_page_dirty(&mut g, ino.0, lb);
+            done += take;
+        }
+        let now = self.now();
+        {
+            let i = g.inodes.get_mut(&ino.0).expect("inode");
+            if end > i.size {
+                i.size = end;
+            }
+            i.mtime = now;
+        }
+        self.mark_inode_dirty(&mut g, ino.0);
+        self.op_epilogue(&mut g)?;
+        Ok(data.len())
+    }
+
+    fn truncate(&self, ino: Ino, size: u64) -> VfsResult<()> {
+        self.machine.charge_sys(INODE_OP_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let (old, kind) = {
+            let i = g.inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+            (i.size, i.kind)
+        };
+        if kind != FileKind::File {
+            return Err(VfsError::IsADirectory);
+        }
+        if size < old {
+            let keep = size.div_ceil(PAGE_SIZE as u64);
+            if g.inodes[&ino.0].mapped_blocks() > keep {
+                self.shrink_mapping(&mut g, ino.0, keep);
+            }
+            self.invalidate_pages(&mut g, ino.0, keep);
+            // Zero the cut tail of the last kept block so a later
+            // re-extension reads zeros, not stale bytes.
+            if !size.is_multiple_of(PAGE_SIZE as u64)
+                && keep > 0
+                && self.page_in(&mut g, ino.0, keep - 1)?
+            {
+                let at = (size % PAGE_SIZE as u64) as usize;
+                g.pages.get_mut(&(ino.0, keep - 1)).expect("page").bytes[at..].fill(0);
+                self.mark_page_dirty(&mut g, ino.0, keep - 1);
+            }
+        }
+        let now = self.now();
+        {
+            let i = g.inodes.get_mut(&ino.0).expect("inode");
+            i.size = size;
+            i.mtime = now;
+        }
+        self.mark_inode_dirty(&mut g, ino.0);
+        self.op_epilogue(&mut g)
+    }
+
+    fn rename(&self, from_dir: Ino, from: &str, to_dir: Ino, to: &str) -> VfsResult<()> {
+        self.machine.charge_sys(2 * DIR_OP_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let &ino = Self::dir_of(&g, from_dir)?.get(from).ok_or(VfsError::NotFound)?;
+        if Self::dir_of(&g, to_dir)?.contains_key(to) {
+            return Err(VfsError::Exists);
+        }
+        if g.inodes[&ino].kind == FileKind::Dir {
+            // EINVAL, like rename(2): a directory cannot move into its own
+            // subtree (it would detach a cycle from the root).
+            let mut stack = vec![ino];
+            while let Some(d) = stack.pop() {
+                if d == to_dir.0 {
+                    return Err(VfsError::Invalid("rename into own subtree"));
+                }
+                if let Some(entries) = g.dirs.get(&d) {
+                    stack.extend(entries.values().copied().filter(|c| {
+                        g.inodes.get(c).map(|i| i.kind) == Some(FileKind::Dir)
+                    }));
+                }
+            }
+        }
+        g.dirs.get_mut(&from_dir.0).expect("from dir").remove(from);
+        g.dirs.get_mut(&to_dir.0).expect("to dir").insert(to.to_string(), ino);
+        g.dirty_dirs.insert(from_dir.0);
+        g.dirty_dirs.insert(to_dir.0);
+        let now = self.now();
+        if g.inodes[&ino].kind == FileKind::Dir && from_dir != to_dir {
+            g.inodes.get_mut(&from_dir.0).expect("from").nlink -= 1;
+            g.inodes.get_mut(&to_dir.0).expect("to").nlink += 1;
+        }
+        g.inodes.get_mut(&from_dir.0).expect("from").mtime = now;
+        g.inodes.get_mut(&to_dir.0).expect("to").mtime = now;
+        self.mark_inode_dirty(&mut g, from_dir.0);
+        self.mark_inode_dirty(&mut g, to_dir.0);
+        self.op_epilogue(&mut g)
+    }
+
+    fn fsync(&self, ino: Ino, data_only: bool) -> VfsResult<()> {
+        self.machine.charge_sys(FSYNC_CPU_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        let i = g.inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
+        if data_only {
+            // fdatasync: skip the commit when the inode has no dirty pages
+            // and no size change — pure-metadata dirt (mtime) can wait.
+            let essential = i.size != i.committed_size
+                || g.pages.iter().any(|((pi, _), p)| *pi == ino.0 && p.dirty);
+            if !essential {
+                return Ok(());
+            }
+        }
+        self.commit(&mut g)
+    }
+
+    fn sync(&self) -> VfsResult<()> {
+        self.machine.charge_sys(FSYNC_CPU_COST);
+        let mut g = self.inner.lock();
+        Self::check_alive(&g)?;
+        self.commit(&mut g)
+    }
+
+    fn fs_name(&self) -> &str {
+        "kjfs"
+    }
+}
+
+impl std::fmt::Debug for Kjfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("Kjfs")
+            .field("inodes", &g.inodes.len())
+            .field("crashed", &g.crashed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::MachineConfig;
+    use kvfs::VfsSnapshot;
+
+    fn rig() -> (Arc<Machine>, Arc<BlockDev>, Kjfs) {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        let fs = Kjfs::mount(m.clone(), dev.clone(), KjfsConfig::small()).unwrap();
+        (m, dev, fs)
+    }
+
+    fn remount(dev: &Arc<BlockDev>, m: &Arc<Machine>, fs: Kjfs) -> Kjfs {
+        drop(fs);
+        dev.drop_caches();
+        Kjfs::mount(m.clone(), dev.clone(), KjfsConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let (_m, _dev, fs) = rig();
+        let f = fs.create(fs.root(), "hello").unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        assert_eq!(fs.write(f, 0, &data).unwrap(), data.len());
+        let mut back = vec![0u8; data.len()];
+        assert_eq!(fs.read(f, 0, &mut back).unwrap(), data.len());
+        assert_eq!(back, data);
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+    }
+
+    #[test]
+    fn synced_tree_survives_remount() {
+        let (m, dev, fs) = rig();
+        let d = fs.mkdir(fs.root(), "dir").unwrap();
+        let f = fs.create(d, "file").unwrap();
+        fs.write(f, 0, b"persistent payload").unwrap();
+        fs.write(f, 9000, b"far block").unwrap();
+        let before = VfsSnapshot::capture(&fs).unwrap();
+        fs.sync().unwrap();
+
+        let fs2 = remount(&dev, &m, fs);
+        let after = VfsSnapshot::capture(&fs2).unwrap();
+        assert_eq!(before.diff(&after), Vec::<String>::new());
+        assert!(fs2.fsck().is_empty(), "{:?}", fs2.fsck());
+    }
+
+    #[test]
+    fn unsynced_work_after_last_commit_is_lost_cleanly() {
+        let (m, dev, fs) = rig();
+        let f = fs.create(fs.root(), "durable").unwrap();
+        fs.write(f, 0, b"committed").unwrap();
+        fs.fsync(f, false).unwrap();
+        let committed = VfsSnapshot::capture(&fs).unwrap();
+        // Not synced: must vanish on a hard remount (commit interval is 8,
+        // so two ops stay in the open transaction).
+        let g = fs.create(fs.root(), "volatile").unwrap();
+        fs.write(g, 0, b"gone").unwrap();
+
+        let fs2 = remount(&dev, &m, fs);
+        let after = VfsSnapshot::capture(&fs2).unwrap();
+        assert_eq!(committed.diff(&after), Vec::<String>::new());
+        assert!(fs2.fsck().is_empty());
+    }
+
+    #[test]
+    fn committed_but_uncheckpointed_txn_replays_on_mount() {
+        let (m, dev, fs) = rig();
+        let f = fs.create(fs.root(), "f").unwrap();
+        fs.write(f, 0, &[0xAB; 5000]).unwrap();
+        fs.commit_without_checkpoint().unwrap();
+        assert!(fs.is_crashed());
+
+        let fs2 = remount(&dev, &m, fs);
+        let mut back = vec![0u8; 5000];
+        let ino = fs2.lookup(fs2.root(), "f").unwrap();
+        assert_eq!(fs2.read(ino, 0, &mut back).unwrap(), 5000);
+        assert_eq!(back, vec![0xAB; 5000]);
+        assert!(fs2.fsck().is_empty(), "{:?}", fs2.fsck());
+    }
+
+    #[test]
+    fn truncate_shrink_then_extend_reads_zeros() {
+        let (_m, _dev, fs) = rig();
+        let f = fs.create(fs.root(), "t").unwrap();
+        fs.write(f, 0, &[0xFF; 8192]).unwrap();
+        fs.truncate(f, 100).unwrap();
+        fs.truncate(f, 6000).unwrap();
+        let mut back = vec![1u8; 6000];
+        assert_eq!(fs.read(f, 0, &mut back).unwrap(), 6000);
+        assert_eq!(&back[..100], &[0xFF; 100][..]);
+        assert!(back[100..].iter().all(|&b| b == 0), "cut tail must read zeros");
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+    }
+
+    #[test]
+    fn readahead_prefetches_sequential_reads() {
+        let (m, dev, fs) = rig();
+        let f = fs.create(fs.root(), "seq").unwrap();
+        fs.write(f, 0, &vec![7u8; 16 * PAGE_SIZE]).unwrap();
+        fs.sync().unwrap();
+        // Remount so the page cache is cold and the read must hit the device.
+        let fs = remount(&dev, &m, fs);
+        let f = fs.lookup(fs.root(), "seq").unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fs.read(f, 0, &mut buf).unwrap();
+        let ra = fs.stats().readahead_issued;
+        assert!(ra >= 4, "sequential read should prefetch, got {ra}");
+    }
+
+    #[test]
+    fn unlink_frees_blocks_and_recycles_inode() {
+        let (_m, _dev, fs) = rig();
+        let f = fs.create(fs.root(), "victim").unwrap();
+        fs.write(f, 0, &[1u8; 20000]).unwrap();
+        fs.sync().unwrap();
+        fs.unlink(fs.root(), "victim").unwrap();
+        fs.sync().unwrap();
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+        let f2 = fs.create(fs.root(), "reborn").unwrap();
+        assert_eq!(f2, f, "freed inode number is recycled");
+    }
+
+    #[test]
+    fn crashed_fs_returns_eio_everywhere() {
+        let (_m, _dev, fs) = rig();
+        let f = fs.create(fs.root(), "f").unwrap();
+        fs.commit_without_checkpoint().unwrap();
+        assert_eq!(fs.write(f, 0, b"x"), Err(VfsError::Io));
+        assert_eq!(fs.create(fs.root(), "g").err(), Some(VfsError::Io));
+        assert_eq!(fs.sync(), Err(VfsError::Io));
+    }
+}

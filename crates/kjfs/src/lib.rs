@@ -1,0 +1,28 @@
+//! `kjfs` — a journaled, extent-based on-disk file system over
+//! [`kvfs::BlockDev`], with a page cache and a power-cut crash harness.
+//!
+//! The paper's safety story (watchdog preemption, transactional rollback,
+//! deterministic fault injection) stops at RAM: memfs loses everything on a
+//! "crash", so there is nothing to be consistent *about*. This crate is the
+//! storage half:
+//!
+//! * [`fs::Kjfs`] — superblock / journal / inode table / bitmap / flat data
+//!   area on the block device ([`layout`]), a write-ahead journal in
+//!   ordered-data mode with physical-redo records ([`journal`]), and a page
+//!   cache with sequential readahead, dirty tracking, bounded writeback,
+//!   and invalidation on truncate/unlink.
+//! * [`harness`] — the power-cut sweep: kill the machine at *every* journal
+//!   and writeback block write of a workload (clean cuts and torn
+//!   mid-block writes), remount, replay, and assert the recovered tree is
+//!   a legal prefix of the operation log with zero structural violations.
+//!
+//! Fault sites: `kjfs.journal.commit`, `kjfs.writeback`,
+//! `kjfs.journal.replay`, plus `kvfs.blockdev.torn` underneath.
+
+pub mod fs;
+pub mod harness;
+pub mod journal;
+pub mod layout;
+
+pub use fs::{Kjfs, KjfsConfig, KjfsStats};
+pub use harness::{default_workload, Harness, KillOutcome, Model, SweepReport, WOp};

@@ -13,6 +13,12 @@ impl OpenFlags {
     pub const CREAT: OpenFlags = OpenFlags(0x40);
     pub const TRUNC: OpenFlags = OpenFlags(0x200);
     pub const APPEND: OpenFlags = OpenFlags(0x400);
+    /// Bypass the page cache for writes: each write is flushed through to
+    /// the device before returning (modelled as write + fdatasync).
+    pub const DIRECT: OpenFlags = OpenFlags(0x4000);
+    /// Synchronous writes: each write commits data *and* metadata before
+    /// returning (modelled as write + fsync).
+    pub const SYNC: OpenFlags = OpenFlags(0x10_1000);
 
     /// Combine flags.
     pub const fn or(self, other: OpenFlags) -> OpenFlags {

@@ -255,7 +255,10 @@ impl SyscallLayer {
         })
     }
 
-    /// In-kernel write from a kernel buffer; honours `O_APPEND`.
+    /// In-kernel write from a kernel buffer; honours `O_APPEND`, `O_SYNC`,
+    /// and `O_DIRECT` (the latter two flush through the file system's
+    /// durability hook before returning — a no-op on memfs, a journal
+    /// commit on kjfs).
     pub fn k_write(&self, pid: Pid, fd: i32, data: &[u8]) -> VfsResult<usize> {
         self.with_file(pid, fd, |f| {
             if !f.flags.writable() {
@@ -267,9 +270,20 @@ impl SyscallLayer {
                 f.offset
             };
             let n = self.vfs.fs().write(f.ino, off, data)?;
+            if f.flags.contains(OpenFlags::SYNC) {
+                self.vfs.fs().fsync(f.ino, false)?;
+            } else if f.flags.contains(OpenFlags::DIRECT) {
+                self.vfs.fs().fsync(f.ino, true)?;
+            }
             f.offset = off + n as u64;
             Ok(n)
         })
+    }
+
+    /// In-kernel `fsync`/`fdatasync` on a descriptor.
+    pub fn k_fsync(&self, pid: Pid, fd: i32, data_only: bool) -> VfsResult<()> {
+        let ino = self.with_file(pid, fd, |f| Ok(f.ino))?;
+        self.vfs.fs().fsync(ino, data_only)
     }
 
     /// In-kernel `lseek`.
@@ -500,6 +514,23 @@ impl SyscallLayer {
                 Ok(()) => 0,
                 Err(e) => Self::err(e),
             }
+        })
+    }
+
+    /// `fsync(2)`: block until the file's data and metadata are durable.
+    pub fn sys_fsync(&self, pid: Pid, fd: i32) -> i64 {
+        self.invoke(pid, Sysno::Fsync, |s| match s.k_fsync(pid, fd, false) {
+            Ok(()) => 0,
+            Err(e) => Self::err(e),
+        })
+    }
+
+    /// `fdatasync(2)`: like `fsync` but may skip metadata that isn't needed
+    /// to read the data back (a no-op commit when only timestamps changed).
+    pub fn sys_fdatasync(&self, pid: Pid, fd: i32) -> i64 {
+        self.invoke(pid, Sysno::Fdatasync, |s| match s.k_fsync(pid, fd, true) {
+            Ok(()) => 0,
+            Err(e) => Self::err(e),
         })
     }
 

@@ -408,6 +408,16 @@ impl SyscallLayer {
                     Err(e) => e.errno(),
                 }
             }
+            Opcode::Fsync => {
+                let fd = match Self::ring_fd(sqe, chain_fd) {
+                    Ok(fd) => fd,
+                    Err(e) => return e,
+                };
+                match self.k_fsync(pid, fd, sqe.off == 1) {
+                    Ok(()) => 0,
+                    Err(e) => e.errno(),
+                }
+            }
         }
     }
 }

@@ -31,6 +31,11 @@ pub enum Remedy {
     /// and drain whole batches through `sys_ring_enter`, amortising one
     /// crossing over [`RING_BATCH`] ops.
     BatchViaUring,
+    /// A durable-writer tail (`write…write…fsync`): pile the writes up as
+    /// SQEs and chain one ring-borne fsync (`Sqe::fsync`) behind them, so
+    /// every group pays a single durability barrier and the whole batch
+    /// drains through one `sys_ring_enter` crossing.
+    BatchWritesSingleFsync,
 }
 
 /// One recommendation.
@@ -60,6 +65,16 @@ fn ring_batchable(seq: &[Sysno]) -> bool {
         seq,
         [Sysno::PollWait, Sysno::Recv, Sysno::Send] | [Sysno::Open, Sysno::Read, Sysno::Close]
     )
+}
+
+/// A durable-writer tail: one or more `write`s answered by a single
+/// `fsync`/`fdatasync` — the mail-spool discipline. On a journaled file
+/// system every fsync forces a commit, so the win is batching the writes
+/// behind one barrier, not consolidating the pair into a compound.
+fn fsync_tail(seq: &[Sysno]) -> bool {
+    seq.len() >= 2
+        && matches!(seq[seq.len() - 1], Sysno::Fsync | Sysno::Fdatasync)
+        && seq[..seq.len() - 1].iter().all(|&s| s == Sysno::Write)
 }
 
 /// Match a mined sequence against the consolidated-call catalogue.
@@ -97,6 +112,16 @@ pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<
                 ring.push(Suggestion {
                     pattern: p.clone(),
                     remedy: Remedy::BatchViaUring,
+                    crossings_saved,
+                    cycles_saved: crossings_saved * cost.crossing_cost(),
+                });
+            }
+            if fsync_tail(&p.seq) {
+                let calls = p.calls_covered();
+                let crossings_saved = calls - calls.div_ceil(RING_BATCH);
+                ring.push(Suggestion {
+                    pattern: p.clone(),
+                    remedy: Remedy::BatchWritesSingleFsync,
                     crossings_saved,
                     cycles_saved: crossings_saved * cost.crossing_cost(),
                 });
@@ -148,6 +173,19 @@ pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<
     // are complementary (an admin can adopt sendfile *and* move the loop
     // onto a ring), so they never displace a consolidation suggestion.
     ring.sort_by_key(|s| std::cmp::Reverse(s.cycles_saved));
+    // A `write…write…fsync` loop mines as every tail length at once
+    // ([w,f], [w,w,f], …): keep only the longest per (head, tail) site —
+    // it covers the most calls, so it sorted first.
+    let mut seen_ring: Vec<(Sysno, Sysno)> = Vec::new();
+    ring.retain(|s| {
+        let key = (s.pattern.seq[0], *s.pattern.seq.last().unwrap());
+        if seen_ring.contains(&key) {
+            false
+        } else {
+            seen_ring.push(key);
+            true
+        }
+    });
     out.extend(ring);
     out
 }
@@ -173,6 +211,9 @@ pub fn render_report(suggestions: &[Suggestion]) -> String {
             Remedy::UseConsolidated(c) => format!("use sys_{}", c.name()),
             Remedy::BuildCompound => "mark region for Cosy".to_string(),
             Remedy::BatchViaUring => "batch via kuring (sys_ring_enter)".to_string(),
+            Remedy::BatchWritesSingleFsync => {
+                "batch writes + single fsync via kuring".to_string()
+            }
         };
         let _ = writeln!(
             out,
@@ -333,6 +374,44 @@ mod tests {
         );
         let rpt = render_report(&sugg);
         assert!(rpt.contains("batch via kuring (sys_ring_enter)"));
+    }
+
+    #[test]
+    fn naive_durable_writer_gets_single_fsync_batching() {
+        // A naive mail-spool writer: three chunk writes then an fsync per
+        // message, every message paying its own durability barrier.
+        let t = seq(
+            11,
+            &[Sysno::Write, Sysno::Write, Sysno::Write, Sysno::Fsync],
+            60,
+        );
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let s = sugg
+            .iter()
+            .find(|s| s.remedy == Remedy::BatchWritesSingleFsync)
+            .expect("fsync batching recommended");
+        // The longest tail wins: shorter [write,fsync] mines of the same
+        // site are dropped, so the suggestion covers the whole group.
+        assert_eq!(
+            s.pattern.seq,
+            vec![Sysno::Write, Sysno::Write, Sysno::Write, Sysno::Fsync]
+        );
+        // 240 crossings collapse to ceil(240/64) = 4 ring_enter calls.
+        assert_eq!(s.crossings_saved, 236);
+        assert!(s.cycles_saved > 0);
+        let rpt = render_report(&sugg);
+        assert!(rpt.contains("batch writes + single fsync via kuring"));
+    }
+
+    #[test]
+    fn fdatasync_tails_and_single_writes_also_batch() {
+        let t = seq(12, &[Sysno::Write, Sysno::Fdatasync], 40);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        assert!(
+            sugg.iter()
+                .any(|s| s.remedy == Remedy::BatchWritesSingleFsync),
+            "{sugg:?}"
+        );
     }
 
     #[test]

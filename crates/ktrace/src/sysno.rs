@@ -55,11 +55,16 @@ pub enum Sysno {
     RingRegister,
     /// Drain the submission queue and execute the batch in one crossing.
     RingEnter,
+    // --- durability (kjfs) ---
+    /// Flush a file's data and metadata to stable storage.
+    Fsync,
+    /// Flush a file's data (and size) only, skipping clean metadata.
+    Fdatasync,
 }
 
 impl Sysno {
     /// Every defined syscall, in numbering order.
-    pub const ALL: [Sysno; 32] = [
+    pub const ALL: [Sysno; 34] = [
         Sysno::Open,
         Sysno::Read,
         Sysno::Write,
@@ -92,6 +97,8 @@ impl Sysno {
         Sysno::RingSetup,
         Sysno::RingRegister,
         Sysno::RingEnter,
+        Sysno::Fsync,
+        Sysno::Fdatasync,
     ];
 
     /// The syscall's name as strace would print it.
@@ -129,6 +136,8 @@ impl Sysno {
             Sysno::RingSetup => "ring_setup",
             Sysno::RingRegister => "ring_register",
             Sysno::RingEnter => "ring_enter",
+            Sysno::Fsync => "fsync",
+            Sysno::Fdatasync => "fdatasync",
         }
     }
 
@@ -176,7 +185,7 @@ mod tests {
         for (i, s) in Sysno::ALL.iter().enumerate() {
             assert_eq!(s.index(), i, "{s} out of order");
         }
-        assert_eq!(Sysno::COUNT, 32);
+        assert_eq!(Sysno::COUNT, 34);
     }
 
     #[test]

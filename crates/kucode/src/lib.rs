@@ -15,6 +15,7 @@
 //! | Simulated machine (cycles, MMU, segments, scheduler) | [`ksim`] |
 //! | Kernel allocators (`kmalloc`, `vmalloc`) | [`kalloc`] |
 //! | File systems (memfs, Wrapfs, dcache) + disk model | [`kvfs`] |
+//! | Journaled on-disk fs, page cache, crash harness | [`kjfs`] |
 //! | System calls, classic + consolidated (`readdirplus`, …) | [`ksyscall`] |
 //! | Simulated sockets (listeners, rings, readiness, `sendfile`) | [`knet`] |
 //! | Shared SQ/CQ rings for batched asynchronous syscalls | [`kuring`] |
@@ -60,6 +61,7 @@ pub use kefence;
 pub use kevents;
 pub use kfault;
 pub use kgcc;
+pub use kjfs;
 pub use knet;
 pub use ksim;
 pub use ksyscall;
@@ -83,6 +85,7 @@ pub mod prelude {
     };
     pub use kfault::{classify, FaultClass, FaultPlane, Policy};
     pub use kgcc::{CheckPlan, Deinstrument, KgccConfig, KgccHook};
+    pub use kjfs::{default_workload, Harness, Kjfs, KjfsConfig, KjfsStats, Model, WOp};
     pub use knet::{NetError, NetStack, POLL_HUP, POLL_IN, POLL_OUT};
     pub use ksim::{
         clock::{improvement_pct, overhead_pct},

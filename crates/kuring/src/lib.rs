@@ -75,6 +75,9 @@ pub enum Opcode {
     Sendfile,
     /// Shut down socket `fd`.
     Shutdown,
+    /// Flush `fd` to stable storage; `off` = 1 means data-only
+    /// (`fdatasync` semantics).
+    Fsync,
 }
 
 /// One submission-queue entry: ~48 bytes of shared memory in the model.
@@ -181,6 +184,13 @@ impl Sqe {
 
     pub fn shutdown(sd: i32, user_data: u64) -> Sqe {
         Sqe::raw(Opcode::Shutdown, sd, 0, 0, 0, user_data)
+    }
+
+    /// Flush `fd` durable; `data_only` selects `fdatasync` semantics.
+    /// Batching many writes behind one ring-borne fsync is the uring-era
+    /// answer to the write…write…fsync tail the advisor flags.
+    pub fn fsync(fd: i32, data_only: bool, user_data: u64) -> Sqe {
+        Sqe::raw(Opcode::Fsync, fd, 0, 0, data_only as u64, user_data)
     }
 
     /// Set [`IOSQE_LINK`]: chain the next SQE onto this one.

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use ksim::SpinMutex;
 
-use ksim::{FxHashSet, Machine, PAGE_SIZE};
+use ksim::{FxHashMap, FxHashSet, Machine, PAGE_SIZE};
 
 use crate::error::{VfsError, VfsResult};
 
@@ -54,6 +54,12 @@ pub struct BlockDev {
     writes: AtomicU64,
     seeks: AtomicU64,
     dirty: AtomicU64,
+    /// The platter: per-block byte images written through
+    /// [`Self::write_block_bytes`]. Unlike the page cache this is stable
+    /// storage — it survives an unmount (dropping the file system) for as
+    /// long as the `Arc<BlockDev>` lives, which is exactly what the crash
+    /// harness needs to model a power cut + remount.
+    store: SpinMutex<FxHashMap<BlockAddr, Vec<u8>>>,
 }
 
 impl BlockDev {
@@ -66,6 +72,7 @@ impl BlockDev {
             writes: AtomicU64::new(0),
             seeks: AtomicU64::new(0),
             dirty: AtomicU64::new(0),
+            store: SpinMutex::new(FxHashMap::default()),
         }
     }
 
@@ -135,6 +142,85 @@ impl BlockDev {
         *self.last.lock() = Some(addr);
         self.cache.lock().set.insert(addr);
         Ok(())
+    }
+
+    /// Write one block's bytes to stable storage. Charges exactly like
+    /// [`Self::write_block`]; in addition the bytes land in the device's
+    /// persistent store, which survives unmount.
+    ///
+    /// Failure fidelity: an injected `kvfs.blockdev.write` EIO is
+    /// all-or-nothing — no bytes land. An injected `kvfs.blockdev.torn`
+    /// models a power cut mid-block: the first half of `data` lands over
+    /// whatever the block held before (the old tail survives), then the
+    /// device reports EIO. Both leave the page cache unpopulated, like a
+    /// failed BIO.
+    pub fn write_block_bytes(&self, addr: BlockAddr, data: &[u8]) -> VfsResult<()> {
+        debug_assert!(data.len() <= PAGE_SIZE);
+        if self.machine.faults.should_fail(kfault::sites::KVFS_BLOCKDEV_WRITE) {
+            return Err(VfsError::Io);
+        }
+        let torn = self
+            .machine
+            .faults
+            .should_fail(kfault::sites::KVFS_BLOCKDEV_TORN);
+        self.writes.fetch_add(1, Relaxed);
+        self.machine.stats.disk_writes.fetch_add(1, Relaxed);
+        let m = &self.machine;
+        m.charge_io(m.cost.disk_transfer(data.len().min(PAGE_SIZE)));
+        let n = self.dirty.fetch_add(1, Relaxed) + 1;
+        if n.is_multiple_of(ELEVATOR_BATCH) {
+            self.seeks.fetch_add(1, Relaxed);
+            m.charge_io(m.cost.disk_seek + m.cost.disk_rotate);
+        }
+        *self.last.lock() = Some(addr);
+        if torn {
+            let landed = data.len() / 2;
+            let mut store = self.store.lock();
+            let blk = store.entry(addr).or_default();
+            if blk.len() < data.len() {
+                blk.resize(data.len(), 0);
+            }
+            blk[..landed].copy_from_slice(&data[..landed]);
+            return Err(VfsError::Io);
+        }
+        self.store.lock().insert(addr, data.to_vec());
+        self.cache.lock().set.insert(addr);
+        Ok(())
+    }
+
+    /// Read one block's bytes from stable storage into `buf`, charging
+    /// exactly like [`Self::read_block`] (cached blocks are free). Blocks
+    /// never written read as zeroes. Returns how many stored bytes were
+    /// copied; the rest of `buf` is zero-filled.
+    pub fn read_block_bytes(&self, addr: BlockAddr, buf: &mut [u8]) -> VfsResult<usize> {
+        self.read_block(addr, buf.len())?;
+        let store = self.store.lock();
+        let n = match store.get(&addr) {
+            Some(blk) => {
+                let n = blk.len().min(buf.len());
+                buf[..n].copy_from_slice(&blk[..n]);
+                n
+            }
+            None => 0,
+        };
+        drop(store);
+        for b in &mut buf[n..] {
+            *b = 0;
+        }
+        Ok(n)
+    }
+
+    /// Drop the volatile page cache wholesale — what a power cut does. The
+    /// persistent byte store (the platter) is untouched; the next reads
+    /// charge real disk time again.
+    pub fn drop_caches(&self) {
+        self.cache.lock().set.clear();
+        *self.last.lock() = None;
+    }
+
+    /// Number of blocks with stored byte images (platter occupancy).
+    pub fn stored_blocks(&self) -> usize {
+        self.store.lock().len()
     }
 
     /// Mark a block as cached without charging (e.g. the inode block of a
@@ -252,6 +338,58 @@ mod tests {
         }
         let (_, _, _, seeks) = d.counters();
         assert_eq!(seeks, 2, "one seek per {ELEVATOR_BATCH} dirty blocks");
+    }
+
+    #[test]
+    fn byte_store_roundtrips_and_survives_cache_drop() {
+        let d = dev();
+        let payload: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        d.write_block_bytes(addr(7, 0), &payload).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        assert_eq!(d.read_block_bytes(addr(7, 0), &mut out).unwrap(), PAGE_SIZE);
+        assert_eq!(out, payload);
+        // A power cut empties the page cache but not the platter.
+        d.drop_caches();
+        let io0 = d.machine.clock.io_cycles();
+        let mut out2 = vec![0u8; PAGE_SIZE];
+        assert_eq!(d.read_block_bytes(addr(7, 0), &mut out2).unwrap(), PAGE_SIZE);
+        assert_eq!(out2, payload);
+        assert!(d.machine.clock.io_cycles() > io0, "cold read pays the disk");
+        // Never-written blocks read as zeroes.
+        let mut z = vec![0xAAu8; 64];
+        assert_eq!(d.read_block_bytes(addr(7, 9), &mut z).unwrap(), 0);
+        assert!(z.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn injected_write_eio_is_all_or_nothing() {
+        let d = dev();
+        d.write_block_bytes(addr(8, 0), &[0x11; 128]).unwrap();
+        d.machine.faults.arm(1);
+        d.machine
+            .faults
+            .add_policy(Some(kfault::sites::KVFS_BLOCKDEV_WRITE), kfault::Policy::FailNth(1));
+        assert_eq!(d.write_block_bytes(addr(8, 0), &[0x22; 128]), Err(VfsError::Io));
+        d.machine.faults.disarm();
+        let mut out = vec![0u8; 128];
+        d.read_block_bytes(addr(8, 0), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x11), "no new bytes landed");
+    }
+
+    #[test]
+    fn torn_write_lands_first_half_over_old_content() {
+        let d = dev();
+        d.write_block_bytes(addr(9, 0), &[0x11; 128]).unwrap();
+        d.machine.faults.arm(1);
+        d.machine
+            .faults
+            .add_policy(Some(kfault::sites::KVFS_BLOCKDEV_TORN), kfault::Policy::FailNth(1));
+        assert_eq!(d.write_block_bytes(addr(9, 0), &[0x22; 128]), Err(VfsError::Io));
+        d.machine.faults.disarm();
+        let mut out = vec![0u8; 128];
+        d.read_block_bytes(addr(9, 0), &mut out).unwrap();
+        assert!(out[..64].iter().all(|&b| b == 0x22), "first half is new");
+        assert!(out[64..].iter().all(|&b| b == 0x11), "old tail survives");
     }
 
     #[test]

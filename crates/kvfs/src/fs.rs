@@ -124,6 +124,20 @@ pub trait FileSystem: Send + Sync {
     /// Move/rename an entry.
     fn rename(&self, from_dir: Ino, from: &str, to_dir: Ino, to: &str) -> VfsResult<()>;
 
+    /// Force one inode's dirty state durable: data pages, and unless
+    /// `data_only` (fdatasync) its metadata too. Purely in-memory file
+    /// systems are always "durable" — the default is a no-op.
+    fn fsync(&self, ino: Ino, data_only: bool) -> VfsResult<()> {
+        let _ = (ino, data_only);
+        Ok(())
+    }
+
+    /// Flush every dirty page and commit the journal (`sync(2)` /
+    /// unmount). No-op by default, like [`FileSystem::fsync`].
+    fn sync(&self) -> VfsResult<()> {
+        Ok(())
+    }
+
     /// File-system type name ("memfs", "wrapfs", ...).
     fn fs_name(&self) -> &str;
 }

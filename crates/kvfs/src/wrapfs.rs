@@ -215,6 +215,16 @@ impl FileSystem for WrapFs {
         self.with_name_string(from, || self.lower.rename(from_dir, from, to_dir, to))
     }
 
+    fn fsync(&self, ino: Ino, data_only: bool) -> VfsResult<()> {
+        self.machine.charge_sys(WRAP_OP_COST);
+        self.lower.fsync(ino, data_only)
+    }
+
+    fn sync(&self) -> VfsResult<()> {
+        self.machine.charge_sys(WRAP_OP_COST);
+        self.lower.sync()
+    }
+
     fn fs_name(&self) -> &str {
         "wrapfs"
     }

@@ -35,6 +35,11 @@ pub struct PostmarkConfig {
     /// Per-transaction user-side processing cycles (PostMark itself is
     /// nearly pure I/O; keep small).
     pub cpu_per_tx: u64,
+    /// Durability mode: `fsync` every created file before closing it and
+    /// every append after writing it, the mail-server discipline PostMark
+    /// models. A no-op on MemFs; on kjfs each fsync forces a journal
+    /// commit, which is the cost A13 measures.
+    pub fsync_per_file: bool,
 }
 
 impl Default for PostmarkConfig {
@@ -48,6 +53,7 @@ impl Default for PostmarkConfig {
             max_size: 10_240,
             read_block: 4_096,
             cpu_per_tx: 2_000,
+            fsync_per_file: false,
         }
     }
 }
@@ -61,6 +67,8 @@ pub struct PostmarkReport {
     pub appends: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    /// Explicit durability barriers issued (0 unless `fsync_per_file`).
+    pub fsyncs: u64,
     pub elapsed: Interval,
     pub stats: StatsSnapshot,
 }
@@ -94,6 +102,7 @@ pub fn run_postmark(rig: &Rig, proc: &UserProc, cfg: &PostmarkConfig) -> Postmar
         appends: 0,
         bytes_read: 0,
         bytes_written: 0,
+        fsyncs: 0,
         elapsed: Interval::default(),
         stats: StatsSnapshot::default(),
     };
@@ -122,6 +131,10 @@ pub fn run_postmark(rig: &Rig, proc: &UserProc, cfg: &PostmarkConfig) -> Postmar
             assert!(n as usize == chunk);
             report.bytes_written += chunk as u64;
             left -= chunk;
+        }
+        if cfg.fsync_per_file {
+            assert_eq!(sys.sys_fsync(pid, fd as i32), 0, "fsync {path}");
+            report.fsyncs += 1;
         }
         sys.sys_close(pid, fd as i32);
         files.push(path);
@@ -165,6 +178,10 @@ pub fn run_postmark(rig: &Rig, proc: &UserProc, cfg: &PostmarkConfig) -> Postmar
                 let n = sys.sys_write(pid, fd as i32, proc.buf, chunk);
                 assert!(n > 0);
                 report.bytes_written += n as u64;
+                if cfg.fsync_per_file {
+                    assert_eq!(sys.sys_fdatasync(pid, fd as i32), 0);
+                    report.fsyncs += 1;
+                }
                 sys.sys_close(pid, fd as i32);
                 report.appends += 1;
             }
@@ -245,6 +262,36 @@ mod tests {
             (a.bytes_read, a.bytes_written),
             (b.bytes_read, b.bytes_written)
         );
+    }
+
+    #[test]
+    fn postmark_with_fsync_on_kjfs_commits_to_disk() {
+        let rig = Rig::kjfs();
+        let p = rig.user(1 << 16);
+        let r = run_postmark(&rig, &p, &PostmarkConfig { fsync_per_file: true, ..small() });
+        assert_eq!(r.created, r.deleted, "teardown removes every file");
+        assert!(r.fsyncs >= r.created + r.appends, "one barrier per create/append");
+        // Durability is not free: every fsync forces journal + data writes.
+        assert!(r.stats.disk_writes > r.fsyncs, "{} writes", r.stats.disk_writes);
+        assert_eq!(rig.sys.open_fds(p.pid), 0);
+    }
+
+    #[test]
+    fn fsync_discipline_costs_more_than_buffered_on_kjfs() {
+        let run = |durable: bool| {
+            let rig = Rig::kjfs();
+            let p = rig.user(1 << 16);
+            run_postmark(&rig, &p, &PostmarkConfig { fsync_per_file: durable, ..small() })
+        };
+        let buffered = run(false);
+        let durable = run(true);
+        assert!(
+            durable.stats.disk_writes > buffered.stats.disk_writes,
+            "durable {} vs buffered {}",
+            durable.stats.disk_writes,
+            buffered.stats.disk_writes
+        );
+        assert!(durable.elapsed.elapsed() > buffered.elapsed.elapsed());
     }
 
     #[test]

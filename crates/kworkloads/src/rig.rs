@@ -31,6 +31,20 @@ impl Rig {
         Self::build(cost, None)
     }
 
+    /// The journaled on-disk file system mounted as the root: every write
+    /// goes through kjfs's page cache and write-ahead journal, and `fsync`
+    /// is a real durability barrier instead of a no-op.
+    pub fn kjfs() -> Rig {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(machine.clone()));
+        let fs = kjfs::Kjfs::mount(machine.clone(), dev.clone(), kjfs::KjfsConfig::default())
+            .expect("mkfs on a blank device");
+        let vfs = Arc::new(Vfs::new(machine.clone(), Arc::new(fs)));
+        let sys = Arc::new(SyscallLayer::new(machine.clone(), vfs.clone()));
+        let cosy = Arc::new(CosyExtension::new(sys.clone()));
+        Rig { machine, dev, vfs, sys, wrapfs: None, cosy }
+    }
+
     /// Wrapfs stacked over MemFs, allocating through `alloc` (pass a
     /// [`SlabAllocator`] for vanilla kmalloc, a `kefence::Kefence` for the
     /// instrumented §3.2 configuration).

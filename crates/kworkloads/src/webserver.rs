@@ -943,6 +943,29 @@ mod tests {
     }
 
     #[test]
+    fn kjfs_serves_identical_documents_through_sendfile() {
+        // The zero-copy sendfile paths must not care which file system
+        // backs the documents: serving from the journaled on-disk fs
+        // moves the same bytes and leaves a byte-identical tree (docs +
+        // access log) to serving from MemFs.
+        let cfg = cfg();
+        for mode in [ServeMode::Consolidated, ServeMode::Uring] {
+            let run = |rig: Rig| {
+                let p = rig.user(1 << 16);
+                setup_docs(&rig, &p, &cfg);
+                let r = serve(&rig, &p, &cfg, mode);
+                let img = kvfs::VfsSnapshot::capture(rig.vfs.fs().as_ref()).unwrap();
+                (r.bytes_served, img.hash())
+            };
+            let (mem_bytes, mem_img) = run(Rig::memfs());
+            let (kj_bytes, kj_img) = run(Rig::kjfs());
+            assert!(mem_bytes > 0, "{mode:?}");
+            assert_eq!(mem_bytes, kj_bytes, "{mode:?}: same bytes served");
+            assert_eq!(mem_img, kj_img, "{mode:?}: identical tree after serving");
+        }
+    }
+
+    #[test]
     fn no_descriptors_leak_across_a_run() {
         let cfg = cfg();
         for mode in [ServeMode::Cosy, ServeMode::Uring] {

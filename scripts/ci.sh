@@ -84,4 +84,22 @@ else
     echo "SMP_MIN=0; skipping the SMP scaling gate"
 fi
 
+echo "== bench smoke: power-cut crash sweep (runs twice; must reproduce) =="
+# Gate: every kill point of the clean-cut AND torn-write sweeps must
+# recover with zero invariant violations, and two whole runs must reduce
+# to the same TRACE_HASH word (the sweep is deterministic by design).
+c1=$(./target/release/a13_crashsweep)
+echo "${c1}" | grep -E '^(clean-cut|torn-write)' || true
+if echo "${c1}" | grep -qE '^(clean-cut|torn-write) +[0-9]+ +[1-9]'; then
+    echo "crash sweep found invariant violations" >&2
+    exit 1
+fi
+h1=$(echo "${c1}" | grep '^TRACE_HASH')
+h2=$(./target/release/a13_crashsweep | grep '^TRACE_HASH')
+if [ "$h1" != "$h2" ]; then
+    echo "crash sweep is not deterministic: '$h1' vs '$h2'" >&2
+    exit 1
+fi
+echo "crash sweep deterministic: $h1"
+
 echo "CI pass complete."

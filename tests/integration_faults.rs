@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use kucode::kfault::{sites, Policy};
-use kucode::kvfs::{BlockAddr, VfsError};
+use kucode::kvfs::{BlockAddr, BlockDev, FileSystem, VfsError};
 use kucode::prelude::*;
 
 fn regions(rig: &Rig, p: &UserProc, slot: u64) -> (SharedRegion, SharedRegion) {
@@ -23,6 +23,17 @@ fn snap(rig: &Rig) -> VfsSnapshot {
     let s = VfsSnapshot::capture(rig.vfs.fs().as_ref()).unwrap();
     rig.machine.faults.resume(was);
     s
+}
+
+/// A kjfs over a fresh device on the rig's machine, mounted with injection
+/// suspended: mkfs commits an initial transaction through the same guarded
+/// writes the kjfs sites target, and that setup is not the workload.
+fn kjfs_fresh(rig: &Rig) -> (Arc<BlockDev>, Kjfs) {
+    let was = rig.machine.faults.suspend();
+    let dev = Arc::new(BlockDev::new(rig.machine.clone()));
+    let fs = Kjfs::mount(rig.machine.clone(), dev.clone(), KjfsConfig::small()).unwrap();
+    rig.machine.faults.resume(was);
+    (dev, fs)
 }
 
 /// Drive one registered site to fire exactly once (FailNth(1) scoped to the
@@ -145,6 +156,53 @@ fn fire_site(site: &'static str) -> u64 {
             disp.log_event(EventRecord::new(1, EventType::Custom(1), "t", 1, 0));
             assert_eq!(ring.dropped(), 1, "the record was lost, not delivered");
             assert_eq!(ring.len(), 0);
+        }
+        s if s == sites::KVFS_BLOCKDEV_TORN => {
+            // The write consults `kvfs.blockdev.write` first — a different
+            // site, so it passes — then the torn site models a power cut
+            // mid-block: the first half lands, the device reports EIO.
+            let addr = BlockAddr { obj: 9, index: 0 };
+            assert_eq!(
+                rig.dev.write_block_bytes(addr, &[0xEE; 4096]).unwrap_err(),
+                VfsError::Io
+            );
+            let mut back = [0u8; 4096];
+            rig.dev.read_block_bytes(addr, &mut back).unwrap();
+            assert!(back[..2048].iter().all(|&b| b == 0xEE), "first half landed");
+            assert!(back[2048..].iter().all(|&b| b == 0), "stale tail survived");
+        }
+        s if s == sites::KJFS_JOURNAL_COMMIT => {
+            // The fsync's ordered data flush passes (scoped policy), then
+            // the transaction's first journal write — the descriptor
+            // block — hits the power cut and the file system aborts.
+            let (_dev, fs) = kjfs_fresh(&rig);
+            let ino = fs.create(fs.root(), "jc").unwrap();
+            fs.write(ino, 0, b"journal me").unwrap();
+            assert_eq!(fs.fsync(ino, false).unwrap_err(), VfsError::Io);
+            assert!(fs.is_crashed());
+        }
+        s if s == sites::KJFS_WRITEBACK => {
+            // Ordered-data mode flushes the new file's data page in place
+            // *before* the journal writes — the first consult is the
+            // writeback site, and the commit never starts.
+            let (_dev, fs) = kjfs_fresh(&rig);
+            let ino = fs.create(fs.root(), "wb").unwrap();
+            fs.write(ino, 0, b"dirty page").unwrap();
+            assert_eq!(fs.fsync(ino, false).unwrap_err(), VfsError::Io);
+            assert!(fs.is_crashed());
+        }
+        s if s == sites::KJFS_JOURNAL_REPLAY => {
+            // Leave a committed-but-uncheckpointed transaction in the
+            // journal, then remount cold: replay's first home-location
+            // write hits the power cut and the mount fails whole.
+            let (dev, fs) = kjfs_fresh(&rig);
+            let ino = fs.create(fs.root(), "rp").unwrap();
+            fs.write(ino, 0, b"replay me").unwrap();
+            fs.commit_without_checkpoint().unwrap();
+            drop(fs);
+            dev.drop_caches();
+            let res = Kjfs::mount(rig.machine.clone(), dev, KjfsConfig::small());
+            assert_eq!(res.unwrap_err(), VfsError::Io);
         }
         other => panic!("no workload for unknown site {other}"),
     }
