@@ -211,11 +211,13 @@ fn sweep(report: &mut Report, quick: bool, agg: &mut u64) {
         for (si, &site) in sites::ALL.iter().enumerate() {
             // Scheduler sites are exercised by A12 and integration_smp, the
             // kjfs power-cut sites (and the torn-write device site that
-            // backs them) by A13 and the crash harness, not by the syscall
-            // driver here; skipping them keeps every (policy, site) seed —
-            // and the A8 trace hash — byte-identical to PR 5.
+            // backs them) by A13 and the crash harness, and the kprog
+            // load/run sites by A14 and integration_kprog, not by the
+            // syscall driver here; skipping them keeps every (policy,
+            // site) seed — and the A8 trace hash — byte-identical to PR 5.
             if site.starts_with("sched.")
                 || site.starts_with("kjfs.")
+                || site.starts_with("kprog.")
                 || site == sites::KVFS_BLOCKDEV_TORN
             {
                 continue;

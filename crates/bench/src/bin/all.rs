@@ -22,6 +22,8 @@ mod a11;
 mod a12;
 #[path = "a13_crashsweep.rs"]
 mod a13;
+#[path = "a14_kprog.rs"]
+mod a14;
 #[path = "a2_kgcc_ablate.rs"]
 mod a2;
 #[path = "a3_splay_mt.rs"]
@@ -81,6 +83,7 @@ fn main() {
     a9::run(&mut report);
     a10::run(&mut report);
     a13::run(&mut report);
+    a14::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

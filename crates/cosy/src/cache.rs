@@ -7,8 +7,9 @@
 //! amortise it — applies to the *translation* of the compound just as much
 //! as to the boundary crossings it saves.
 //!
-//! The cache keys on the raw bytes of the shared compound buffer: an FNV-1a
-//! hash picks the bucket, byte-for-byte equality confirms the entry (hash
+//! The machinery is [`ksim::ByteCache`], shared with kprog's verified-
+//! program cache: an FNV-1a hash over the raw bytes of the shared compound
+//! buffer picks the bucket, byte-for-byte equality confirms the entry (hash
 //! collisions can never alias two different compounds). A hit returns the
 //! previously decoded and validated [`Compound`], so the per-op decode
 //! charge is replaced by one small constant. A miss decodes, validates, and
@@ -18,41 +19,23 @@
 //! arity) still run on every submission: the cache elides only the work
 //! whose outcome is a pure function of the compound bytes.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use ksim::{ByteCache, ByteCacheEntry, ByteCacheStats};
 
 use crate::compound::Compound;
 
 /// A decoded, validated compound plus the exact bytes it came from.
-#[derive(Debug)]
-pub struct CachedCompound {
-    pub(crate) bytes: Vec<u8>,
-    pub(crate) compound: Compound,
-}
-
-impl CachedCompound {
-    pub fn compound(&self) -> &Compound {
-        &self.compound
-    }
-}
+/// `entry.value()` is the [`Compound`]; `entry.bytes()` the submission.
+pub type CachedCompound = ByteCacheEntry<Compound>;
 
 /// Hit/miss counters, snapshotted by [`TranslationCache::stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub entries: usize,
-}
+pub type CacheStats = ByteCacheStats;
 
 /// The compound translation cache: submission bytes → decoded compound.
 #[derive(Debug, Default)]
 pub struct TranslationCache {
-    buckets: RwLock<HashMap<u64, Vec<Arc<CachedCompound>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: ByteCache<Compound>,
 }
 
 impl TranslationCache {
@@ -64,49 +47,23 @@ impl TranslationCache {
     /// counted by [`TranslationCache::insert`], so a decode failure is
     /// neither.
     pub fn lookup(&self, bytes: &[u8]) -> Option<Arc<CachedCompound>> {
-        let h = fnv1a(bytes);
-        let buckets = self.buckets.read();
-        let entry = buckets.get(&h)?.iter().find(|e| e.bytes == bytes)?.clone();
-        self.hits.fetch_add(1, Relaxed);
-        Some(entry)
+        self.inner.lookup(bytes)
     }
 
     /// Record a successful translation. Returns the shared entry (the one
     /// already present, if a racing submission inserted first).
     pub fn insert(&self, bytes: Vec<u8>, compound: Compound) -> Arc<CachedCompound> {
-        self.misses.fetch_add(1, Relaxed);
-        let h = fnv1a(&bytes);
-        let mut buckets = self.buckets.write();
-        let bucket = buckets.entry(h).or_default();
-        if let Some(e) = bucket.iter().find(|e| e.bytes == bytes) {
-            return e.clone();
-        }
-        let entry = Arc::new(CachedCompound { bytes, compound });
-        bucket.push(entry.clone());
-        entry
+        self.inner.insert(bytes, compound)
     }
 
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
-            entries: self.buckets.read().values().map(Vec::len).sum(),
-        }
+        self.inner.stats()
     }
 
     /// Drop every entry (counters keep accumulating).
     pub fn clear(&self) {
-        self.buckets.write().clear();
+        self.inner.clear()
     }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -131,7 +88,8 @@ mod tests {
         assert!(cache.lookup(&bytes).is_none());
         cache.insert(bytes.clone(), c.clone());
         let hit = cache.lookup(&bytes).expect("must hit after insert");
-        assert_eq!(hit.compound(), &c);
+        assert_eq!(hit.value(), &c);
+        assert_eq!(hit.bytes(), &bytes[..]);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
     }
 
@@ -145,7 +103,7 @@ mod tests {
         assert_eq!(cache.stats().entries, 10);
         for n in 0..10 {
             let got = cache.lookup(&sample(n).encode()).unwrap();
-            assert_eq!(got.compound(), &sample(n));
+            assert_eq!(got.value(), &sample(n));
         }
     }
 
@@ -159,8 +117,8 @@ mod tests {
         let b = sample(2);
         cache.insert(a.encode(), a.clone());
         cache.insert(b.encode(), b.clone());
-        assert_eq!(cache.lookup(&a.encode()).unwrap().compound(), &a);
-        assert_eq!(cache.lookup(&b.encode()).unwrap().compound(), &b);
+        assert_eq!(cache.lookup(&a.encode()).unwrap().value(), &a);
+        assert_eq!(cache.lookup(&b.encode()).unwrap().value(), &b);
         // And bytes that were never inserted miss even at equal length.
         assert!(cache.lookup(&sample(3).encode()).is_none());
     }

@@ -328,7 +328,7 @@ impl CosyExtension {
                 self.cache.insert(bytes, compound)
             }
         };
-        let compound = cached.compound();
+        let compound = cached.value();
 
         let mut results: Vec<i64> = Vec::with_capacity(compound.len());
         for (i, op) in compound.ops.iter().enumerate() {

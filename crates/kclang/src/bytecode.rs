@@ -113,6 +113,51 @@ pub enum Op {
     Trap(TrapKind),
 }
 
+impl Op {
+    /// Stable opcode name, for verifier verdicts and disassembly.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Step(_) => "step",
+            Op::PushInt(_) => "push_int",
+            Op::PushLocalAddr(_) => "push_local_addr",
+            Op::PushGlobalAddr(_) => "push_global_addr",
+            Op::LoadLocal { .. } => "load_local",
+            Op::LoadGlobal { .. } => "load_global",
+            Op::LoadInd { .. } => "load_ind",
+            Op::StoreInd { .. } => "store_ind",
+            Op::StoreLocalKeep { .. } => "store_local_keep",
+            Op::StoreGlobalKeep { .. } => "store_global_keep",
+            Op::StoreLocalPop { .. } => "store_local_pop",
+            Op::StoreGlobalPop { .. } => "store_global_pop",
+            Op::StrLit { .. } => "str_lit",
+            Op::IndexAddr { .. } => "index_addr",
+            Op::PtrArith { .. } => "ptr_arith",
+            Op::PtrArithRev { .. } => "ptr_arith_rev",
+            Op::PtrDiff { .. } => "ptr_diff",
+            Op::Bin { .. } => "bin",
+            Op::Neg => "neg",
+            Op::NotOp => "not",
+            Op::NormBool => "norm_bool",
+            Op::Jump(_) => "jump",
+            Op::JumpIfZero(_) => "jump_if_zero",
+            Op::JumpIfNonZero(_) => "jump_if_nonzero",
+            Op::Pop => "pop",
+            Op::EnterScope => "enter_scope",
+            Op::ExitScope => "exit_scope",
+            Op::DeclLocal { .. } => "decl_local",
+            Op::Param { .. } => "param",
+            Op::Malloc => "malloc",
+            Op::Free { .. } => "free",
+            Op::PrintInt => "print_int",
+            Op::CallFn { .. } => "call_fn",
+            Op::CallHost { .. } => "call_host",
+            Op::Ret => "ret",
+            Op::AllocGlobal { .. } => "alloc_global",
+            Op::Trap(_) => "trap",
+        }
+    }
+}
+
 /// Per-function metadata.
 #[derive(Debug, Clone)]
 pub struct FuncInfo {
@@ -149,6 +194,32 @@ impl Module {
 
     pub fn funcs(&self) -> &[FuncInfo] {
         &self.funcs
+    }
+
+    /// The flat code vector — read-only access for static analysers (the
+    /// kprog load-time verifier walks this).
+    pub fn ops(&self) -> &[Op] {
+        &self.code
+    }
+
+    /// Global slot metadata, indexed by `gidx`.
+    pub fn globals(&self) -> &[GlobalSlot] {
+        &self.globals
+    }
+
+    /// String-literal bytes, indexed by `sidx`.
+    pub fn strings(&self) -> &[Vec<u8>] {
+        &self.strings
+    }
+
+    /// Entry pc of the init chunk ([`crate::Vm::new`] runs it first).
+    pub fn init_entry(&self) -> u32 {
+        self.init_entry
+    }
+
+    /// Look up a function's index by name.
+    pub fn func_by_name(&self, name: &str) -> Option<u16> {
+        self.func_index.get(&Sym::intern(name)).copied()
     }
 
     /// Number of ops currently carrying an armed check.

@@ -49,7 +49,9 @@ pub mod vm;
 pub use ast::{
     BinOp, Block, Decl, Expr, ExprKind, Func, Program, SourceLoc, Stmt, Type, UnOp,
 };
-pub use bytecode::{compile_with_filter, CompileError, Module};
+pub use bytecode::{
+    compile, compile_with_filter, Access, CompileError, FuncInfo, GlobalSlot, Module, Op, TrapKind,
+};
 pub use sym::Sym;
 pub use hooks::{CheckViolation, MemHook, ViolationKind};
 pub use interp::{ExecConfig, ExecOutcome, Interp, InterpError, MemCtx, SegMode, SyscallHost};

@@ -27,14 +27,34 @@ pub trait EventMonitor: Send + Sync {
     }
 }
 
+/// A dispatch transform: runs *before* the callbacks and the ring, may
+/// rewrite the record's payload, and may drop it entirely. This is the
+/// kevents attach point for verified kprog programs (filter/redact event
+/// streams in the kernel instead of draining everything to user space),
+/// but any in-kernel filter can implement it.
+pub trait EventTransform: Send + Sync {
+    /// Return `false` to drop the record; `true` keeps (possibly mutated).
+    fn transform(&self, rec: &mut EventRecord) -> bool;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "anonymous-transform"
+    }
+}
+
 /// The dispatcher: fan-out point between instrumented code, in-kernel
 /// callbacks, and the user-space ring.
 pub struct EventDispatcher {
     machine: Arc<Machine>,
     callbacks: RwLock<Vec<Arc<dyn EventMonitor>>>,
+    transform: RwLock<Option<Arc<dyn EventTransform>>>,
+    /// Mirrors `transform.is_some()`: the untransformed hot path tests one
+    /// relaxed load instead of taking the lock.
+    has_transform: AtomicBool,
     ring: RwLock<Option<Arc<EventRing>>>,
     enabled: AtomicBool,
     events: AtomicU64,
+    dropped_by_transform: AtomicU64,
 }
 
 impl EventDispatcher {
@@ -42,9 +62,12 @@ impl EventDispatcher {
         EventDispatcher {
             machine,
             callbacks: RwLock::new(Vec::new()),
+            transform: RwLock::new(None),
+            has_transform: AtomicBool::new(false),
             ring: RwLock::new(None),
             enabled: AtomicBool::new(true),
             events: AtomicU64::new(0),
+            dropped_by_transform: AtomicU64::new(0),
         }
     }
 
@@ -56,6 +79,25 @@ impl EventDispatcher {
     /// Remove every callback with the given name.
     pub fn unregister(&self, name: &str) {
         self.callbacks.write().retain(|m| m.name() != name);
+    }
+
+    /// Install the dispatch transform (replacing any previous one). At
+    /// most one transform is active: composition belongs inside a program,
+    /// not in dispatcher ordering rules.
+    pub fn attach_transform(&self, t: Arc<dyn EventTransform>) {
+        *self.transform.write() = Some(t);
+        self.has_transform.store(true, Relaxed);
+    }
+
+    /// Remove the dispatch transform.
+    pub fn detach_transform(&self) {
+        self.has_transform.store(false, Relaxed);
+        *self.transform.write() = None;
+    }
+
+    /// Records dropped by the transform since construction.
+    pub fn dropped_by_transform(&self) -> u64 {
+        self.dropped_by_transform.load(Relaxed)
     }
 
     /// Attach the ring buffer that feeds the character device.
@@ -93,6 +135,17 @@ impl EventDispatcher {
         }
         self.events.fetch_add(1, Relaxed);
         self.machine.charge_sys(self.machine.cost.event_dispatch);
+
+        let mut rec = rec;
+        if self.has_transform.load(Relaxed) {
+            let t = self.transform.read().clone();
+            if let Some(t) = t {
+                if !t.transform(&mut rec) {
+                    self.dropped_by_transform.fetch_add(1, Relaxed);
+                    return;
+                }
+            }
+        }
 
         for cb in self.callbacks.read().iter() {
             cb.on_event(&rec);
@@ -192,6 +245,45 @@ mod tests {
         d.unregister("counter");
         d.log_event(rec());
         assert_eq!(c.n.load(Relaxed), 0);
+    }
+
+    struct DropOdd;
+    impl EventTransform for DropOdd {
+        fn transform(&self, rec: &mut EventRecord) -> bool {
+            rec.value *= 10;
+            rec.obj.is_multiple_of(2)
+        }
+        fn name(&self) -> &str {
+            "drop-odd"
+        }
+    }
+
+    #[test]
+    fn transform_filters_and_rewrites_before_callbacks_and_ring() {
+        struct Last {
+            v: std::sync::atomic::AtomicI64,
+        }
+        impl EventMonitor for Last {
+            fn on_event(&self, rec: &EventRecord) {
+                self.v.store(rec.value, Relaxed);
+            }
+        }
+        let d = dispatcher();
+        let last = Arc::new(Last { v: std::sync::atomic::AtomicI64::new(-1) });
+        let ring = Arc::new(EventRing::with_capacity(8));
+        d.register(last.clone());
+        d.attach_ring(ring.clone());
+        d.attach_transform(Arc::new(DropOdd));
+        d.log_event(EventRecord::new(1, EventType::RefInc, "t", 1, 5)); // odd obj: dropped
+        d.log_event(EventRecord::new(2, EventType::RefInc, "t", 1, 7)); // kept, value x10
+        assert_eq!(ring.len(), 1, "dropped record reaches neither ring nor callbacks");
+        assert_eq!(last.v.load(Relaxed), 70, "kept record arrives rewritten");
+        assert_eq!(d.dropped_by_transform(), 1);
+        assert_eq!(d.events(), 2, "dropped records still count as dispatched");
+        d.detach_transform();
+        d.log_event(EventRecord::new(3, EventType::RefInc, "t", 1, 9));
+        assert_eq!(ring.len(), 2, "detached transform no longer filters");
+        assert_eq!(last.v.load(Relaxed), 9, "and no longer rewrites");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod record;
 pub mod ring;
 
 pub use chardev::{CharDev, CharDevStats, LibKernEvents, ReadMode};
-pub use dispatch::{EventDispatcher, EventMonitor};
+pub use dispatch::{EventDispatcher, EventMonitor, EventTransform};
 pub use instrument::{InstrumentedRefcount, InstrumentedSemaphore, InstrumentedSpinLock};
 pub use monitors::{IrqMonitor, RefcountMonitor, SemaphoreMonitor, SpinlockMonitor, Violation};
 pub use logfile::{read_log, replay, write_log, LoggedEvent};

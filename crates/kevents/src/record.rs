@@ -29,6 +29,25 @@ pub enum EventType {
     Custom(u16),
 }
 
+impl EventType {
+    /// Stable integer encoding of the event class, for handing records to
+    /// verified kprog transform programs (which see plain integers). The
+    /// built-in classes occupy 0..8; `Custom(n)` maps to `0x100 + n`.
+    pub fn code(&self) -> i64 {
+        match self {
+            EventType::LockAcquire => 0,
+            EventType::LockRelease => 1,
+            EventType::RefInc => 2,
+            EventType::RefDec => 3,
+            EventType::IrqDisable => 4,
+            EventType::IrqEnable => 5,
+            EventType::SemDown => 6,
+            EventType::SemUp => 7,
+            EventType::Custom(n) => 0x100 + *n as i64,
+        }
+    }
+}
+
 /// One logged event. Kept small (object word + type + source location +
 /// value) so ring-buffer traffic stays cheap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -72,13 +72,23 @@ pub mod sites {
     /// kjfs page-cache writeback: kill at a checkpoint/writeback block
     /// write after commit.
     pub const KJFS_WRITEBACK: &str = "kjfs.writeback";
+    /// kprog load-time verifier: force a structured rejection verdict for
+    /// a program that would otherwise verify (exercises every caller's
+    /// rejected-program path without crafting unsound bytecode).
+    pub const KPROG_VERIFY_REJECT: &str = "kprog.verify.reject";
+    /// kprog attached-program invocation: force the step budget to read as
+    /// exhausted before the program runs (the hook's fail-open/fail-closed
+    /// handling under a budget trip).
+    pub const KPROG_BUDGET_EXHAUSTED: &str = "kprog.budget.exhausted";
 
     /// Every registered site, for sweeps. The two `sched.*` sites need an
-    /// SMP driving harness, and the `kjfs.*`/torn sites a crash-remount
-    /// harness, so the a8 single-rig workload sweep skips them (keeping
-    /// its TRACE_HASH stable); `tests/integration_smp.rs` and the A13
-    /// crash sweep cover their determinism instead. New sites append at
-    /// the END: a8's per-combo seeds are derived from these indices.
+    /// SMP driving harness, the `kjfs.*`/torn sites a crash-remount
+    /// harness, and the `kprog.*` sites a loaded-program engine, so the a8
+    /// single-rig workload sweep skips them (keeping its TRACE_HASH
+    /// stable); `tests/integration_smp.rs`, the A13 crash sweep, and
+    /// `tests/integration_faults.rs` cover their determinism instead. New
+    /// sites append at the END: a8's per-combo seeds are derived from
+    /// these indices.
     pub const ALL: &[&str] = &[
         KSIM_FRAME_ALLOC,
         KSIM_TLB_FILL,
@@ -99,6 +109,8 @@ pub mod sites {
         KJFS_JOURNAL_COMMIT,
         KJFS_JOURNAL_REPLAY,
         KJFS_WRITEBACK,
+        KPROG_VERIFY_REJECT,
+        KPROG_BUDGET_EXHAUSTED,
     ];
 }
 

@@ -1,0 +1,248 @@
+//! The attach-point runtime: one [`Attachment`] per installed program.
+//!
+//! Defence in depth: even though the verifier proves memory safety, the
+//! program runs in a **dedicated address space** containing only its own
+//! pages (context block, persistent state, data window, VM arena). A
+//! verifier bug therefore cannot leak kernel or user memory — the worst a
+//! mis-verified program could do is fault cleanly in its own sandbox.
+//!
+//! Invocation cost is explicit and simulated: a fixed `kprog_invoke`
+//! dispatch charge, copy charges for the context block and data window,
+//! and the VM's per-step cycles (charged as system time — the program *is*
+//! kernel code now). The proved `max_steps` is installed as the VM fuel
+//! limit: the budget is a guarantee, not a watchdog.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use kclang::{ExecConfig, InterpError, SegMode, Vm};
+use ksim::{AsId, Machine, PteFlags, SimError, PAGE_SIZE};
+use parking_lot::Mutex;
+
+use crate::engine::{HookClass, VerifiedProg, CTX_BYTES, CTX_WORDS};
+
+/// Guest-virtual base of the attachment's private region.
+const REGION_BASE: u64 = 0x6100_0000;
+/// VM arena pages (64 KiB: locals, call frames, string literals).
+const ARENA_PAGES: usize = 16;
+
+/// Cap on how far a CQE program may point a resubmitted read (keeps a
+/// buggy-but-verified program from walking a file forever).
+pub const MAX_RESUBMIT_OFF: u64 = 65_536;
+
+/// Errors surfaced by one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgError {
+    /// Step budget exhausted (proved bound hit, or injected via the
+    /// `kprog.budget.exhausted` fault site).
+    Budget { steps: u64 },
+    /// The program stopped with a clean runtime error (div-by-zero, arena
+    /// OOM, ...). Attach points treat this per their fail-open/closed
+    /// policy.
+    Exec(InterpError),
+    /// Simulated-machine memory error while moving data in or out.
+    Mem(SimError),
+}
+
+impl std::fmt::Display for ProgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgError::Budget { steps } => write!(f, "step budget exhausted after {steps}"),
+            ProgError::Exec(e) => write!(f, "program error: {e}"),
+            ProgError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl From<SimError> for ProgError {
+    fn from(e: SimError) -> Self {
+        ProgError::Mem(e)
+    }
+}
+
+/// Per-attachment invocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttachStats {
+    pub invocations: u64,
+    pub errors: u64,
+    pub budget_trips: u64,
+}
+
+/// An installed program: its private address space plus counters.
+pub struct Attachment {
+    machine: Arc<Machine>,
+    prog: Arc<VerifiedProg>,
+    asid: AsId,
+    ctx_addr: u64,
+    state_addr: u64,
+    buf_addr: u64,
+    arena_base: u64,
+    arena_len: usize,
+    /// Serialises invocations: one VM run at a time per attachment.
+    lock: Mutex<()>,
+    invocations: AtomicU64,
+    errors: AtomicU64,
+    budget_trips: AtomicU64,
+}
+
+impl Attachment {
+    /// Build the sandbox for `prog`: a fresh address space with the header
+    /// page (ctx + state), the data window, and the VM arena mapped.
+    pub fn new(machine: Arc<Machine>, prog: Arc<VerifiedProg>) -> Result<Self, ProgError> {
+        let spec = prog.spec();
+        assert!(
+            CTX_BYTES + spec.state_words * 8 <= PAGE_SIZE,
+            "state_words must fit the header page"
+        );
+        let asid = machine.mem.create_space();
+        let ctx_addr = REGION_BASE;
+        let state_addr = REGION_BASE + CTX_BYTES as u64;
+        let buf_addr = REGION_BASE + PAGE_SIZE as u64;
+        let buf_pages = spec.buf_len.max(1).div_ceil(PAGE_SIZE);
+        let arena_base = buf_addr + (buf_pages * PAGE_SIZE) as u64;
+        let arena_len = ARENA_PAGES * PAGE_SIZE;
+        let total_pages = 1 + buf_pages + ARENA_PAGES;
+        for i in 0..total_pages {
+            machine.mem.map_anon(asid, REGION_BASE + (i * PAGE_SIZE) as u64, PteFlags::rw())?;
+        }
+        Ok(Attachment {
+            machine,
+            prog,
+            asid,
+            ctx_addr,
+            state_addr,
+            buf_addr,
+            arena_base,
+            arena_len,
+            lock: Mutex::new(()),
+            invocations: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            budget_trips: AtomicU64::new(0),
+        })
+    }
+
+    pub fn prog(&self) -> &Arc<VerifiedProg> {
+        &self.prog
+    }
+
+    pub fn class(&self) -> HookClass {
+        self.prog.spec().class
+    }
+
+    pub fn stats(&self) -> AttachStats {
+        AttachStats {
+            invocations: self.invocations.load(Relaxed),
+            errors: self.errors.load(Relaxed),
+            budget_trips: self.budget_trips.load(Relaxed),
+        }
+    }
+
+    /// Read the persistent state words out of the sandbox.
+    pub fn state(&self) -> Vec<i64> {
+        let n = self.prog.spec().state_words;
+        let mut bytes = vec![0u8; n * 8];
+        self.machine
+            .mem
+            .read_virt(self.asid, self.state_addr, &mut bytes)
+            .expect("state page is mapped");
+        bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Overwrite the persistent state words (attach-time seeding).
+    pub fn set_state(&self, vals: &[i64]) {
+        let n = self.prog.spec().state_words.min(vals.len());
+        let mut bytes = Vec::with_capacity(n * 8);
+        for v in &vals[..n] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.machine
+            .mem
+            .write_virt(self.asid, self.state_addr, &bytes)
+            .expect("state page is mapped");
+    }
+
+    /// Run one invocation: marshal `ctx` (and optionally a data window)
+    /// into the sandbox, execute the entry function under the proved fuel
+    /// bound, and marshal `ctx` back out. Returns the program's value.
+    pub fn run(&self, ctx: &mut [i64; CTX_WORDS], buf: Option<&[u8]>) -> Result<i64, ProgError> {
+        let _serial = self.lock.lock();
+        self.invocations.fetch_add(1, Relaxed);
+        let m = &self.machine;
+        if m.faults.should_fail(kfault::sites::KPROG_BUDGET_EXHAUSTED) {
+            self.budget_trips.fetch_add(1, Relaxed);
+            return Err(ProgError::Budget { steps: self.prog.proof.max_steps });
+        }
+        m.charge_sys(m.cost.kprog_invoke);
+
+        // Context in.
+        let mut bytes = [0u8; CTX_BYTES];
+        for (i, v) in ctx.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        m.charge_sys(m.cost.copy_cost(CTX_BYTES));
+        m.mem.write_virt(self.asid, self.ctx_addr, &bytes)?;
+
+        // Data window in (CQE programs).
+        if let Some(data) = buf {
+            let n = data.len().min(self.prog.spec().buf_len);
+            m.charge_sys(m.cost.copy_cost(n));
+            m.mem.write_virt(self.asid, self.buf_addr, &data[..n])?;
+        }
+
+        // Fresh VM per invocation: globals re-initialise from the init
+        // chunk (covered by the proof), persistent state lives in the
+        // state words, not in VM globals.
+        let cfg = ExecConfig {
+            asid: self.asid,
+            seg: SegMode::Flat,
+            charge_sys: true,
+            max_steps: Some(self.prog.proof.max_steps),
+            tick_every: 64,
+            cycles_per_step: 4,
+        };
+        let outcome = (|| {
+            let mut vm =
+                Vm::new(m, self.prog.module(), cfg, self.arena_base, self.arena_len)?;
+            let entry = self.prog.spec().entry.clone();
+            let argbuf =
+                [self.ctx_addr as i64, self.state_addr as i64, self.buf_addr as i64];
+            let argc = if self.class() == HookClass::UringCqe { 3 } else { 2 };
+            vm.run(&entry, &argbuf[..argc])
+        })();
+
+        match outcome {
+            Ok(out) => {
+                // Context out (the program's rewrite surface).
+                m.charge_sys(m.cost.copy_cost(CTX_BYTES));
+                let mut back = [0u8; CTX_BYTES];
+                m.mem.read_virt(self.asid, self.ctx_addr, &mut back)?;
+                for (i, v) in ctx.iter_mut().enumerate() {
+                    *v = i64::from_le_bytes(back[i * 8..(i + 1) * 8].try_into().unwrap());
+                }
+                Ok(out.ret)
+            }
+            Err(InterpError::Timeout { steps }) => {
+                self.budget_trips.fetch_add(1, Relaxed);
+                self.errors.fetch_add(1, Relaxed);
+                Err(ProgError::Budget { steps })
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Relaxed);
+                Err(ProgError::Exec(e))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Attachment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Attachment")
+            .field("class", &self.class())
+            .field("entry", &self.prog.spec().entry)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,49 @@
+//! Adapter installing a verified program as a kevents dispatch transform.
+
+use std::sync::Arc;
+
+use kevents::{EventRecord, EventTransform};
+
+use crate::attach::Attachment;
+use crate::engine::{HookClass, CTX_WORDS};
+
+/// A verified [`HookClass::EventDispatch`] program wired into
+/// [`kevents::EventDispatcher::attach_transform`]. Context layout:
+/// `[obj, type_code, value, line]`; return 0 drops the record, nonzero
+/// keeps it with `value := ctx[2]`.
+pub struct EventProgram {
+    att: Arc<Attachment>,
+}
+
+impl EventProgram {
+    /// Wrap an attachment. Panics if it is not an event-dispatch program —
+    /// attach-class confusion is a caller bug, not a runtime condition.
+    pub fn new(att: Arc<Attachment>) -> Self {
+        assert_eq!(att.class(), HookClass::EventDispatch, "not an event-dispatch program");
+        EventProgram { att }
+    }
+
+    pub fn attachment(&self) -> &Arc<Attachment> {
+        &self.att
+    }
+}
+
+impl EventTransform for EventProgram {
+    fn transform(&self, rec: &mut EventRecord) -> bool {
+        let mut ctx: [i64; CTX_WORDS] =
+            [rec.obj as i64, rec.event.code(), rec.value, rec.line as i64];
+        match self.att.run(&mut ctx, None) {
+            // Fail open: a faulting filter must never silence telemetry.
+            Err(_) => true,
+            Ok(0) => false,
+            Ok(_) => {
+                rec.value = ctx[2];
+                true
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "kprog-event-program"
+    }
+}

@@ -77,6 +77,10 @@ pub struct CostModel {
     /// demux, flag handling, chain-fd resolution. The cheap stand-in for
     /// the full `syscall_dispatch` + crossing a classic invocation pays.
     pub uring_op_dispatch: u64,
+    /// Fixed cost of invoking one verified kprog program at a hook point
+    /// (registry lookup, VM frame setup); program steps are charged on top
+    /// at the VM's cycles-per-step rate.
+    pub kprog_invoke: u64,
 }
 
 impl Default for CostModel {
@@ -107,6 +111,7 @@ impl Default for CostModel {
             uring_sqe_move: 48,    // 3 × 16-byte blocks at the memcpy rate
             uring_cqe_move: 16,    // 1 × 16-byte block
             uring_op_dispatch: 90, // opcode demux, no trap and no table walk
+            kprog_invoke: 80,      // registry probe + VM frame setup
         }
     }
 }
@@ -166,6 +171,7 @@ impl CostModel {
             uring_sqe_move: 0,
             uring_cqe_move: 0,
             uring_op_dispatch: 0,
+            kprog_invoke: 0,
         }
     }
 }

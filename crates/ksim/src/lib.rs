@@ -60,7 +60,10 @@ pub use kfault;
 pub use clock::{BatchGuard, Clock, MirrorGuard};
 pub use cost::{CostModel, CYCLES_PER_SEC};
 pub use error::{SimError, SimResult};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{
+    fnv1a, ByteCache, ByteCacheEntry, ByteCacheStats, FxBuildHasher, FxHashMap, FxHashSet,
+    FxHasher,
+};
 pub use irq::{IrqController, IrqHandler, IRQ_OVERHEAD_CYCLES};
 pub use machine::{thread_cpu, CpuBinding, CpuState, KernelToken, Machine, MachineConfig};
 pub use mem::{

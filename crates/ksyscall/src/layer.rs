@@ -66,6 +66,9 @@ pub struct SyscallLayer {
     pub(crate) urings: Mutex<FxHashMap<u32, Arc<kuring::Uring>>>,
     /// Recycled scratch buffers for user↔kernel data copies.
     pub(crate) scratch: kalloc::BufPool,
+    /// Verified-program attach points (syscall-entry filters, CQE
+    /// programs). Empty registries cost one relaxed load per syscall.
+    pub(crate) progs: kprog::ProgRegistry,
 }
 
 impl SyscallLayer {
@@ -81,6 +84,7 @@ impl SyscallLayer {
             id: NEXT_LAYER_ID.fetch_add(1, Relaxed),
             urings: Mutex::new(FxHashMap::default()),
             scratch,
+            progs: kprog::ProgRegistry::new(),
         }
     }
 
@@ -170,6 +174,25 @@ impl SyscallLayer {
     /// to compute the byte deltas for the trace record, so an untraced
     /// syscall (the default) skips both of them.
     pub(crate) fn invoke(&self, pid: Pid, no: Sysno, f: impl FnOnce(&Self) -> i64) -> i64 {
+        self.invoke_filtered(pid, no, [0; 3], |s, _| f(s))
+    }
+
+    /// [`Self::invoke`] for syscalls whose leading arguments a verified
+    /// entry filter may inspect or rewrite. With no filter attached the
+    /// extra cost is one relaxed load (the exact-cycle fast-path tests
+    /// pin this); with one attached, the program sees
+    /// `ctx = [sysno, args[0], args[1], args[2]]`, may veto with a
+    /// negative return (which becomes the syscall's errno result without
+    /// dispatching), or allow with the possibly-rewritten `ctx[1..4]` as
+    /// the new arguments. A faulting filter fails **closed** (-13 EACCES):
+    /// a process that asked for a policy program keeps it or loses service.
+    pub(crate) fn invoke_filtered(
+        &self,
+        pid: Pid,
+        no: Sysno,
+        args: [i64; 3],
+        f: impl FnOnce(&Self, [i64; 3]) -> i64,
+    ) -> i64 {
         let _batch = self.machine.clock.batch();
         let traced = self.tracer.is_enabled();
         self.machine.charge_user(USER_STUB_CYCLES);
@@ -180,7 +203,14 @@ impl SyscallLayer {
             Err(_) => return -14,                         // EFAULT
         };
         self.machine.stats.syscalls.fetch_add(1, Relaxed);
-        let ret = f(self);
+        let ret = if self.progs.has_syscall_filters() {
+            match self.consult_syscall_filter(pid, no, args) {
+                Ok(args) => f(self, args),
+                Err(veto) => veto,
+            }
+        } else {
+            f(self, args)
+        };
         self.machine.exit_kernel(token);
         if let Some(s0) = s0 {
             let d = self.machine.stats.snapshot().delta(&s0);
@@ -194,6 +224,64 @@ impl SyscallLayer {
             });
         }
         ret
+    }
+
+    /// Run `pid`'s entry filter. `Ok` carries the (possibly rewritten)
+    /// arguments; `Err` carries the veto errno.
+    fn consult_syscall_filter(
+        &self,
+        pid: Pid,
+        no: Sysno,
+        args: [i64; 3],
+    ) -> Result<[i64; 3], i64> {
+        let Some(att) = self.progs.syscall_filter(pid.0) else {
+            return Ok(args);
+        };
+        let mut ctx = [no as i64, args[0], args[1], args[2]];
+        match att.run(&mut ctx, None) {
+            Ok(v) if v < 0 => Err(v),
+            Ok(_) => Ok([ctx[1], ctx[2], ctx[3]]),
+            Err(_) => Err(-13), // EACCES: fail closed
+        }
+    }
+
+    // ---- verified-program attach points (kprog) ---------------------------
+
+    /// The attach registry (introspection; prefer the typed helpers below).
+    pub fn progs(&self) -> &kprog::ProgRegistry {
+        &self.progs
+    }
+
+    /// Install a verified syscall-entry filter for `pid`. Every subsequent
+    /// syscall from `pid` runs it before dispatch; see
+    /// [`Self::invoke_filtered`] for the veto/rewrite contract.
+    pub fn attach_syscall_filter(
+        &self,
+        pid: Pid,
+        att: Arc<kprog::Attachment>,
+    ) -> Result<(), &'static str> {
+        self.progs.attach_syscall(pid.0, att).map(|_| ())
+    }
+
+    /// Remove `pid`'s syscall-entry filter, returning it if present.
+    pub fn detach_syscall_filter(&self, pid: Pid) -> Option<Arc<kprog::Attachment>> {
+        self.progs.detach_syscall(pid.0)
+    }
+
+    /// Install a verified per-CQE completion program for `pid`. Ring
+    /// completions from `sys_ring_enter` then pass through it: the program
+    /// can drop, rewrite, or resubmit each completion without a crossing.
+    pub fn attach_cqe_program(
+        &self,
+        pid: Pid,
+        att: Arc<kprog::Attachment>,
+    ) -> Result<(), &'static str> {
+        self.progs.attach_cqe(pid.0, att).map(|_| ())
+    }
+
+    /// Remove `pid`'s CQE program, returning it if present.
+    pub fn detach_cqe_program(&self, pid: Pid) -> Option<Arc<kprog::Attachment>> {
+        self.progs.detach_cqe(pid.0)
     }
 
     // ---- in-kernel operations (used by sys_* and by Cosy) -----------------
@@ -373,7 +461,9 @@ impl SyscallLayer {
 
     /// `read(2)` into user buffer `ubuf`.
     pub fn sys_read(&self, pid: Pid, fd: i32, ubuf: u64, len: usize) -> i64 {
-        self.invoke(pid, Sysno::Read, |s| {
+        let args = [fd as i64, ubuf as i64, len as i64];
+        self.invoke_filtered(pid, Sysno::Read, args, |s, a| {
+            let (fd, ubuf, len) = (a[0] as i32, a[1] as u64, a[2].max(0) as usize);
             let mut stack = [0u8; SMALL_IO_MAX];
             let mut pooled;
             let buf: &mut [u8] = if len <= SMALL_IO_MAX {
@@ -394,7 +484,9 @@ impl SyscallLayer {
 
     /// `write(2)` from user buffer `ubuf`.
     pub fn sys_write(&self, pid: Pid, fd: i32, ubuf: u64, len: usize) -> i64 {
-        self.invoke(pid, Sysno::Write, |s| {
+        let args = [fd as i64, ubuf as i64, len as i64];
+        self.invoke_filtered(pid, Sysno::Write, args, |s, a| {
+            let (fd, ubuf, len) = (a[0] as i32, a[1] as u64, a[2].max(0) as usize);
             let mut stack = [0u8; SMALL_IO_MAX];
             let mut pooled;
             let data: &mut [u8] = if len <= SMALL_IO_MAX {
@@ -415,7 +507,9 @@ impl SyscallLayer {
 
     /// `lseek(2)`.
     pub fn sys_lseek(&self, pid: Pid, fd: i32, off: i64, whence: i32) -> i64 {
-        self.invoke(pid, Sysno::Lseek, |s| {
+        let args = [fd as i64, off, whence as i64];
+        self.invoke_filtered(pid, Sysno::Lseek, args, |s, a| {
+            let (fd, off, whence) = (a[0] as i32, a[1], a[2] as i32);
             match s.k_lseek(pid, fd, off, whence) {
                 Ok(o) => o as i64,
                 Err(e) => Self::err(e),
@@ -796,7 +890,9 @@ impl SyscallLayer {
     /// `send(2)` from user buffer `ubuf`; returns bytes queued (may be a
     /// short count under backpressure).
     pub fn sys_send(&self, pid: Pid, sd: i32, ubuf: u64, len: usize) -> i64 {
-        self.invoke(pid, Sysno::Send, |s| {
+        let args = [sd as i64, ubuf as i64, len as i64];
+        self.invoke_filtered(pid, Sysno::Send, args, |s, a| {
+            let (sd, ubuf, len) = (a[0] as i32, a[1] as u64, a[2].max(0) as usize);
             let mut stack = [0u8; SMALL_IO_MAX];
             let mut pooled;
             let data: &mut [u8] = if len <= SMALL_IO_MAX {
@@ -818,7 +914,9 @@ impl SyscallLayer {
     /// `recv(2)` into user buffer `ubuf`; 0 means EOF, -EAGAIN means no
     /// data yet.
     pub fn sys_recv(&self, pid: Pid, sd: i32, ubuf: u64, len: usize) -> i64 {
-        self.invoke(pid, Sysno::Recv, |s| {
+        let args = [sd as i64, ubuf as i64, len as i64];
+        self.invoke_filtered(pid, Sysno::Recv, args, |s, a| {
+            let (sd, ubuf, len) = (a[0] as i32, a[1] as u64, a[2].max(0) as usize);
             let mut stack = [0u8; SMALL_IO_MAX];
             let mut pooled;
             let buf: &mut [u8] = if len <= SMALL_IO_MAX {

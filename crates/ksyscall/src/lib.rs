@@ -18,6 +18,9 @@ pub mod layer;
 pub mod uring;
 pub mod wire;
 
+#[cfg(test)]
+mod prog_tests;
+
 pub use fd::{FdTable, OpenFile, OpenFlags};
 pub use layer::{SyscallLayer, USER_STUB_CYCLES};
 pub use wire::{parse_dirents, parse_rdp_entries, RDP_ENTRY_WIRE_BYTES};

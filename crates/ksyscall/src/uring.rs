@@ -30,6 +30,13 @@ use crate::layer::{SyscallLayer, SEEK_SET};
 /// Longest path an `Open` SQE may reference.
 const RING_PATH_MAX: usize = 256;
 
+/// Cap on how many times a CQE program may resubmit one SQE within a
+/// single `sys_ring_enter`. A verified program provably terminates *per
+/// invocation*; this bounds the chain of invocations so a
+/// resubmit-forever program still returns to user space. On overrun the
+/// latest completion posts as-is (fail open).
+const MAX_CQE_RESUBMITS: usize = 4096;
+
 impl SyscallLayer {
     /// `sys_ring_setup`: create `pid`'s SQ/CQ ring pair with the given
     /// entry capacities. One ring pair per process; -EEXIST if it already
@@ -110,6 +117,10 @@ impl SyscallLayer {
                 return -6; // ENXIO
             };
             ring.flush_overflow();
+            // Fetched once per batch: one relaxed load when no CQE program
+            // is attached (the common case, pinned by the exact-charge
+            // tests).
+            let cqe_prog = s.progs.cqe_program(pid.0);
             // One lock round-trip drains the whole batch; the per-entry
             // SQE-move charges are identical to popping them one by one.
             let mut sqes = Vec::with_capacity(to_submit.min(64));
@@ -140,14 +151,101 @@ impl SyscallLayer {
                     }
                     r
                 };
-                ring.post_cqe(Cqe {
-                    user_data: sqe.user_data,
-                    res,
-                });
+                match &cqe_prog {
+                    None => ring.post_cqe(Cqe {
+                        user_data: sqe.user_data,
+                        res,
+                    }),
+                    Some(att) => s.complete_with_program(pid, &ring, att, sqe, res),
+                }
                 in_chain = sqe.flags & IOSQE_LINK != 0;
             }
             submitted
         })
+    }
+
+    /// Run `pid`'s verified CQE program over one completion, looping while
+    /// it resubmits. Contract (`ctx = [user_data, res, off, len]`, plus
+    /// the first `buf_len` bytes of the op's data window when the op
+    /// produced data):
+    ///
+    /// * return `0` — **drop**: no CQE posts; the completion was consumed
+    ///   in kernel.
+    /// * return `2` — **resubmit**: re-execute the same SQE with
+    ///   `off := ctx[2]` (clamped to [`kprog::MAX_RESUBMIT_OFF`]); the new
+    ///   completion feeds back through the program. Each resubmission pays
+    ///   `uring_op_dispatch` like a fresh SQE, but no crossing.
+    /// * any other return — **keep**: post `Cqe { user_data: ctx[0],
+    ///   res: ctx[1] }` (the rewrite surface).
+    /// * program error — fail **open**: the unmodified completion posts,
+    ///   so a buggy program degrades to a plain ring, never a silent ring.
+    fn complete_with_program(
+        &self,
+        pid: Pid,
+        ring: &Arc<Uring>,
+        att: &Arc<kprog::Attachment>,
+        sqe: &Sqe,
+        first_res: i64,
+    ) {
+        let buf_len = att.prog().spec().buf_len;
+        let mut cur = *sqe;
+        let mut res = first_res;
+        for _ in 0..=MAX_CQE_RESUBMITS {
+            let mut ctx = [cur.user_data as i64, res, cur.off as i64, cur.len as i64];
+            let window = self.cqe_window(pid, ring, &cur, res, buf_len);
+            match att.run(&mut ctx, window.as_deref()) {
+                Err(_) => {
+                    ring.post_cqe(Cqe {
+                        user_data: cur.user_data,
+                        res,
+                    });
+                    return;
+                }
+                Ok(0) => return,
+                Ok(2) => {
+                    cur.off = (ctx[2].max(0) as u64).min(kprog::MAX_RESUBMIT_OFF);
+                    self.machine.charge_sys(self.machine.cost.uring_op_dispatch);
+                    res = self.exec_ring_op(pid, ring, &cur, -1);
+                }
+                Ok(_) => {
+                    ring.post_cqe(Cqe {
+                        user_data: ctx[0] as u64,
+                        res: ctx[1],
+                    });
+                    return;
+                }
+            }
+        }
+        // Resubmit cap hit: surface the latest completion untouched.
+        ring.post_cqe(Cqe {
+            user_data: cur.user_data,
+            res,
+        });
+    }
+
+    /// The data window a CQE program sees: the first `buf_len` bytes the
+    /// op deposited (fixed-buffer range or plain user buffer), or `None`
+    /// when the program declared no window or the op produced no data.
+    fn cqe_window(
+        &self,
+        pid: Pid,
+        ring: &Uring,
+        sqe: &Sqe,
+        res: i64,
+        buf_len: usize,
+    ) -> Option<Vec<u8>> {
+        if buf_len == 0 || res <= 0 {
+            return None;
+        }
+        let addr = if sqe.flags & IOSQE_FIXED_BUF != 0 {
+            ring.fixed_buf(sqe.buf as u32)?.0
+        } else {
+            sqe.buf
+        };
+        let asid = self.machine.proc_asid(pid).ok()?;
+        let mut out = vec![0u8; buf_len.min(res as usize)];
+        self.machine.mem.read_virt(asid, addr, &mut out).ok()?;
+        Some(out)
     }
 
     /// Resolve the descriptor an SQE operates on: its own `fd`, or the

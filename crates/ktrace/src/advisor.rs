@@ -36,6 +36,13 @@ pub enum Remedy {
     /// every group pays a single durability barrier and the whole batch
     /// drains through one `sys_ring_enter` crossing.
     BatchWritesSingleFsync,
+    /// A drain→filter→resubmit loop: back-to-back `ring_enter` crossings
+    /// where the process reaps each completion, inspects it in user space,
+    /// and immediately resubmits a follow-up op. A verified CQE program
+    /// (kprog) makes the same keep/drop/resubmit decision at completion
+    /// time *inside the kernel*, so the whole dependent chain collapses
+    /// into a single crossing.
+    AttachCqeProgram,
 }
 
 /// One recommendation.
@@ -77,6 +84,14 @@ fn fsync_tail(seq: &[Sysno]) -> bool {
         && seq[..seq.len() - 1].iter().all(|&s| s == Sysno::Write)
 }
 
+/// Consecutive `ring_enter` crossings with nothing between them: the ring
+/// already batches independent ops, so a process re-entering back-to-back
+/// is making per-completion decisions in user space (reap → filter →
+/// resubmit). That decision loop is what a CQE program runs in kernel.
+fn cqe_programmable(seq: &[Sysno]) -> bool {
+    seq.len() >= 2 && seq.iter().all(|&s| s == Sysno::RingEnter)
+}
+
 /// Match a mined sequence against the consolidated-call catalogue.
 fn match_consolidated(seq: &[Sysno]) -> Option<Sysno> {
     match seq {
@@ -99,6 +114,21 @@ pub fn advise(events: &[SyscallEvent], cost: &CostModel, min_count: u64) -> Vec<
     let mut ring: Vec<Suggestion> = Vec::new();
     for len in 2..=4usize {
         for p in mine_patterns(events, len, min_count) {
+            // Checked before the consolidated-call skip: `ring_enter` *is*
+            // consolidated, and a run of them is exactly the signature this
+            // remedy exists for.
+            if cqe_programmable(&p.seq) {
+                let calls = p.calls_covered();
+                // One programmed crossing drives the whole resubmit chain.
+                let crossings_saved = calls.saturating_sub(1);
+                ring.push(Suggestion {
+                    pattern: p.clone(),
+                    remedy: Remedy::AttachCqeProgram,
+                    crossings_saved,
+                    cycles_saved: crossings_saved * cost.crossing_cost(),
+                });
+                continue;
+            }
             // Skip sequences already containing consolidated calls.
             if p.seq.iter().any(|s| s.is_consolidated()) {
                 continue;
@@ -213,6 +243,9 @@ pub fn render_report(suggestions: &[Suggestion]) -> String {
             Remedy::BatchViaUring => "batch via kuring (sys_ring_enter)".to_string(),
             Remedy::BatchWritesSingleFsync => {
                 "batch writes + single fsync via kuring".to_string()
+            }
+            Remedy::AttachCqeProgram => {
+                "attach verified CQE program (kprog) — resubmit in kernel".to_string()
             }
         };
         let _ = writeln!(
@@ -412,6 +445,27 @@ mod tests {
                 .any(|s| s.remedy == Remedy::BatchWritesSingleFsync),
             "{sugg:?}"
         );
+    }
+
+    #[test]
+    fn drain_filter_resubmit_loop_gets_cqe_program() {
+        // A pointer-chase over a ring: every hop is its own `ring_enter`
+        // because the next offset is only known after user space inspects
+        // the completion — back-to-back enters with nothing between them.
+        let t = seq(13, &[Sysno::RingEnter], 100);
+        let sugg = advise(&t, &CostModel::default(), 16);
+        let s = sugg
+            .iter()
+            .find(|s| s.remedy == Remedy::AttachCqeProgram)
+            .expect("CQE program recommended");
+        assert!(s.pattern.seq.iter().all(|&x| x == Sysno::RingEnter));
+        assert!(s.crossings_saved > 0);
+        assert!(s.cycles_saved > 0);
+        // The run is this remedy's alone — neither re-consolidated nor
+        // ring-batched (it already runs on a ring).
+        assert!(sugg.iter().all(|s| s.remedy == Remedy::AttachCqeProgram));
+        let rpt = render_report(&sugg);
+        assert!(rpt.contains("attach verified CQE program"));
     }
 
     #[test]

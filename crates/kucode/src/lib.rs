@@ -27,6 +27,7 @@
 //! | **KGCC** bounds-checking runtime + deinstrumentation (§3.4) | [`kgcc`] |
 //! | PostMark, Am-utils-like compile, DB scan workloads | [`kworkloads`] |
 //! | Deterministic fault injection (the robustness harness) | [`kfault`] |
+//! | Verified in-kernel programs (load-time proofs, attach points) | [`kprog`] |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use kfault;
 pub use kgcc;
 pub use kjfs;
 pub use knet;
+pub use kprog;
 pub use ksim;
 pub use ksyscall;
 pub use ktrace;
@@ -87,6 +89,10 @@ pub mod prelude {
     pub use kgcc::{CheckPlan, Deinstrument, KgccConfig, KgccHook};
     pub use kjfs::{default_workload, Harness, Kjfs, KjfsConfig, KjfsStats, Model, WOp};
     pub use knet::{NetError, NetStack, POLL_HUP, POLL_IN, POLL_OUT};
+    pub use kprog::{
+        Attachment, EventProgram, HookClass, LoadError, ProgEngine, ProgError, ProgRegistry,
+        ProgSpec, RejectRule, Rejection, VerifiedProg,
+    };
     pub use ksim::{
         clock::{improvement_pct, overhead_pct},
         cost::cycles_to_secs,
@@ -101,8 +107,9 @@ pub mod prelude {
     };
     pub use kvfs::{FileKind, Stat, VfsSnapshot};
     pub use kworkloads::{
-        probe_cosy, probe_user, run_compile, run_postmark, scan_cosy, scan_user, setup_db,
-        CompileConfig, DbConfig, PostmarkConfig, Rig, UserProc,
+        chase_kernel, chase_user, probe_cosy, probe_user, run_compile, run_postmark, scan_cosy,
+        scan_user, setup_chase, setup_db, ChaseRun, CompileConfig, DbConfig, PostmarkConfig, Rig,
+        UserProc,
     };
 }
 

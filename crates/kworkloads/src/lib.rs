@@ -15,6 +15,7 @@
 
 pub mod amutils;
 pub mod dbscan;
+pub mod kprogs;
 pub mod postmark;
 pub mod rig;
 pub mod webserver;
@@ -22,6 +23,11 @@ pub mod webserver;
 pub use amutils::{run_compile, CompileConfig, CompileReport};
 pub use dbscan::{
     probe_cosy, probe_user, scan_cosy, scan_user, setup_db, DbConfig, DbRunReport,
+};
+pub use kprogs::{
+    build_chase_file, chase_kernel, chase_user, setup_chase, ChaseFile, ChaseRun,
+    CHASE_CQE_SRC, CHASE_NODE_BYTES, CLAMP_LEN_FILTER_SRC, EVENT_AGGREGATE_SRC,
+    READONLY_FILTER_SRC,
 };
 pub use postmark::{run_postmark, PostmarkConfig, PostmarkReport};
 pub use rig::{Rig, UserProc};

@@ -102,4 +102,28 @@ if [ "$h1" != "$h2" ]; then
 fi
 echo "crash sweep deterministic: $h1"
 
+echo "== bench smoke: kprog verified CQE programs =="
+# Gate: the kernel-walked pointer chase must beat the user-space
+# drain/resubmit loop by at least KPROG_MIN/100 x in cycles per hop.
+# Both sides are simulated cycles, so the ratio transfers between
+# machines. Override with KPROG_MIN=<ratio x100>, or KPROG_MIN=0 to skip.
+KPROG_MIN=${KPROG_MIN:-200}
+kp_out=$(./target/release/a14_kprog --quick)
+echo "${kp_out}" | grep '^A14_CHASE_RATIO_X100' || true
+ratio=$(echo "${kp_out}" | grep '^A14_CHASE_RATIO_X100' | awk '{print $2}')
+if [ "${KPROG_MIN}" -gt 0 ]; then
+    if [ -z "${ratio}" ]; then
+        echo "kprog chase produced no ratio" >&2
+        exit 1
+    fi
+    if [ "${ratio}" -lt "${KPROG_MIN}" ]; then
+        echo "kprog chase regression: ratio ${ratio} < ${KPROG_MIN} (x100)" >&2
+        exit 1
+    fi
+    printf 'kprog chase ok: kernel walk is %d.%02dx the user loop\n' \
+        $((ratio / 100)) $((ratio % 100))
+else
+    echo "KPROG_MIN=0; skipping the kprog chase gate"
+fi
+
 echo "CI pass complete."

@@ -204,6 +204,42 @@ fn fire_site(site: &'static str) -> u64 {
             let res = Kjfs::mount(rig.machine.clone(), dev, KjfsConfig::small());
             assert_eq!(res.unwrap_err(), VfsError::Io);
         }
+        s if s == sites::KPROG_VERIFY_REJECT => {
+            // A trivially-verifiable filter: the injected rejection fires
+            // before verification (and before the cache), surfacing as a
+            // structured verdict, never a panic.
+            let e = ProgEngine::new(rig.machine.clone());
+            let src = "int f(int *ctx, int *state) { return 0; }";
+            let err = e
+                .load(src, &ProgSpec::new(HookClass::SyscallEntry, "f"))
+                .unwrap_err();
+            let LoadError::Rejected(r) = err else {
+                panic!("expected injected rejection, got {err:?}")
+            };
+            assert_eq!(r.rule, RejectRule::Injected);
+            // The same program loads fine once the policy is spent.
+            e.load(src, &ProgSpec::new(HookClass::SyscallEntry, "f"))
+                .unwrap();
+        }
+        s if s == sites::KPROG_BUDGET_EXHAUSTED => {
+            // Load with injection pending (the load-time site is separate,
+            // so it passes), then the first invocation trips the injected
+            // budget exhaustion and fails like a real fuel overrun.
+            let e = ProgEngine::new(rig.machine.clone());
+            let src = "int f(int *ctx, int *state) { return ctx[0]; }";
+            let prog = e
+                .load(src, &ProgSpec::new(HookClass::SyscallEntry, "f"))
+                .unwrap();
+            let att = Attachment::new(rig.machine.clone(), prog).unwrap();
+            let mut ctx = [5i64, 0, 0, 0];
+            match att.run(&mut ctx, None) {
+                Err(ProgError::Budget { .. }) => {}
+                other => panic!("expected injected budget trip, got {other:?}"),
+            }
+            assert_eq!(att.stats().budget_trips, 1);
+            // Next invocation runs clean.
+            assert_eq!(att.run(&mut ctx, None).unwrap(), 5);
+        }
         other => panic!("no workload for unknown site {other}"),
     }
 
