@@ -32,39 +32,80 @@ fn mix(agg: u64, word: u64) -> u64 {
     h
 }
 
-fn crash_sweep(report: &mut Report, agg: &mut u64) {
-    let harness =
-        Harness::new(default_workload(), KjfsConfig::small()).expect("clean run agrees with model");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12}",
-        "mode", "kill points", "violations", "sweep hash"
-    );
+fn mode_label(mode: JournalMode) -> &'static str {
+    match mode {
+        JournalMode::SingleTxn => "single-txn",
+        JournalMode::Pipelined => "pipelined",
+        JournalMode::GroupCommit => "group-commit",
+    }
+}
+
+/// Sweep every kill point of `ops` under `cfg`, clean-cut and torn, and
+/// fold both sweep hashes into the whole-run aggregate.
+fn sweep_one(
+    report: &mut Report,
+    agg: &mut u64,
+    label: &str,
+    ops: Vec<WOp>,
+    cfg: KjfsConfig,
+) -> u64 {
+    let harness = Harness::new(ops, cfg).expect("clean run agrees with model");
+    let mut recovered = 0u64;
+    let mut points = 0u64;
+    let mut violations = 0u64;
     for torn in [false, true] {
         let s = harness.sweep(torn);
-        let mode = if torn { "torn-write" } else { "clean-cut" };
         println!(
-            "{:<12} {:>12} {:>12} {:>12x}",
-            mode, s.write_points, s.violations, s.sweep_hash
+            "{:<26} {:<10} {:>12} {:>12} {:>18x}",
+            label,
+            if torn { "torn" } else { "clean" },
+            s.write_points,
+            s.violations,
+            s.sweep_hash
         );
-        let recovered = s
-            .outcomes
-            .iter()
-            .filter(|o| o.matched_prefix.is_some())
-            .count();
-        report.add(
-            "A13",
-            &format!("{mode}: every kill point recovers"),
-            "0 violations",
-            format!(
-                "{}/{} points, {} violations",
-                recovered,
-                s.write_points,
-                s.violations
-            ),
-            s.violations == 0 && recovered as u64 == s.write_points,
-        );
+        recovered += s.outcomes.iter().filter(|o| o.matched_prefix.is_some()).count() as u64;
+        points += s.write_points;
+        violations += s.violations;
         *agg = mix(*agg, s.sweep_hash);
     }
+    report.add(
+        "A13",
+        &format!("{label}: every kill point recovers"),
+        "0 violations",
+        format!("{recovered}/{points} points, {violations} violations"),
+        violations == 0 && recovered == points,
+    );
+    points
+}
+
+fn crash_sweep(report: &mut Report, agg: &mut u64) -> u64 {
+    println!(
+        "{:<26} {:<10} {:>12} {:>12} {:>18}",
+        "workload", "cut", "kill points", "violations", "sweep hash"
+    );
+    let mut total_points = 0u64;
+    // The fixed 50-op workload under every journal mode: the kill points
+    // land inside every pipeline stage (ordered writeback, journal-record
+    // runs, commit blocks, deferred checkpoints with a stale running txn).
+    for mode in [JournalMode::SingleTxn, JournalMode::Pipelined, JournalMode::GroupCommit] {
+        total_points += sweep_one(
+            report,
+            agg,
+            &format!("50-op mix, {}", mode_label(mode)),
+            default_workload(),
+            KjfsConfig::small().with_mode(mode),
+        );
+    }
+    // The multi-block-directory workload: 80 long names push one directory
+    // past the single-block boundary and mass unlinks shrink it back.
+    total_points += sweep_one(
+        report,
+        agg,
+        "dir extents, group-commit",
+        dir_boundary_workload(),
+        KjfsConfig::small(),
+    );
+    total_points
 }
 
 fn durability_cost(report: &mut Report) {
@@ -139,11 +180,14 @@ pub fn run(report: &mut Report) {
         "Power-cut crash sweep: journal replay at every write point",
     );
     let mut agg: u64 = 0xcbf2_9ce4_8422_2325;
-    crash_sweep(report, &mut agg);
+    let points = crash_sweep(report, &mut agg);
     durability_cost(report);
     serve_from_kjfs(report);
-    // One word for the whole sweep: CI runs the binary twice and diffs.
-    println!("\nTRACE_HASH {agg:016x}");
+    // Machine lines for scripts/ci.sh: the guarded-write total (kill points
+    // across all sweeps, clean + torn) and one word for the whole sweep —
+    // CI runs the binary twice and diffs.
+    println!("\nA13_SWEEP_POINTS {points}");
+    println!("TRACE_HASH {agg:016x}");
 }
 
 fn main() {

@@ -24,6 +24,8 @@ mod a12;
 mod a13;
 #[path = "a14_kprog.rs"]
 mod a14;
+#[path = "a15_journal.rs"]
+mod a15;
 #[path = "a2_kgcc_ablate.rs"]
 mod a2;
 #[path = "a3_splay_mt.rs"]
@@ -84,6 +86,7 @@ fn main() {
     a10::run(&mut report);
     a13::run(&mut report);
     a14::run(&mut report);
+    a15::run(&mut report);
 
     report.print();
     let holds = report.all_shapes_hold();

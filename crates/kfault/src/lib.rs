@@ -72,6 +72,10 @@ pub mod sites {
     /// kjfs page-cache writeback: kill at a checkpoint/writeback block
     /// write after commit.
     pub const KJFS_WRITEBACK: &str = "kjfs.writeback";
+    /// kjfs checkpoint drain: kill at a home-location write or a
+    /// commit-slot retirement while committed transactions are draining
+    /// from the journal (the pipelined journal's third stage).
+    pub const KJFS_CHECKPOINT: &str = "kjfs.journal.checkpoint";
     /// kprog load-time verifier: force a structured rejection verdict for
     /// a program that would otherwise verify (exercises every caller's
     /// rejected-program path without crafting unsound bytecode).
@@ -111,6 +115,7 @@ pub mod sites {
         KJFS_WRITEBACK,
         KPROG_VERIFY_REJECT,
         KPROG_BUDGET_EXHAUSTED,
+        KJFS_CHECKPOINT,
     ];
 }
 

@@ -3,43 +3,61 @@
 //! ## Durability model (ext3 ordered mode, plus overwrite images)
 //!
 //! Mutating operations update in-memory state and accumulate in one open
-//! *compound transaction* (like jbd2). The transaction commits on `fsync`,
+//! *running transaction* (like jbd2). The transaction commits on `fsync`,
 //! `sync`, every [`KjfsConfig::commit_interval_ops`] operations, or under
-//! page-cache pressure. Commit order is sacred:
+//! page-cache pressure. The pipeline has three stages:
 //!
 //! 1. **Ordered data**: dirty pages of *newly allocated* blocks are written
 //!    in place. Committed metadata does not reference these blocks yet, so
 //!    a crash here leaves them invisible.
-//! 2. **Journal**: images of every dirty metadata block (inode table,
-//!    bitmap, directory blocks, fs header) *and of every overwritten data
-//!    page* are written to the journal, sealed by a commit block.
-//! 3. **Checkpoint**: the same images are written to their home locations,
-//!    and the commit block is zeroed to retire the transaction.
+//! 2. **Journal commit**: images of every dirty metadata block (inode
+//!    table, bitmap, directory blocks, fs header) *and of every overwritten
+//!    data page* are written to the journal, sealed by a checksummed commit
+//!    block. The transaction is durable from here.
+//! 3. **Checkpoint**: the images are written to their home locations and
+//!    the commit block is zeroed to retire the transaction — but in the
+//!    pipelined modes this stage is *decoupled* from commit latency: up to
+//!    [`KjfsConfig::max_live_txns`] committed transactions queue behind the
+//!    running one and drain in one batch, writing only the **newest** image
+//!    of every home block (hot metadata blocks journaled by several
+//!    transactions checkpoint once) in coalesced extent-sized runs.
+//!
+//! [`JournalMode::GroupCommit`] additionally drops the fs lock during the
+//! journal I/O of stage 2: concurrent `fsync` callers sleep on a condvar
+//! and, once the in-flight commit lands, the first waiter with new dirt
+//! captures *everyone's* accumulated state into one merged commit record —
+//! jbd2's group commit.
 //!
 //! Journaling overwrite images (rather than ext3's write-in-place) is what
 //! makes the crash harness's strongest invariant hold: the recovered tree
 //! is always *exactly* the tree as of some committed transaction — a legal
 //! prefix of the operation log — never a mix of old metadata and new data.
 //!
-//! Two allocator rules keep physical redo sound:
-//! * blocks freed by the open transaction are **quarantined** — not
-//!   reallocatable until the free commits, so an ordered write can never
-//!   clobber a block the committed tree still references;
-//! * pages are classified *new* vs *overwrite* against the last committed
-//!   allocation, so pre-commit in-place writes only ever touch blocks the
-//!   committed tree cannot see.
+//! Three allocator/cache rules keep physical redo sound with a pipeline:
+//! * blocks freed by a transaction are **quarantined keyed by that txid** —
+//!   not reallocatable until the freeing transaction *checkpoints* (not
+//!   merely commits), so an ordered in-place write can never clobber a
+//!   block that any committed-but-undrained transaction's images or extent
+//!   trees still reference;
+//! * pages are classified *new* vs *overwrite* against the last captured
+//!   allocation, so pre-commit in-place writes only ever touch blocks no
+//!   committed tree can see;
+//! * pages whose images live only in the journal (committed, not yet
+//!   checkpointed) are **pinned** in the page cache — eviction may not drop
+//!   them, because their home blocks still hold stale bytes.
 //!
 //! Any write failure inside the journal/writeback path — injected or torn —
 //! marks the file system **crashed**: every subsequent operation returns
 //! `EIO`, exactly like a journal abort forcing a remount. Recovery is
-//! `Kjfs::mount` on the same device.
+//! `Kjfs::mount` on the same device: mount-time scan collects *every*
+//! committed-but-unretired transaction and replays them in txid order.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use kvfs::{BlockAddr, BlockDev, DirEntry, FileKind, FileSystem, Ino, Stat, VfsError, VfsResult};
 use ksim::{FxHashMap, FxHashSet, Machine, PAGE_SIZE};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::journal::{self, Tag, TAGS_PER_DESC};
 use crate::layout::{
@@ -58,6 +76,21 @@ pub const JOURNAL_CPU_COST: u64 = 200;
 /// Entering `fsync`/`sync`: flush setup before any block I/O.
 pub const FSYNC_CPU_COST: u64 = 500;
 
+/// How the journal pipelines transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalMode {
+    /// PR 7 behavior: every commit checkpoints synchronously before it
+    /// returns — at most one live transaction, ever. The baseline for the
+    /// A15 bench and the equivalence proptests.
+    SingleTxn,
+    /// Commit writes the journal only; up to `max_live_txns` committed
+    /// transactions queue and drain in one deduplicated batch.
+    Pipelined,
+    /// Pipelined, plus the fs lock is dropped during journal I/O so
+    /// concurrent fsync waiters merge into one commit record.
+    GroupCommit,
+}
+
 /// Mount-time geometry and runtime policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KjfsConfig {
@@ -73,6 +106,15 @@ pub struct KjfsConfig {
     pub writeback_threshold: usize,
     /// Blocks prefetched on detected sequential reads.
     pub readahead: u64,
+    /// Transaction pipelining policy (geometry-independent: the same
+    /// device can be remounted under any mode).
+    pub journal_mode: JournalMode,
+    /// Committed-but-uncheckpointed transactions allowed to queue before
+    /// the next operation drains them (ignored under `SingleTxn`).
+    pub max_live_txns: usize,
+    /// Page-cache capacity in pages; 0 = unbounded. Only clean, unpinned
+    /// pages are evicted.
+    pub page_cache_capacity: usize,
 }
 
 impl Default for KjfsConfig {
@@ -84,6 +126,9 @@ impl Default for KjfsConfig {
             commit_interval_ops: 16,
             writeback_threshold: 64,
             readahead: 4,
+            journal_mode: JournalMode::GroupCommit,
+            max_live_txns: 12,
+            page_cache_capacity: 4096,
         }
     }
 }
@@ -98,7 +143,16 @@ impl KjfsConfig {
             commit_interval_ops: 8,
             writeback_threshold: 16,
             readahead: 4,
+            journal_mode: JournalMode::GroupCommit,
+            max_live_txns: 3,
+            page_cache_capacity: 1024,
         }
+    }
+
+    /// The same geometry under a different journal mode.
+    pub fn with_mode(mut self, mode: JournalMode) -> Self {
+        self.journal_mode = mode;
+        self
     }
 }
 
@@ -129,6 +183,24 @@ struct Page {
     /// Block was not part of the committed allocation when dirtied:
     /// eligible for pre-commit ordered (in-place) writeback.
     new_alloc: bool,
+    /// Txid whose journal record holds this page's newest image. Until
+    /// that transaction checkpoints, the home block is stale and the page
+    /// is pinned against eviction.
+    committed_in: Option<u64>,
+    /// Installed by readahead and not yet referenced — a later hit counts
+    /// toward readahead effectiveness.
+    from_readahead: bool,
+}
+
+/// A committed-but-uncheckpointed transaction queued behind the running
+/// one: its images are durable in the journal but not yet at home.
+struct LiveTxn {
+    txid: u64,
+    /// First journal seq of the record (the tail pointer for circular
+    /// space accounting is the oldest live txn's `start_seq`).
+    start_seq: u64,
+    commit_slot: u64,
+    images: Vec<(BlockAddr, Vec<u8>)>,
 }
 
 /// Counters surfaced for benches and tests.
@@ -140,6 +212,26 @@ pub struct KjfsStats {
     pub ordered_flushes: u64,
     pub readahead_issued: u64,
     pub dirty_pages: u64,
+    /// Checkpoint drains (each retires every queued live transaction).
+    pub checkpoints: u64,
+    /// Home writes skipped because a newer image of the same block was
+    /// checkpointed in the same drain — the pipelining win.
+    pub checkpoint_dedup_saved: u64,
+    /// Device I/Os issued by the checkpoint stage (coalesced runs).
+    pub checkpoint_runs: u64,
+    /// Device I/Os issued by ordered writeback (coalesced runs).
+    pub writeback_runs: u64,
+    /// fsyncs that returned durable without issuing a commit because an
+    /// in-flight or completed group commit already captured their dirt.
+    pub group_merges: u64,
+    /// Committed-but-uncheckpointed transactions currently queued.
+    pub live_txns: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Readahead-installed pages later referenced by a real read.
+    pub readahead_hits: u64,
+    /// Clean pages dropped by page-cache capacity pressure.
+    pub evictions: u64,
 }
 
 #[derive(Default)]
@@ -151,15 +243,25 @@ struct Inner {
     /// One bit per data block; set = allocated.
     bitmap: Vec<u64>,
     alloc_hint: u64,
-    /// Blocks freed by the open transaction: unallocatable until commit.
-    quarantine: FxHashSet<u32>,
+    /// Blocks freed by a transaction, keyed by the freeing txid:
+    /// unallocatable until that transaction checkpoints.
+    quarantine: FxHashMap<u32, u64>,
 
     next_txid: u64,
     next_seq: u64,
+    /// Committed transactions whose images have not reached home yet.
+    live_txns: VecDeque<LiveTxn>,
+    /// Highest txid whose checkpoint completed (images home, retired).
+    checkpointed_txid: u64,
+    /// A group commit's journal I/O is in flight with the lock dropped;
+    /// other committers wait on the condvar.
+    committing: bool,
 
     pages: FxHashMap<(u64, u64), Page>,
     dirty_order: Vec<(u64, u64)>,
     dirty_count: usize,
+    /// FIFO of page keys for clean-page eviction under capacity pressure.
+    cache_order: VecDeque<(u64, u64)>,
     last_read: FxHashMap<u64, u64>,
 
     header_dirty: bool,
@@ -172,14 +274,20 @@ struct Inner {
     stats: KjfsStats,
 }
 
+/// Longest run of consecutive blocks merged into one device I/O by the
+/// writeback and checkpoint stages (one BIO's worth).
+const MAX_RUN_BLOCKS: usize = 64;
+
 /// The journaled file system. Mount with [`Kjfs::mount`]; all state shares
 /// one lock (coarse, like a single-threaded jbd2 handle), so the type is
-/// freely `Send + Sync`.
+/// freely `Send + Sync`. Under [`JournalMode::GroupCommit`] the lock is
+/// dropped during journal I/O and `commit_cv` serializes committers.
 pub struct Kjfs {
     machine: Arc<Machine>,
     dev: Arc<BlockDev>,
     cfg: KjfsConfig,
     inner: Mutex<Inner>,
+    commit_cv: Condvar,
 }
 
 fn data_addr(phys: u32) -> BlockAddr {
@@ -211,7 +319,7 @@ impl Kjfs {
             None => true,
         };
 
-        let fs = Kjfs { machine, dev, cfg, inner: Mutex::new(Inner::default()) };
+        let fs = Kjfs { machine, dev, cfg, inner: Mutex::new(Inner::default()), commit_cv: Condvar::new() };
         {
             let mut g = fs.inner.lock();
             g.bitmap = vec![0u64; (fs.cfg.data_blocks as usize).div_ceil(64)];
@@ -262,6 +370,7 @@ impl Kjfs {
         let g = self.inner.lock();
         let mut s = g.stats;
         s.dirty_pages = g.dirty_count as u64;
+        s.live_txns = g.live_txns.len() as u64;
         s
     }
 
@@ -277,9 +386,25 @@ impl Kjfs {
     /// finish — the precise state `kjfs.journal.replay` faults exercise.
     pub fn commit_without_checkpoint(&self) -> VfsResult<()> {
         let mut g = self.inner.lock();
-        self.commit_inner(&mut g, false)?;
+        self.commit_txn(&mut g)?;
         g.crashed = true;
         Ok(())
+    }
+
+    /// Crash-harness hook: an instant power cut — no I/O, the running
+    /// transaction is simply lost. Committed-but-uncheckpointed
+    /// transactions stay in the journal for mount-time replay.
+    pub fn power_cut(&self) {
+        self.inner.lock().crashed = true;
+    }
+
+    /// Force a full commit + checkpoint drain (bench/test hook): after
+    /// this returns, the journal is empty and every image is home.
+    pub fn checkpoint_now(&self) -> VfsResult<()> {
+        let mut g = self.inner.lock();
+        self.wait_commit(&mut g)?;
+        self.commit_txn(&mut g)?;
+        self.checkpoint_drain(&mut g)
     }
 
     fn now(&self) -> u64 {
@@ -313,6 +438,31 @@ impl Kjfs {
         }
     }
 
+    /// [`Self::guarded_write`] for a coalesced run of consecutive blocks:
+    /// one kill-site consult, one device submission ([`BlockDev::write_run_bytes`]).
+    fn guarded_run_write(
+        &self,
+        g: &mut Inner,
+        site: &'static str,
+        addr: BlockAddr,
+        data: &[u8],
+    ) -> VfsResult<()> {
+        if g.crashed {
+            return Err(VfsError::Io);
+        }
+        if self.machine.faults.should_fail(site) {
+            g.crashed = true;
+            return Err(VfsError::Io);
+        }
+        match self.dev.write_run_bytes(addr, data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                g.crashed = true;
+                Err(e)
+            }
+        }
+    }
+
     // ---- allocator ----------------------------------------------------
 
     fn bit(g: &Inner, b: u64) -> bool {
@@ -330,7 +480,7 @@ impl Kjfs {
     }
 
     fn allocatable(g: &Inner, b: u64) -> bool {
-        !Self::bit(g, b) && !g.quarantine.contains(&(b as u32))
+        !Self::bit(g, b) && !g.quarantine.contains_key(&(b as u32))
     }
 
     /// First-fit a contiguous run of up to `want` blocks (at least one).
@@ -355,9 +505,12 @@ impl Kjfs {
     }
 
     fn free_extent(&self, g: &mut Inner, e: Extent) {
+        // Quarantine under the *running* transaction's txid: the blocks
+        // become reallocatable only when that transaction checkpoints.
+        let txid = g.next_txid;
         for b in e.start as u64..e.start as u64 + e.len as u64 {
             self.clear_bit(g, b);
-            g.quarantine.insert(b as u32);
+            g.quarantine.insert(b as u32, txid);
         }
     }
 
@@ -445,13 +598,47 @@ impl Kjfs {
 
     // ---- page cache ---------------------------------------------------
 
+    /// Evict clean, unpinned pages (FIFO with a second chance for pages
+    /// that cannot go) until the cache fits the configured capacity. A
+    /// page is pinned while dirty, and while its newest image lives only
+    /// in the journal (`committed_in` > last checkpointed txid) — its home
+    /// block is stale, so dropping it would resurrect old bytes.
+    fn maybe_evict(&self, g: &mut Inner) {
+        let cap = self.cfg.page_cache_capacity;
+        if cap == 0 || g.pages.len() < cap {
+            return;
+        }
+        let mut attempts = g.cache_order.len();
+        while g.pages.len() >= cap && attempts > 0 {
+            attempts -= 1;
+            let Some(key) = g.cache_order.pop_front() else { break };
+            let evictable = match g.pages.get(&key) {
+                None => continue, // invalidated or already evicted: stale entry
+                Some(p) => {
+                    !p.dirty && p.committed_in.is_none_or(|t| t <= g.checkpointed_txid)
+                }
+            };
+            if evictable {
+                g.pages.remove(&key);
+                g.stats.evictions += 1;
+            } else {
+                g.cache_order.push_back(key);
+            }
+        }
+    }
+
     fn install_page(&self, g: &mut Inner, ino: u64, lblock: u64, bytes: Vec<u8>, dirty: bool) {
+        self.maybe_evict(g);
         let new_alloc = lblock >= g.inodes[&ino].committed_blocks;
         if dirty {
             g.dirty_count += 1;
             g.dirty_order.push((ino, lblock));
         }
-        g.pages.insert((ino, lblock), Page { bytes, dirty, new_alloc });
+        g.cache_order.push_back((ino, lblock));
+        g.pages.insert(
+            (ino, lblock),
+            Page { bytes, dirty, new_alloc, committed_in: None, from_readahead: false },
+        );
     }
 
     fn mark_page_dirty(&self, g: &mut Inner, ino: u64, lblock: u64) {
@@ -466,15 +653,30 @@ impl Kjfs {
     }
 
     /// Fault the page in from disk (clean) if it is mapped; `false` = hole.
-    fn page_in(&self, g: &mut Inner, ino: u64, lblock: u64) -> VfsResult<bool> {
-        if g.pages.contains_key(&(ino, lblock)) {
+    /// `readahead` marks the installed page as prefetched (a later real
+    /// reference counts toward readahead effectiveness).
+    fn page_in(&self, g: &mut Inner, ino: u64, lblock: u64, readahead: bool) -> VfsResult<bool> {
+        if let Some(p) = g.pages.get_mut(&(ino, lblock)) {
+            if !readahead {
+                g.stats.cache_hits += 1;
+                if p.from_readahead {
+                    p.from_readahead = false;
+                    g.stats.readahead_hits += 1;
+                }
+            }
             return Ok(true);
         }
         match Self::phys_of(g, ino, lblock) {
             Some(phys) => {
+                if !readahead {
+                    g.stats.cache_misses += 1;
+                }
                 let mut bytes = vec![0u8; PAGE_SIZE];
                 self.dev.read_block_bytes(data_addr(phys), &mut bytes)?;
                 self.install_page(g, ino, lblock, bytes, false);
+                if readahead {
+                    g.pages.get_mut(&(ino, lblock)).expect("page").from_readahead = true;
+                }
                 Ok(true)
             }
             None => Ok(false),
@@ -506,32 +708,49 @@ impl Kjfs {
     /// Overwrite pages stay dirty — they may only reach disk through the
     /// journal (see module docs), so pressure from them forces a commit
     /// in `op_epilogue` instead.
+    ///
+    /// Adjacent dirty pages (consecutive physical blocks) coalesce into
+    /// one extent-sized device write per run — [`KjfsStats::writeback_runs`]
+    /// counts submissions, [`KjfsStats::ordered_flushes`] counts pages.
     fn writeback_new_pages(&self, g: &mut Inner) -> VfsResult<()> {
         let order = std::mem::take(&mut g.dirty_order);
         let mut keep = Vec::new();
+        let mut flush: Vec<(u32, u64, u64)> = Vec::new(); // (phys, ino, lblock)
         for (ino, lblock) in order {
-            let flush = match g.pages.get(&(ino, lblock)) {
-                Some(p) if p.dirty && p.new_alloc => true,
-                Some(p) if p.dirty => {
-                    keep.push((ino, lblock));
-                    false
+            match g.pages.get(&(ino, lblock)) {
+                Some(p) if p.dirty && p.new_alloc => {
+                    let phys = Self::phys_of(g, ino, lblock).expect("dirty page is mapped");
+                    flush.push((phys, ino, lblock));
                 }
-                _ => false, // invalidated or already clean: stale entry
-            };
-            if !flush {
-                continue;
+                Some(p) if p.dirty => keep.push((ino, lblock)),
+                _ => {} // invalidated or already clean: stale entry
             }
-            let phys = Self::phys_of(g, ino, lblock).expect("dirty page is mapped");
-            let bytes = std::mem::take(&mut g.pages.get_mut(&(ino, lblock)).expect("page").bytes);
-            let res = self.guarded_write(g, kfault::sites::KJFS_WRITEBACK, data_addr(phys), &bytes);
-            let p = g.pages.get_mut(&(ino, lblock)).expect("page");
-            p.bytes = bytes;
-            res?;
-            p.dirty = false;
-            g.dirty_count -= 1;
-            g.stats.ordered_flushes += 1;
         }
         g.dirty_order = keep;
+        flush.sort_unstable();
+        let mut i = 0usize;
+        while i < flush.len() {
+            let mut j = i + 1;
+            while j < flush.len()
+                && j - i < MAX_RUN_BLOCKS
+                && flush[j].0 == flush[i].0 + (j - i) as u32
+            {
+                j += 1;
+            }
+            let mut data = Vec::with_capacity((j - i) * PAGE_SIZE);
+            for &(_, ino, lblock) in &flush[i..j] {
+                data.extend_from_slice(&g.pages[&(ino, lblock)].bytes);
+            }
+            self.guarded_run_write(g, kfault::sites::KJFS_WRITEBACK, data_addr(flush[i].0), &data)?;
+            for &(_, ino, lblock) in &flush[i..j] {
+                let p = g.pages.get_mut(&(ino, lblock)).expect("page");
+                p.dirty = false;
+                g.dirty_count -= 1;
+                g.stats.ordered_flushes += 1;
+            }
+            g.stats.writeback_runs += 1;
+            i = j;
+        }
         Ok(())
     }
 
@@ -549,13 +768,51 @@ impl Kjfs {
             || g.dirty_count > 0
     }
 
-    fn commit(&self, g: &mut Inner) -> VfsResult<()> {
-        self.commit_inner(g, true)
+    /// Commit the running transaction; under `SingleTxn` also checkpoint
+    /// synchronously (the PR 7 discipline). The pipelined modes leave the
+    /// committed transaction queued for a background drain.
+    fn commit(&self, g: &mut MutexGuard<'_, Inner>) -> VfsResult<()> {
+        self.commit_txn(g)?;
+        if self.cfg.journal_mode == JournalMode::SingleTxn {
+            self.checkpoint_drain(g)?;
+        }
+        Ok(())
     }
 
-    fn commit_inner(&self, g: &mut Inner, checkpoint: bool) -> VfsResult<()> {
+    /// Serialize a directory's entry table to its data-block byte image.
+    fn serialize_dir(g: &Inner, ino: u64) -> Vec<u8> {
+        let entries = g.dirs.get(&ino).expect("dir table entry");
+        dir_to_bytes(entries.iter().map(|(name, &child)| {
+            let kind = match g.inodes.get(&child).map(|i| i.kind) {
+                Some(FileKind::Dir) => 2u8,
+                _ => 1u8,
+            };
+            (name.as_str(), child, kind)
+        }))
+    }
+
+    /// Journal slots not occupied by committed-but-unretired transactions
+    /// (the circular log's tail is the oldest live txn's first seq).
+    fn free_journal_slots(&self, g: &Inner) -> u64 {
+        let tail = g.live_txns.front().map(|t| t.start_seq).unwrap_or(g.next_seq);
+        self.cfg.journal_slots - (g.next_seq - tail)
+    }
+
+    /// Stages 1–2 of the pipeline: ordered-data writeback, then close the
+    /// running transaction — capture every dirty image under the lock —
+    /// and write the journal record. Under [`JournalMode::GroupCommit`]
+    /// the lock is dropped for the journal I/O; callers that arrive
+    /// meanwhile either skip (interval triggers) or wait on the condvar
+    /// and merge into the next record (`fsync`).
+    fn commit_txn(&self, g: &mut MutexGuard<'_, Inner>) -> VfsResult<()> {
         if g.crashed {
             return Err(VfsError::Io);
+        }
+        if g.committing {
+            // A group commit is already in flight; background triggers can
+            // skip. fsync never reaches here while committing — it waits
+            // on the condvar first.
+            return Ok(());
         }
         if !Self::anything_dirty(g) {
             g.ops_since_commit = 0;
@@ -571,16 +828,7 @@ impl Kjfs {
             if !g.inodes.contains_key(&ino) {
                 continue; // removed later in the same transaction
             }
-            let bytes = {
-                let entries = g.dirs.get(&ino).expect("dir table entry");
-                dir_to_bytes(entries.iter().map(|(name, &child)| {
-                    let kind = match g.inodes.get(&child).map(|i| i.kind) {
-                        Some(FileKind::Dir) => 2u8,
-                        _ => 1u8,
-                    };
-                    (name.as_str(), child, kind)
-                }))
-            };
+            let bytes = Self::serialize_dir(g, ino);
             let needed = (bytes.len() as u64).div_ceil(PAGE_SIZE as u64);
             let mapped = g.inodes[&ino].mapped_blocks();
             if mapped > needed {
@@ -665,66 +913,27 @@ impl Kjfs {
         if span >= self.cfg.journal_slots {
             return Err(VfsError::NoSpace); // transaction larger than journal
         }
+        // The circular log may not overwrite a committed-but-unretired
+        // transaction: drain the checkpoint queue if the record won't fit
+        // in the free region (tail..head).
+        if span >= self.free_journal_slots(g) {
+            self.checkpoint_drain(g)?;
+        }
         let seq0 = g.next_seq;
         let header = Header { next_ino: g.next_ino, next_txid: txid + 1, next_seq: seq0 + span };
         images.push((BlockAddr { obj: SUPER_OBJ, index: 1 }, header.to_block()));
 
-        // (f) Journal: descriptors + images + commit block.
-        let slots = self.cfg.journal_slots;
-        let mut seq = seq0;
-        let mut checksums = Vec::with_capacity(images.len());
-        for chunk in images.chunks(TAGS_PER_DESC) {
-            let tags: Vec<Tag> = chunk
-                .iter()
-                .map(|(a, img)| Tag { obj: a.obj, index: a.index, checksum: fnv(img) })
-                .collect();
-            self.machine.charge_sys(JOURNAL_CPU_COST);
-            let desc = journal::desc_block(txid, seq, &tags);
-            self.guarded_write(g, kfault::sites::KJFS_JOURNAL_COMMIT, journal_addr(seq % slots), &desc)?;
-            seq += 1;
-            g.stats.journal_blocks += 1;
-            for (_, img) in chunk {
-                self.machine.charge_sys(JOURNAL_CPU_COST);
-                self.guarded_write(
-                    g,
-                    kfault::sites::KJFS_JOURNAL_COMMIT,
-                    journal_addr(seq % slots),
-                    img,
-                )?;
-                seq += 1;
-                g.stats.journal_blocks += 1;
+        // (f) Capture: the running transaction closes NOW, under the lock.
+        // Clearing dirty state before the journal I/O lands is safe
+        // because any write failure below marks the fs crashed — every
+        // later operation returns EIO, so the optimistic state is never
+        // observable. Pages whose newest image now lives only in the
+        // journal are pinned against eviction via `committed_in`.
+        for &(ino, lblock) in &overwrite_pages {
+            if let Some(p) = g.pages.get_mut(&(ino, lblock)) {
+                p.dirty = false;
+                p.committed_in = Some(txid);
             }
-            checksums.extend(tags.iter().map(|t| t.checksum));
-        }
-        self.machine.charge_sys(JOURNAL_CPU_COST);
-        let commit = journal::commit_block(txid, seq, images.len() as u32, journal::txn_checksum(&checksums));
-        self.guarded_write(g, kfault::sites::KJFS_JOURNAL_COMMIT, journal_addr(seq % slots), &commit)?;
-        let commit_slot = seq % slots;
-        seq += 1;
-        g.stats.journal_blocks += 1;
-        debug_assert_eq!(seq, seq0 + span);
-
-        // The transaction is durable from this point on.
-        g.next_txid = txid + 1;
-        g.next_seq = seq;
-
-        if checkpoint {
-            // (g) Checkpoint: write every image home, retire the commit.
-            for (addr, img) in &images {
-                self.guarded_write(g, kfault::sites::KJFS_WRITEBACK, *addr, img)?;
-                g.stats.checkpoint_blocks += 1;
-            }
-            self.guarded_write(
-                g,
-                kfault::sites::KJFS_JOURNAL_COMMIT,
-                journal_addr(commit_slot),
-                &[0u8; PAGE_SIZE],
-            )?;
-        }
-
-        // (h) Post-commit bookkeeping.
-        for p in g.pages.values_mut() {
-            p.dirty = false;
         }
         g.dirty_count = 0;
         g.dirty_order.clear();
@@ -732,19 +941,187 @@ impl Kjfs {
             i.committed_blocks = i.mapped_blocks();
             i.committed_size = i.size;
         }
-        g.quarantine.clear();
         g.header_dirty = false;
         g.dirty_itable.clear();
         g.dirty_bitmap.clear();
         g.dirty_dirs.clear();
         g.ops_since_commit = 0;
+        g.next_txid = txid + 1;
+        g.next_seq = seq0 + span;
         g.stats.commits += 1;
+
+        // (g) Journal record: descriptors + images + commit block.
+        let slots = self.cfg.journal_slots;
+        let mut jblocks: Vec<(u64, Vec<u8>)> = Vec::with_capacity(span as usize);
+        let mut seq = seq0;
+        let mut checksums = Vec::with_capacity(images.len());
+        for chunk in images.chunks(TAGS_PER_DESC) {
+            let tags: Vec<Tag> = chunk
+                .iter()
+                .map(|(a, img)| Tag { obj: a.obj, index: a.index, checksum: fnv(img) })
+                .collect();
+            jblocks.push((seq % slots, journal::desc_block(txid, seq, &tags)));
+            seq += 1;
+            for (_, img) in chunk {
+                jblocks.push((seq % slots, img.clone()));
+                seq += 1;
+            }
+            checksums.extend(tags.iter().map(|t| t.checksum));
+        }
+        let commit =
+            journal::commit_block(txid, seq, images.len() as u32, journal::txn_checksum(&checksums));
+        let commit_slot = seq % slots;
+        jblocks.push((commit_slot, commit));
+        seq += 1;
+        debug_assert_eq!(seq, seq0 + span);
+
+        let (commit_entry, body) = jblocks.split_last().expect("commit block present");
+        let write_all = || -> VfsResult<()> {
+            // The log is sequential: descriptor + image blocks occupy
+            // consecutive slots, so they coalesce into runs — one
+            // submission, one kill-site consult, one elevator entry each
+            // (the reason a journal beats in-place writes). The commit
+            // block rides alone, after the body: the write barrier that
+            // makes the record atomic.
+            let mut i = 0usize;
+            while i < body.len() {
+                let mut n = 1usize;
+                while i + n < body.len()
+                    && n < MAX_RUN_BLOCKS
+                    && body[i + n].0 == body[i].0 + n as u64
+                {
+                    n += 1;
+                }
+                let mut payload = Vec::with_capacity(n * PAGE_SIZE);
+                for (_, blk) in &body[i..i + n] {
+                    payload.extend_from_slice(blk);
+                    payload.resize(payload.len().next_multiple_of(PAGE_SIZE).max(PAGE_SIZE), 0);
+                }
+                self.machine.charge_sys(JOURNAL_CPU_COST);
+                if self.machine.faults.should_fail(kfault::sites::KJFS_JOURNAL_COMMIT) {
+                    return Err(VfsError::Io);
+                }
+                self.dev.write_run_bytes(journal_addr(body[i].0), &payload)?;
+                i += n;
+            }
+            self.machine.charge_sys(JOURNAL_CPU_COST);
+            if self.machine.faults.should_fail(kfault::sites::KJFS_JOURNAL_COMMIT) {
+                return Err(VfsError::Io);
+            }
+            self.dev.write_block_bytes(journal_addr(commit_entry.0), &commit_entry.1)
+        };
+        let res = if self.cfg.journal_mode == JournalMode::GroupCommit {
+            // Drop the lock for the journal I/O so concurrent ops make
+            // progress and concurrent fsyncs queue up on the condvar to
+            // merge into the *next* record.
+            g.committing = true;
+            let r = MutexGuard::unlocked(g, write_all);
+            g.committing = false;
+            r
+        } else {
+            write_all()
+        };
+        if let Err(e) = res {
+            g.crashed = true;
+            self.commit_cv.notify_all();
+            return Err(e);
+        }
+        g.stats.journal_blocks += jblocks.len() as u64;
+
+        // The transaction is durable; queue it for a background drain.
+        g.live_txns.push_back(LiveTxn { txid, start_seq: seq0, commit_slot, images });
+        self.commit_cv.notify_all();
         Ok(())
     }
 
-    /// End-of-operation policy: pressure writeback and periodic commit.
-    fn op_epilogue(&self, g: &mut Inner) -> VfsResult<()> {
+    /// Stage 3 of the pipeline: drain every queued transaction — write the
+    /// newest image of each distinct home block (deduped across the whole
+    /// queue, coalesced into consecutive-block runs), retire the drained
+    /// commit records oldest-first, then release quarantined blocks and
+    /// eviction pins up to the drained txid.
+    fn checkpoint_drain(&self, g: &mut Inner) -> VfsResult<()> {
+        if g.crashed {
+            return Err(VfsError::Io);
+        }
+        if g.committing || g.live_txns.is_empty() {
+            // Never drain under an in-flight group commit: its record has
+            // not landed, so its images must stay journal-only.
+            return Ok(());
+        }
+        let txns: Vec<LiveTxn> = g.live_txns.drain(..).collect();
+        let max_txid = txns.last().expect("non-empty drain").txid;
+        let retire: Vec<u64> = txns.iter().map(|t| t.commit_slot).collect();
+
+        // Newest image per home block wins; the BTreeMap iterates in
+        // (obj, index) order, which both makes the drain deterministic and
+        // lines consecutive blocks up for run coalescing.
+        let mut total = 0u64;
+        let mut newest: BTreeMap<(u64, u64), Vec<u8>> = BTreeMap::new();
+        for t in txns {
+            for (addr, img) in t.images {
+                total += 1;
+                newest.insert((addr.obj, addr.index), img);
+            }
+        }
+        let entries: Vec<((u64, u64), Vec<u8>)> = newest.into_iter().collect();
+        g.stats.checkpoint_dedup_saved += total - entries.len() as u64;
+        g.stats.checkpoint_blocks += entries.len() as u64;
+
+        let mut i = 0;
+        while i < entries.len() {
+            let (obj, index) = entries[i].0;
+            let mut j = i + 1;
+            while j < entries.len()
+                && j - i < MAX_RUN_BLOCKS
+                && entries[j].0 == (obj, index + (j - i) as u64)
+            {
+                j += 1;
+            }
+            let mut data = Vec::with_capacity((j - i) * PAGE_SIZE);
+            for e in &entries[i..j] {
+                let at = data.len();
+                data.extend_from_slice(&e.1);
+                data.resize(at + PAGE_SIZE, 0);
+            }
+            self.guarded_run_write(
+                g,
+                kfault::sites::KJFS_CHECKPOINT,
+                BlockAddr { obj, index },
+                &data,
+            )?;
+            g.stats.checkpoint_runs += 1;
+            i = j;
+        }
+
+        // Retire oldest-first so a crash mid-retirement leaves a
+        // replayable suffix, never a gap.
+        for slot in retire {
+            self.guarded_write(
+                g,
+                kfault::sites::KJFS_CHECKPOINT,
+                journal_addr(slot),
+                &[0u8; PAGE_SIZE],
+            )?;
+        }
+        g.checkpointed_txid = max_txid;
+        g.quarantine.retain(|_, freed_by| *freed_by > max_txid);
+        g.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// End-of-operation policy: checkpoint-lag drain, pressure writeback,
+    /// periodic commit.
+    fn op_epilogue(&self, g: &mut MutexGuard<'_, Inner>) -> VfsResult<()> {
         g.ops_since_commit += 1;
+        // Drain a lagging checkpoint queue *before* any commit this op
+        // might trigger: the drain then overlaps a non-empty running
+        // transaction — exactly the stale-running-txn window the crash
+        // harness must be able to kill inside.
+        if self.cfg.journal_mode != JournalMode::SingleTxn
+            && g.live_txns.len() > self.cfg.max_live_txns
+        {
+            self.checkpoint_drain(g)?;
+        }
         if g.dirty_count > self.cfg.writeback_threshold {
             self.writeback_new_pages(g)?;
             if g.dirty_count > self.cfg.writeback_threshold {
@@ -793,21 +1170,27 @@ impl Kjfs {
             self.dev.read_block_bytes(journal_addr(slot), &mut b)?;
             scanned.push(b);
         }
-        if let Some(txn) = journal::scan(slots, |s| scanned[s as usize].clone()) {
+        // Replay every committed transaction in txid order: within a
+        // block, the newest image is applied last, so a multi-txn tail
+        // converges to the newest committed state. Each txn's commit
+        // record is retired as soon as its images land, so a crash during
+        // replay leaves a strictly smaller (still replayable) tail —
+        // replay is idempotent until new transactions run.
+        let txns = journal::scan_all(slots, |s| scanned[s as usize].clone());
+        if !txns.is_empty() {
             let mut g = self.inner.lock();
-            for (addr, img) in &txn.images {
-                self.machine.charge_sys(JOURNAL_CPU_COST);
-                self.guarded_write(&mut g, kfault::sites::KJFS_JOURNAL_REPLAY, *addr, img)?;
+            for txn in &txns {
+                for (addr, img) in &txn.images {
+                    self.machine.charge_sys(JOURNAL_CPU_COST);
+                    self.guarded_write(&mut g, kfault::sites::KJFS_JOURNAL_REPLAY, *addr, img)?;
+                }
+                self.guarded_write(
+                    &mut g,
+                    kfault::sites::KJFS_JOURNAL_REPLAY,
+                    journal_addr(txn.commit_slot),
+                    &[0u8; PAGE_SIZE],
+                )?;
             }
-            // Retire the transaction so a later mount cannot re-apply it
-            // across still-newer in-place state (replay is idempotent only
-            // until new transactions run).
-            self.guarded_write(
-                &mut g,
-                kfault::sites::KJFS_JOURNAL_REPLAY,
-                journal_addr(txn.commit_slot),
-                &[0u8; PAGE_SIZE],
-            )?;
         }
 
         let mut g = self.inner.lock();
@@ -820,6 +1203,9 @@ impl Kjfs {
         g.next_ino = header.next_ino;
         g.next_txid = header.next_txid.max(1);
         g.next_seq = header.next_seq;
+        // Replay wrote every surviving image home: the whole history up to
+        // and excluding the next txid is checkpointed.
+        g.checkpointed_txid = g.next_txid - 1;
 
         for blk in 0..(self.cfg.data_blocks).div_ceil(BITS_PER_BITMAP_BLOCK) {
             self.dev.read_block_bytes(BlockAddr { obj: BITMAP_OBJ, index: blk }, &mut buf)?;
@@ -909,6 +1295,21 @@ impl Kjfs {
         }
     }
 
+    /// Sleep on the commit condvar until no group commit is in flight.
+    /// Returns whether this caller actually waited — i.e. merged behind an
+    /// in-flight commit. Errors out if the fs crashed meanwhile.
+    fn wait_commit(&self, g: &mut MutexGuard<'_, Inner>) -> VfsResult<bool> {
+        let mut waited = false;
+        loop {
+            Self::check_alive(g)?;
+            if !g.committing {
+                return Ok(waited);
+            }
+            waited = true;
+            self.commit_cv.wait(g);
+        }
+    }
+
     fn dir_of(g: &Inner, dir: Ino) -> VfsResult<&BTreeMap<String, u64>> {
         match g.inodes.get(&dir.0) {
             None => Err(VfsError::NotFound),
@@ -930,7 +1331,13 @@ impl Kjfs {
         Ok(ino)
     }
 
-    fn new_entry(&self, g: &mut Inner, dir: Ino, name: &str, kind: FileKind) -> VfsResult<Ino> {
+    fn new_entry(
+        &self,
+        g: &mut MutexGuard<'_, Inner>,
+        dir: Ino,
+        name: &str,
+        kind: FileKind,
+    ) -> VfsResult<Ino> {
         Self::check_alive(g)?;
         if Self::dir_of(g, dir)?.contains_key(name) {
             return Err(VfsError::Exists);
@@ -1036,6 +1443,30 @@ impl Kjfs {
             let mapped = i.mapped_blocks();
             if mapped > i.size.div_ceil(PAGE_SIZE as u64) {
                 v.push(format!("ino {ino}: {mapped} blocks mapped for size {}", i.size));
+            }
+            // Directory extents: a committed directory's on-disk size must
+            // equal its serialized entry table exactly, and its mapping
+            // must cover it block-for-block — directories grow by extent
+            // like files but never have holes or slack blocks.
+            if i.kind == FileKind::Dir
+                && reachable.contains(&ino)
+                && !g.dirty_dirs.contains(&ino)
+                && g.dirs.contains_key(&ino)
+            {
+                let bytes = Self::serialize_dir(&g, ino);
+                if i.size != bytes.len() as u64 {
+                    v.push(format!(
+                        "dir ino {ino}: size {} != serialized entry table {}",
+                        i.size,
+                        bytes.len()
+                    ));
+                }
+                let needed = (bytes.len() as u64).div_ceil(PAGE_SIZE as u64);
+                if mapped != needed {
+                    v.push(format!(
+                        "dir ino {ino}: {mapped} blocks mapped, entry table needs {needed}"
+                    ));
+                }
             }
         }
 
@@ -1211,7 +1642,7 @@ impl FileSystem for Kjfs {
             let in_off = pos % PAGE_SIZE;
             let take = (PAGE_SIZE - in_off).min(n - done);
             self.machine.charge_sys(BLOCK_CPU_COST);
-            if self.page_in(&mut g, ino.0, lb)? {
+            if self.page_in(&mut g, ino.0, lb, false)? {
                 let p = &g.pages[&(ino.0, lb)];
                 buf[done..done + take].copy_from_slice(&p.bytes[in_off..in_off + take]);
             } else {
@@ -1227,7 +1658,7 @@ impl FileSystem for Kjfs {
             let file_blocks = size.div_ceil(PAGE_SIZE as u64);
             for lb in last_lb + 1..(last_lb + 1 + self.cfg.readahead).min(file_blocks) {
                 if !g.pages.contains_key(&(ino.0, lb)) && Self::phys_of(&g, ino.0, lb).is_some() {
-                    self.page_in(&mut g, ino.0, lb)?;
+                    self.page_in(&mut g, ino.0, lb, true)?;
                     g.stats.readahead_issued += 1;
                 }
             }
@@ -1259,7 +1690,7 @@ impl FileSystem for Kjfs {
             let in_off = pos % PAGE_SIZE;
             let take = (PAGE_SIZE - in_off).min(data.len() - done);
             self.machine.charge_sys(BLOCK_CPU_COST);
-            if !self.page_in(&mut g, ino.0, lb)? {
+            if !self.page_in(&mut g, ino.0, lb, false)? {
                 unreachable!("write target mapped by ensure_blocks");
             }
             {
@@ -1303,7 +1734,7 @@ impl FileSystem for Kjfs {
             // re-extension reads zeros, not stale bytes.
             if !size.is_multiple_of(PAGE_SIZE as u64)
                 && keep > 0
-                && self.page_in(&mut g, ino.0, keep - 1)?
+                && self.page_in(&mut g, ino.0, keep - 1, false)?
             {
                 let at = (size % PAGE_SIZE as u64) as usize;
                 g.pages.get_mut(&(ino.0, keep - 1)).expect("page").bytes[at..].fill(0);
@@ -1362,7 +1793,11 @@ impl FileSystem for Kjfs {
     fn fsync(&self, ino: Ino, data_only: bool) -> VfsResult<()> {
         self.machine.charge_sys(FSYNC_CPU_COST);
         let mut g = self.inner.lock();
-        Self::check_alive(&g)?;
+        // Group-commit merge: wait out any in-flight commit first. Dirt
+        // this fsync cares about was either captured by that commit (we
+        // come back to a clean fs and return without I/O — a merged
+        // waiter) or arrived after the capture and commits below.
+        let waited = self.wait_commit(&mut g)?;
         let i = g.inodes.get(&ino.0).ok_or(VfsError::NotFound)?;
         if data_only {
             // fdatasync: skip the commit when the inode has no dirty pages
@@ -1373,13 +1808,19 @@ impl FileSystem for Kjfs {
                 return Ok(());
             }
         }
+        if !Self::anything_dirty(&g) {
+            if waited {
+                g.stats.group_merges += 1;
+            }
+            return Ok(());
+        }
         self.commit(&mut g)
     }
 
     fn sync(&self) -> VfsResult<()> {
         self.machine.charge_sys(FSYNC_CPU_COST);
         let mut g = self.inner.lock();
-        Self::check_alive(&g)?;
+        self.wait_commit(&mut g)?;
         self.commit(&mut g)
     }
 
@@ -1529,5 +1970,220 @@ mod tests {
         assert_eq!(fs.write(f, 0, b"x"), Err(VfsError::Io));
         assert_eq!(fs.create(fs.root(), "g").err(), Some(VfsError::Io));
         assert_eq!(fs.sync(), Err(VfsError::Io));
+    }
+
+    fn rig_with(cfg: KjfsConfig) -> (Arc<Machine>, Arc<BlockDev>, Kjfs) {
+        let m = Arc::new(Machine::new(MachineConfig::default()));
+        let dev = Arc::new(BlockDev::new(m.clone()));
+        let fs = Kjfs::mount(m.clone(), dev.clone(), cfg).unwrap();
+        (m, dev, fs)
+    }
+
+    #[test]
+    fn pipelined_commits_queue_then_drain_deduped() {
+        let (_m, _dev, fs) = rig_with(KjfsConfig::small().with_mode(JournalMode::Pipelined));
+        let f = fs.create(fs.root(), "hot").unwrap();
+        fs.write(f, 0, &[1u8; 2 * PAGE_SIZE]).unwrap();
+        fs.fsync(f, false).unwrap();
+        // Overwrite the same blocks across several fsync'd transactions:
+        // each journals fresh images, none checkpoints yet.
+        for round in 2..=3u8 {
+            fs.write(f, 0, &vec![round; 2 * PAGE_SIZE]).unwrap();
+            fs.fsync(f, false).unwrap();
+        }
+        let s = fs.stats();
+        assert!(s.live_txns >= 3, "txns queue without draining, got {}", s.live_txns);
+        assert_eq!(s.checkpoints, 0);
+
+        fs.checkpoint_now().unwrap();
+        let s = fs.stats();
+        assert_eq!(s.live_txns, 0);
+        assert_eq!(s.checkpoints, 1);
+        // Hot blocks (data pages, itable, header…) journaled per-txn but
+        // written home once: the drain must have deduped.
+        assert!(s.checkpoint_dedup_saved > 0, "expected dedup, stats {s:?}");
+        let mut back = vec![0u8; 2 * PAGE_SIZE];
+        fs.read(f, 0, &mut back).unwrap();
+        assert_eq!(back, vec![3u8; 2 * PAGE_SIZE], "newest image wins");
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+    }
+
+    #[test]
+    fn checkpoint_lag_drains_on_next_op() {
+        let cfg = KjfsConfig::small().with_mode(JournalMode::Pipelined);
+        let max = cfg.max_live_txns as u64;
+        let (_m, _dev, fs) = rig_with(cfg);
+        let f = fs.create(fs.root(), "f").unwrap();
+        let mut peak = 0;
+        for i in 0..=max {
+            fs.write(f, i * PAGE_SIZE as u64, &[9u8; 64]).unwrap();
+            fs.fsync(f, false).unwrap();
+            peak = peak.max(fs.stats().live_txns);
+        }
+        // The queue crossed the lag bound, and the first op to observe
+        // that (a plain write, with a non-empty running txn) drained it.
+        assert!(peak > max, "queue never exceeded the bound (peak {peak})");
+        let s = fs.stats();
+        assert!(s.checkpoints >= 1, "lagging queue drained, stats {s:?}");
+        assert!(s.live_txns <= max + 1);
+    }
+
+    #[test]
+    fn quarantined_blocks_stay_unallocatable_until_drain() {
+        let (_m, _dev, fs) = rig_with(KjfsConfig::small().with_mode(JournalMode::Pipelined));
+        let f = fs.create(fs.root(), "victim").unwrap();
+        fs.write(f, 0, &[5u8; 4 * PAGE_SIZE]).unwrap();
+        fs.fsync(f, false).unwrap();
+        // Freeing under a live (uncheckpointed) txn quarantines the blocks.
+        fs.unlink(fs.root(), "victim").unwrap();
+        fs.fsync(fs.root(), false).unwrap();
+        {
+            let g = fs.inner.lock();
+            assert!(!g.live_txns.is_empty());
+            assert!(!g.quarantine.is_empty(), "freed blocks are quarantined");
+            for &b in g.quarantine.keys() {
+                assert!(!Kjfs::allocatable(&g, b as u64), "block {b} reallocatable too early");
+            }
+        }
+        fs.checkpoint_now().unwrap();
+        let g = fs.inner.lock();
+        assert!(g.quarantine.is_empty(), "drain releases the quarantine");
+    }
+
+    #[test]
+    fn eviction_never_resurrects_stale_home_blocks() {
+        // Tiny cache, journal-only images: pages committed but not yet
+        // checkpointed may NOT be evicted — their home blocks are stale.
+        let mut cfg = KjfsConfig::small().with_mode(JournalMode::Pipelined);
+        cfg.page_cache_capacity = 8;
+        let (_m, _dev, fs) = rig_with(cfg);
+        let a = fs.create(fs.root(), "pinned").unwrap();
+        fs.write(a, 0, &[1u8; 4 * PAGE_SIZE]).unwrap();
+        fs.sync().unwrap();
+        fs.write(a, 0, &[2u8; 4 * PAGE_SIZE]).unwrap(); // overwrite: journaled
+        fs.fsync(a, false).unwrap(); // committed, NOT checkpointed
+        // Pressure the cache well past capacity: several churn files, so
+        // installs keep happening while earlier files' pages sit clean
+        // (written back) and evictable.
+        for c in 0..3 {
+            let b = fs.create(fs.root(), &format!("churn{c}")).unwrap();
+            fs.write(b, 0, &vec![7u8; 16 * PAGE_SIZE]).unwrap();
+        }
+        assert!(fs.stats().evictions > 0, "cache pressure must evict");
+        // The overwrite must still read back new, not the stale home image.
+        let mut back = vec![0u8; 4 * PAGE_SIZE];
+        fs.read(a, 0, &mut back).unwrap();
+        assert_eq!(back, vec![2u8; 4 * PAGE_SIZE], "stale bytes resurrected by eviction");
+        fs.checkpoint_now().unwrap();
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+    }
+
+    #[test]
+    fn writeback_coalesces_consecutive_pages_into_runs() {
+        let (m, _dev, fs) = rig();
+        let f = fs.create(fs.root(), "seq").unwrap();
+        let disk_before = m.stats.disk_writes.load(std::sync::atomic::Ordering::Relaxed);
+        fs.write(f, 0, &vec![3u8; 24 * PAGE_SIZE]).unwrap();
+        fs.fsync(f, false).unwrap();
+        let s = fs.stats();
+        assert!(s.ordered_flushes >= 24, "all new pages flushed in place");
+        assert!(
+            s.writeback_runs * 4 <= s.ordered_flushes,
+            "fresh sequential pages should coalesce ≥4x: {} runs for {} pages",
+            s.writeback_runs,
+            s.ordered_flushes
+        );
+        assert!(m.stats.disk_writes.load(std::sync::atomic::Ordering::Relaxed) > disk_before);
+        let mut back = vec![0u8; 24 * PAGE_SIZE];
+        fs.read(f, 0, &mut back).unwrap();
+        assert_eq!(back, vec![3u8; 24 * PAGE_SIZE]);
+    }
+
+    #[test]
+    fn concurrent_fsyncs_group_commit_safely() {
+        let (_m, dev, fs) = rig_with(KjfsConfig::small());
+        let fs = Arc::new(fs);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let fs = fs.clone();
+            handles.push(std::thread::spawn(move || {
+                let f = fs.create(fs.root(), &format!("t{t}")).unwrap();
+                for i in 0..8u64 {
+                    fs.write(f, i * 100, &[t + 1; 100]).unwrap();
+                    fs.fsync(f, false).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = fs.stats();
+        assert!(s.commits > 0);
+        // Durability: a hard remount sees all four files in full.
+        let m2 = fs.machine.clone();
+        drop(fs);
+        dev.drop_caches();
+        let fs2 = Kjfs::mount(m2, dev, KjfsConfig::small()).unwrap();
+        for t in 0..4u8 {
+            let f = fs2.lookup(fs2.root(), &format!("t{t}")).unwrap();
+            let mut back = vec![0u8; 800];
+            assert_eq!(fs2.read(f, 0, &mut back).unwrap(), 800);
+            assert_eq!(back, vec![t + 1; 800]);
+        }
+        assert!(fs2.fsck().is_empty(), "{:?}", fs2.fsck());
+    }
+
+    #[test]
+    fn multi_block_directory_survives_remount() {
+        let (m, dev, fs) = rig();
+        let d = fs.mkdir(fs.root(), "big").unwrap();
+        let name = |i: usize| format!("{:02}-{}", i, "x".repeat(45));
+        for i in 0..80 {
+            fs.create(d, &name(i)).unwrap();
+        }
+        fs.sync().unwrap();
+        {
+            let g = fs.inner.lock();
+            let i = &g.inodes[&d.0];
+            assert!(i.size > PAGE_SIZE as u64, "entry table crossed the block boundary");
+            assert!(i.mapped_blocks() >= 2);
+        }
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+
+        let fs = remount(&dev, &m, fs);
+        let d = fs.lookup(fs.root(), "big").unwrap();
+        for i in 0..80 {
+            fs.lookup(d, &name(i)).unwrap();
+        }
+        // Shrink back under one block and recheck the invariant.
+        for i in 10..80 {
+            fs.unlink(d, &name(i)).unwrap();
+        }
+        fs.sync().unwrap();
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+        let fs = remount(&dev, &m, fs);
+        let d = fs.lookup(fs.root(), "big").unwrap();
+        assert_eq!(fs.readdir(d).unwrap().len(), 10);
+        assert!(fs.fsck().is_empty(), "{:?}", fs.fsck());
+    }
+
+    #[test]
+    fn modes_agree_on_post_fsync_state() {
+        let payloads: [&[u8]; 3] = [b"alpha", &[7u8; 9000], &[1u8; 300]];
+        let mut hashes = Vec::new();
+        for mode in [JournalMode::SingleTxn, JournalMode::Pipelined, JournalMode::GroupCommit] {
+            let (_m, _dev, fs) = rig_with(KjfsConfig::small().with_mode(mode));
+            let d = fs.mkdir(fs.root(), "d").unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                let f = fs.create(d, &format!("f{i}")).unwrap();
+                fs.write(f, 0, p).unwrap();
+                fs.fsync(f, false).unwrap();
+            }
+            fs.truncate(fs.lookup(d, "f1").unwrap(), 500).unwrap();
+            fs.fsync(fs.lookup(d, "f1").unwrap(), false).unwrap();
+            hashes.push(VfsSnapshot::capture(&fs).unwrap().hash());
+        }
+        assert_eq!(hashes[0], hashes[1], "pipelined diverges from single-txn");
+        assert_eq!(hashes[0], hashes[2], "group-commit diverges from single-txn");
     }
 }

@@ -153,27 +153,17 @@ pub struct CommittedTxn {
     pub commit_slot: u64,
 }
 
-/// Scan the journal for the newest committed transaction.
-///
-/// `read(slot)` returns the raw bytes of a journal slot. At most one
-/// not-yet-retired transaction can exist (commits are checkpointed and
-/// retired before the next transaction opens), but the scan is defensive:
-/// among all valid commit blocks it picks the highest txid and validates
-/// the whole positional chain, rejecting anything stale or torn.
-pub fn scan(slots: u64, mut read: impl FnMut(u64) -> Vec<u8>) -> Option<CommittedTxn> {
-    let mut best: Option<(u64, u64, u32, u64)> = None; // (txid, seq, nimages, txn_ck)
-    for slot in 0..slots {
-        if let Some(JBlock::Commit { txid, seq, nimages, txn_checksum }) = parse_block(&read(slot))
-        {
-            if seq % slots != slot {
-                continue; // stale block from before a geometry change
-            }
-            if best.map(|(t, ..)| txid > t).unwrap_or(true) {
-                best = Some((txid, seq, nimages, txn_checksum));
-            }
-        }
-    }
-    let (txid, commit_seq, nimages, want_txn_ck) = best?;
+/// Validate the positional chain ending at a commit block, returning the
+/// redo record if every descriptor, image checksum, and the transaction
+/// checksum line up.
+fn validate_chain(
+    slots: u64,
+    read: &mut impl FnMut(u64) -> Vec<u8>,
+    txid: u64,
+    commit_seq: u64,
+    nimages: u32,
+    want_txn_ck: u64,
+) -> Option<CommittedTxn> {
     let ndesc = (nimages as u64).div_ceil(TAGS_PER_DESC as u64);
     let span = nimages as u64 + ndesc;
     if span == 0 || span >= slots {
@@ -210,6 +200,47 @@ pub fn scan(slots: u64, mut read: impl FnMut(u64) -> Vec<u8>) -> Option<Committe
         return None;
     }
     Some(CommittedTxn { txid, images, commit_slot: commit_seq % slots })
+}
+
+/// Scan the journal for **every** committed-but-unretired transaction,
+/// ordered by ascending txid — the pipelined journal can leave up to K of
+/// them behind a crash. Replaying them in txid order makes the newest
+/// image of every home block land last, so recovery converges no matter
+/// where in the commit/checkpoint pipeline the power cut hit.
+///
+/// `read(slot)` returns the raw bytes of a journal slot. Each commit-block
+/// candidate is validated positionally (descriptor txid/seq chain, image
+/// checksums, transaction checksum); candidates that fail — torn records,
+/// stale blocks from overwritten transactions, raw data images that
+/// happen to parse as commit blocks — are skipped individually rather
+/// than aborting the scan, so one corrupt candidate can never mask the
+/// valid transactions around it.
+pub fn scan_all(slots: u64, mut read: impl FnMut(u64) -> Vec<u8>) -> Vec<CommittedTxn> {
+    let mut candidates: Vec<(u64, u64, u32, u64)> = Vec::new();
+    for slot in 0..slots {
+        if let Some(JBlock::Commit { txid, seq, nimages, txn_checksum }) = parse_block(&read(slot))
+        {
+            if seq % slots != slot {
+                continue; // stale block from before a geometry change
+            }
+            candidates.push((txid, seq, nimages, txn_checksum));
+        }
+    }
+    let mut txns: Vec<CommittedTxn> = Vec::new();
+    for (txid, commit_seq, nimages, ck) in candidates {
+        if let Some(txn) = validate_chain(slots, &mut read, txid, commit_seq, nimages, ck) {
+            if !txns.iter().any(|t| t.txid == txn.txid) {
+                txns.push(txn);
+            }
+        }
+    }
+    txns.sort_by_key(|t| t.txid);
+    txns
+}
+
+/// Scan for the newest committed transaction (single-txn journals).
+pub fn scan(slots: u64, read: impl FnMut(u64) -> Vec<u8>) -> Option<CommittedTxn> {
+    scan_all(slots, read).pop()
 }
 
 #[cfg(test)]
@@ -310,6 +341,41 @@ mod tests {
         write_txn(&mut slots, 64, 5, 20, &[(BlockAddr { obj: 4, index: 1 }, evil)]);
         let txn = scan(64, reader(slots)).unwrap();
         assert_eq!(txn.txid, 5, "spoofed descriptor must not win");
+    }
+
+    #[test]
+    fn scan_all_returns_every_committed_txn_in_txid_order() {
+        let mut slots = HashMap::new();
+        let a = vec![(BlockAddr { obj: 2, index: 0 }, img(1))];
+        let b = vec![(BlockAddr { obj: 2, index: 0 }, img(2)), (BlockAddr { obj: 4, index: 5 }, img(3))];
+        let c = vec![(BlockAddr { obj: 4, index: 6 }, img(4))];
+        let seq = write_txn(&mut slots, 64, 3, 0, &a);
+        let seq = write_txn(&mut slots, 64, 4, seq, &b);
+        write_txn(&mut slots, 64, 5, seq, &c);
+        let txns = scan_all(64, reader(slots));
+        assert_eq!(txns.iter().map(|t| t.txid).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(txns[0].images, a);
+        assert_eq!(txns[1].images, b);
+        assert_eq!(txns[2].images, c);
+    }
+
+    #[test]
+    fn corrupt_txn_in_tail_does_not_mask_valid_ones() {
+        let mut slots = HashMap::new();
+        let a = vec![(BlockAddr { obj: 2, index: 0 }, img(1))];
+        let b = vec![(BlockAddr { obj: 2, index: 1 }, img(2))];
+        let c = vec![(BlockAddr { obj: 2, index: 2 }, img(3))];
+        let seq = write_txn(&mut slots, 64, 3, 0, &a);
+        let mid_image_slot = seq + 1; // txn 4's image block
+        let seq = write_txn(&mut slots, 64, 4, seq, &b);
+        write_txn(&mut slots, 64, 5, seq, &c);
+        slots.get_mut(&(mid_image_slot % 64)).unwrap()[0] ^= 0xFF;
+        let txns = scan_all(64, reader(slots));
+        assert_eq!(
+            txns.iter().map(|t| t.txid).collect::<Vec<_>>(),
+            vec![3, 5],
+            "only the corrupt txn drops out"
+        );
     }
 
     #[test]

@@ -16,13 +16,21 @@
 //!   mid-block writes), remount, replay, and assert the recovered tree is
 //!   a legal prefix of the operation log with zero structural violations.
 //!
+//! The journal is pipelined ([`fs::JournalMode`]): a running transaction
+//! accepts new block images while up to K committed-but-uncheckpointed
+//! transactions await a background drain, and group commit merges fsync
+//! waiters that arrive during an in-flight commit into the next record.
+//!
 //! Fault sites: `kjfs.journal.commit`, `kjfs.writeback`,
-//! `kjfs.journal.replay`, plus `kvfs.blockdev.torn` underneath.
+//! `kjfs.journal.replay`, `kjfs.journal.checkpoint`, plus
+//! `kvfs.blockdev.torn` underneath.
 
 pub mod fs;
 pub mod harness;
 pub mod journal;
 pub mod layout;
 
-pub use fs::{Kjfs, KjfsConfig, KjfsStats};
-pub use harness::{default_workload, Harness, KillOutcome, Model, SweepReport, WOp};
+pub use fs::{JournalMode, Kjfs, KjfsConfig, KjfsStats};
+pub use harness::{
+    default_workload, dir_boundary_workload, Harness, KillOutcome, Model, SweepReport, WOp,
+};

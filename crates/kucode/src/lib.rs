@@ -87,7 +87,10 @@ pub mod prelude {
     };
     pub use kfault::{classify, FaultClass, FaultPlane, Policy};
     pub use kgcc::{CheckPlan, Deinstrument, KgccConfig, KgccHook};
-    pub use kjfs::{default_workload, Harness, Kjfs, KjfsConfig, KjfsStats, Model, WOp};
+    pub use kjfs::{
+        default_workload, dir_boundary_workload, Harness, JournalMode, Kjfs, KjfsConfig,
+        KjfsStats, Model, WOp,
+    };
     pub use knet::{NetError, NetStack, POLL_HUP, POLL_IN, POLL_OUT};
     pub use kprog::{
         Attachment, EventProgram, HookClass, LoadError, ProgEngine, ProgError, ProgRegistry,

@@ -188,6 +188,65 @@ impl BlockDev {
         Ok(())
     }
 
+    /// Write a run of consecutive blocks (`addr`, `addr+1`, …) in one I/O:
+    /// `data` spans `ceil(len / PAGE_SIZE)` block images, the last possibly
+    /// short (zero-padded on the platter). One submission consults the
+    /// fault sites once, charges one transfer for the whole payload, and
+    /// advances the elevator by a single dirty entry — extent-sized
+    /// writeback costs one BIO, not one per page.
+    ///
+    /// Torn-write fidelity matches [`Self::write_block_bytes`] at run
+    /// granularity: the first half of the whole payload lands (a prefix of
+    /// blocks, the boundary block partially), then the device reports EIO.
+    pub fn write_run_bytes(&self, addr: BlockAddr, data: &[u8]) -> VfsResult<()> {
+        let nblocks = data.len().div_ceil(PAGE_SIZE).max(1) as u64;
+        if self.machine.faults.should_fail(kfault::sites::KVFS_BLOCKDEV_WRITE) {
+            return Err(VfsError::Io);
+        }
+        let torn = self
+            .machine
+            .faults
+            .should_fail(kfault::sites::KVFS_BLOCKDEV_TORN);
+        self.writes.fetch_add(nblocks, Relaxed);
+        self.machine.stats.disk_writes.fetch_add(nblocks, Relaxed);
+        let m = &self.machine;
+        m.charge_io(m.cost.disk_transfer(data.len()));
+        let n = self.dirty.fetch_add(1, Relaxed) + 1;
+        if n.is_multiple_of(ELEVATOR_BATCH) {
+            self.seeks.fetch_add(1, Relaxed);
+            m.charge_io(m.cost.disk_seek + m.cost.disk_rotate);
+        }
+        *self.last.lock() = Some(BlockAddr { obj: addr.obj, index: addr.index + nblocks - 1 });
+        let landed = if torn { data.len() / 2 } else { data.len() };
+        {
+            let mut store = self.store.lock();
+            let mut at = 0usize;
+            for i in 0..nblocks {
+                let blk_addr = BlockAddr { obj: addr.obj, index: addr.index + i };
+                let want = PAGE_SIZE.min(data.len() - at);
+                let take = landed.saturating_sub(at).min(want);
+                if take == want {
+                    store.insert(blk_addr, data[at..at + want].to_vec());
+                } else if take > 0 {
+                    let blk = store.entry(blk_addr).or_default();
+                    if blk.len() < want {
+                        blk.resize(want, 0);
+                    }
+                    blk[..take].copy_from_slice(&data[at..at + take]);
+                }
+                at += want;
+            }
+        }
+        if torn {
+            return Err(VfsError::Io);
+        }
+        let mut cache = self.cache.lock();
+        for i in 0..nblocks {
+            cache.set.insert(BlockAddr { obj: addr.obj, index: addr.index + i });
+        }
+        Ok(())
+    }
+
     /// Read one block's bytes from stable storage into `buf`, charging
     /// exactly like [`Self::read_block`] (cached blocks are free). Blocks
     /// never written read as zeroes. Returns how many stored bytes were

@@ -292,6 +292,86 @@ pub fn probe_cosy(rig: &Rig, proc: &UserProc, path: &str, cfg: &DbConfig) -> DbR
     }
 }
 
+/// Page-cache behaviour of one scan phase on kjfs: [`kjfs::KjfsStats`]
+/// deltas for the cache-relevant counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CachePhase {
+    pub hits: u64,
+    pub misses: u64,
+    pub readahead_issued: u64,
+    /// Readahead-installed pages later referenced by a real read.
+    pub readahead_hits: u64,
+    /// Clean pages dropped by capacity pressure during this phase.
+    pub evictions: u64,
+}
+
+impl CachePhase {
+    fn delta(before: &kjfs::KjfsStats, after: &kjfs::KjfsStats) -> CachePhase {
+        CachePhase {
+            hits: after.cache_hits - before.cache_hits,
+            misses: after.cache_misses - before.cache_misses,
+            readahead_issued: after.readahead_issued - before.readahead_issued,
+            readahead_hits: after.readahead_hits - before.readahead_hits,
+            evictions: after.evictions - before.evictions,
+        }
+    }
+
+    /// Fraction of page lookups served from cache, in percent.
+    pub fn hit_pct(&self) -> f64 {
+        100.0 * self.hits as f64 / (self.hits + self.misses).max(1) as f64
+    }
+
+    /// Fraction of prefetched pages a real read later touched, in percent.
+    pub fn readahead_pct(&self) -> f64 {
+        100.0 * self.readahead_hits as f64 / self.readahead_issued.max(1) as f64
+    }
+}
+
+/// The out-of-core scan result: the same sequential scan + random probes
+/// as the memfs variants, but on a kjfs mount whose page cache is smaller
+/// than the record file, with per-phase cache behaviour.
+#[derive(Debug, Clone)]
+pub struct DbCacheReport {
+    pub seq: DbRunReport,
+    pub seq_cache: CachePhase,
+    pub probe: DbRunReport,
+    pub probe_cache: CachePhase,
+}
+
+/// Block-level dbscan on kjfs at a working set exceeding the page cache:
+/// build the record file, checkpoint it home (so its pages are clean and
+/// evictable), then run the sequential scan and the random probes,
+/// reporting cache hit/miss and readahead effectiveness per phase.
+pub fn scan_kjfs_out_of_core(cfg: &DbConfig, cache_pages: usize) -> DbCacheReport {
+    let file_pages = (cfg.records * cfg.record_size).div_ceil(ksim::PAGE_SIZE);
+    assert!(
+        file_pages > cache_pages,
+        "working set ({file_pages} pages) must exceed the cache ({cache_pages})"
+    );
+    let rig = Rig::kjfs_with(kjfs::KjfsConfig {
+        page_cache_capacity: cache_pages,
+        ..Default::default()
+    });
+    let p = rig.user(1 << 16);
+    setup_db(&rig, &p, "/db", cfg);
+    let fs = rig.kjfs.as_ref().expect("kjfs root");
+    // Everything home and clean: the scan starts from a cold-ish cache
+    // whose resident pages are whatever survived setup's eviction churn.
+    fs.checkpoint_now().expect("checkpoint");
+
+    let s0 = fs.stats();
+    let seq = scan_user(&rig, &p, "/db", cfg);
+    let s1 = fs.stats();
+    let probe = probe_user(&rig, &p, "/db", cfg);
+    let s2 = fs.stats();
+    DbCacheReport {
+        seq,
+        seq_cache: CachePhase::delta(&s0, &s1),
+        probe,
+        probe_cache: CachePhase::delta(&s1, &s2),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +419,31 @@ mod tests {
         assert_eq!(user.records_touched, cosyr.records_touched);
         assert!(cosyr.crossings < user.crossings);
         assert!(cosyr.elapsed_cycles < user.elapsed_cycles);
+    }
+
+    #[test]
+    fn kjfs_scan_past_cache_capacity_misses_and_readahead_recovers() {
+        // A 4 MiB record file against a 512-page (2 MiB) cache.
+        let c = DbConfig {
+            records: 1024,
+            record_size: 4096,
+            probes: 200,
+            ..Default::default()
+        };
+        let r = scan_kjfs_out_of_core(&c, 512);
+        assert_eq!(r.seq.checksum, expected_scan_checksum(&c), "scan data intact on kjfs");
+        assert_eq!(r.seq.records_touched, 1024);
+        assert!(r.seq_cache.misses > 0, "working set exceeds the cache");
+        assert!(r.seq_cache.evictions > 0, "capacity pressure evicts");
+        assert!(r.seq_cache.readahead_issued > 0);
+        assert!(
+            r.seq_cache.readahead_hits * 2 >= r.seq_cache.readahead_issued,
+            "sequential readahead mostly useful: {}/{} pages",
+            r.seq_cache.readahead_hits,
+            r.seq_cache.readahead_issued
+        );
+        assert_eq!(r.probe.records_touched, 200);
+        assert!(r.probe_cache.misses > 0, "random probes past capacity miss");
     }
 
     #[test]

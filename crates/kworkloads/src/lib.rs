@@ -22,7 +22,8 @@ pub mod webserver;
 
 pub use amutils::{run_compile, CompileConfig, CompileReport};
 pub use dbscan::{
-    probe_cosy, probe_user, scan_cosy, scan_user, setup_db, DbConfig, DbRunReport,
+    probe_cosy, probe_user, scan_cosy, scan_kjfs_out_of_core, scan_user, setup_db, CachePhase,
+    DbCacheReport, DbConfig, DbRunReport,
 };
 pub use kprogs::{
     build_chase_file, chase_kernel, chase_user, setup_chase, ChaseFile, ChaseRun,

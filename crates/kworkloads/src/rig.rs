@@ -16,6 +16,9 @@ pub struct Rig {
     pub sys: Arc<SyscallLayer>,
     /// Present when the mount includes the Wrapfs layer.
     pub wrapfs: Option<Arc<WrapFs>>,
+    /// Present when the root is kjfs: the concrete handle, for journal
+    /// stats, checkpoint control, and crash hooks.
+    pub kjfs: Option<Arc<kjfs::Kjfs>>,
     /// The Cosy kernel extension (always loaded; costs nothing unused).
     pub cosy: Arc<CosyExtension>,
 }
@@ -35,14 +38,21 @@ impl Rig {
     /// goes through kjfs's page cache and write-ahead journal, and `fsync`
     /// is a real durability barrier instead of a no-op.
     pub fn kjfs() -> Rig {
+        Self::kjfs_with(kjfs::KjfsConfig::default())
+    }
+
+    /// kjfs with an explicit configuration — journal mode, checkpoint lag,
+    /// page-cache capacity. The concrete fs handle lands in `rig.kjfs`.
+    pub fn kjfs_with(cfg: kjfs::KjfsConfig) -> Rig {
         let machine = Arc::new(Machine::new(MachineConfig::default()));
         let dev = Arc::new(BlockDev::new(machine.clone()));
-        let fs = kjfs::Kjfs::mount(machine.clone(), dev.clone(), kjfs::KjfsConfig::default())
-            .expect("mkfs on a blank device");
-        let vfs = Arc::new(Vfs::new(machine.clone(), Arc::new(fs)));
+        let fs = Arc::new(
+            kjfs::Kjfs::mount(machine.clone(), dev.clone(), cfg).expect("mkfs on a blank device"),
+        );
+        let vfs = Arc::new(Vfs::new(machine.clone(), fs.clone()));
         let sys = Arc::new(SyscallLayer::new(machine.clone(), vfs.clone()));
         let cosy = Arc::new(CosyExtension::new(sys.clone()));
-        Rig { machine, dev, vfs, sys, wrapfs: None, cosy }
+        Rig { machine, dev, vfs, sys, wrapfs: None, kjfs: Some(fs), cosy }
     }
 
     /// Wrapfs stacked over MemFs, allocating through `alloc` (pass a
@@ -97,7 +107,7 @@ impl Rig {
         let vfs = Arc::new(Vfs::new(machine.clone(), fs));
         let sys = Arc::new(SyscallLayer::new(machine.clone(), vfs.clone()));
         let cosy = Arc::new(CosyExtension::new(sys.clone()));
-        Rig { machine, dev, vfs, sys, wrapfs, cosy }
+        Rig { machine, dev, vfs, sys, wrapfs, kjfs: None, cosy }
     }
 
     /// Spawn a process with `buf_len` bytes of scratch user memory mapped.

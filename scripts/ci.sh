@@ -85,13 +85,24 @@ else
 fi
 
 echo "== bench smoke: power-cut crash sweep (runs twice; must reproduce) =="
-# Gate: every kill point of the clean-cut AND torn-write sweeps must
-# recover with zero invariant violations, and two whole runs must reduce
+# Gate: every kill point of every sweep — the 50-op workload under all
+# three journal modes plus the multi-block-directory workload, clean-cut
+# AND torn-write — must recover with zero invariant violations; the
+# guarded-write total must match the recorded count (a silent change in
+# kill coverage is a harness regression); and two whole runs must reduce
 # to the same TRACE_HASH word (the sweep is deterministic by design).
+# Override the count with A13_POINTS=<n>, or A13_POINTS=0 to skip.
+A13_POINTS=${A13_POINTS:-578}
 c1=$(./target/release/a13_crashsweep)
-echo "${c1}" | grep -E '^(clean-cut|torn-write)' || true
-if echo "${c1}" | grep -qE '^(clean-cut|torn-write) +[0-9]+ +[1-9]'; then
+echo "${c1}" | grep -E '^(50-op mix|dir extents)' || true
+if echo "${c1}" | grep -E '^(50-op mix|dir extents)' \
+    | awk '{v=$(NF-1)} v+0 > 0 {bad=1} END {exit bad}'; then :; else
     echo "crash sweep found invariant violations" >&2
+    exit 1
+fi
+points=$(echo "${c1}" | grep '^A13_SWEEP_POINTS' | awk '{print $2}')
+if [ "${A13_POINTS}" -gt 0 ] && [ "${points:-0}" -ne "${A13_POINTS}" ]; then
+    echo "crash sweep kill-point total drifted: ${points:-none} != ${A13_POINTS}" >&2
     exit 1
 fi
 h1=$(echo "${c1}" | grep '^TRACE_HASH')
@@ -100,7 +111,7 @@ if [ "$h1" != "$h2" ]; then
     echo "crash sweep is not deterministic: '$h1' vs '$h2'" >&2
     exit 1
 fi
-echo "crash sweep deterministic: $h1"
+echo "crash sweep deterministic: ${points} kill points, $h1"
 
 echo "== bench smoke: kprog verified CQE programs =="
 # Gate: the kernel-walked pointer chase must beat the user-space
@@ -124,6 +135,31 @@ if [ "${KPROG_MIN}" -gt 0 ]; then
         $((ratio / 100)) $((ratio % 100))
 else
     echo "KPROG_MIN=0; skipping the kprog chase gate"
+fi
+
+echo "== bench smoke: pipelined journal + group commit =="
+# Gate: on the 8-thread fsync convoy, group commit must beat the
+# single-live-transaction journal by at least JOURNAL_MIN/100 x in
+# cycles per op. Both sides are simulated cycles, so the ratio transfers
+# between machines. Override with JOURNAL_MIN=<ratio x100>, or
+# JOURNAL_MIN=0 to skip.
+JOURNAL_MIN=${JOURNAL_MIN:-150}
+j_out=$(./target/release/a15_journal --quick)
+echo "${j_out}" | grep '^A15_JOURNAL_RATIO_X100' || true
+jratio=$(echo "${j_out}" | grep '^A15_JOURNAL_RATIO_X100' | awk '{print $2}')
+if [ "${JOURNAL_MIN}" -gt 0 ]; then
+    if [ -z "${jratio}" ]; then
+        echo "journal convoy produced no ratio" >&2
+        exit 1
+    fi
+    if [ "${jratio}" -lt "${JOURNAL_MIN}" ]; then
+        echo "journal convoy regression: ratio ${jratio} < ${JOURNAL_MIN} (x100)" >&2
+        exit 1
+    fi
+    printf 'journal convoy ok: group commit is %d.%02dx the single-txn journal\n' \
+        $((jratio / 100)) $((jratio % 100))
+else
+    echo "JOURNAL_MIN=0; skipping the journal convoy gate"
 fi
 
 echo "CI pass complete."

@@ -6,13 +6,19 @@
 //! like the real crate, a poisoned std lock is recovered transparently.
 
 use std::fmt;
+use std::mem::ManuallyDrop;
 use std::ops::{Deref, DerefMut};
 
 /// A mutex that does not poison on panic (API-compatible subset).
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
-/// RAII guard for [`Mutex`].
-pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+/// RAII guard for [`Mutex`]. Keeps a handle on its parent mutex so the
+/// lock can be dropped and re-acquired in place ([`MutexGuard::unlocked`],
+/// [`Condvar::wait`]), like the real crate's raw-lock plumbing allows.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
@@ -26,13 +32,18 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        MutexGuard {
+            lock: self,
+            inner: ManuallyDrop::new(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Ok(g) => Some(MutexGuard { lock: self, inner: ManuallyDrop::new(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { lock: self, inner: ManuallyDrop::new(e.into_inner()) })
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -42,6 +53,72 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(e) => e.into_inner(),
         }
+    }
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily unlock the mutex, run `f`, then re-acquire the lock
+    /// before returning (also on unwind), like `parking_lot`'s.
+    pub fn unlocked<F, U>(s: &mut Self, f: F) -> U
+    where
+        F: FnOnce() -> U,
+    {
+        struct Relock<'g, 'a, T: ?Sized>(&'g mut MutexGuard<'a, T>);
+        impl<'a, T: ?Sized> Drop for Relock<'_, 'a, T> {
+            fn drop(&mut self) {
+                let m: &'a Mutex<T> = self.0.lock;
+                self.0.inner =
+                    ManuallyDrop::new(m.0.lock().unwrap_or_else(|e| e.into_inner()));
+            }
+        }
+        unsafe { ManuallyDrop::drop(&mut s.inner) }
+        let _relock = Relock(s);
+        f()
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) }
+    }
+}
+
+/// A condition variable pairing with [`Mutex`] (API-compatible subset).
+/// Waits take `&mut MutexGuard` and re-acquire before returning; a
+/// poisoned std lock is recovered transparently, so waits never panic.
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // No code between taking the std guard out and putting its
+        // successor back can panic: `wait`'s poison error is recovered,
+        // never unwrapped.
+        let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        guard.inner = ManuallyDrop::new(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
     }
 }
 
@@ -63,13 +140,13 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -162,6 +239,41 @@ mod tests {
         // A panic while locked must not poison.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0u32));
+        let mut g = m.lock();
+        *g += 1;
+        let m2 = m.clone();
+        let got = MutexGuard::unlocked(&mut g, move || {
+            // The lock must be free here: another thread can take it.
+            std::thread::spawn(move || *m2.lock() += 10).join().unwrap();
+            42
+        });
+        assert_eq!(got, 42);
+        assert_eq!(*g, 11); // reacquired and sees the other thread's write
+    }
+
+    #[test]
+    fn condvar_wait_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            true
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
     }
 
     #[test]

@@ -191,6 +191,17 @@ fn fire_site(site: &'static str) -> u64 {
             assert_eq!(fs.fsync(ino, false).unwrap_err(), VfsError::Io);
             assert!(fs.is_crashed());
         }
+        s if s == sites::KJFS_CHECKPOINT => {
+            // Commit a transaction (journal writes pass — different site),
+            // then force the stage-3 drain: its first home-block run write
+            // hits the power cut and the file system aborts.
+            let (_dev, fs) = kjfs_fresh(&rig);
+            let ino = fs.create(fs.root(), "cp").unwrap();
+            fs.write(ino, 0, b"drain me").unwrap();
+            fs.fsync(ino, false).unwrap();
+            assert_eq!(fs.checkpoint_now().unwrap_err(), VfsError::Io);
+            assert!(fs.is_crashed());
+        }
         s if s == sites::KJFS_JOURNAL_REPLAY => {
             // Leave a committed-but-uncheckpointed transaction in the
             // journal, then remount cold: replay's first home-location
@@ -266,6 +277,49 @@ fn every_registered_site_fires_under_a_targeted_workload() {
     for &site in sites::ALL {
         assert_eq!(fire_site(site), 1, "{site} must fire exactly once");
     }
+}
+
+#[test]
+fn a8_sweep_seed_indices_are_frozen() {
+    // The A8 fault-sweep bench derives every (policy, site) seed from the
+    // site's index in `sites::ALL`, and skips `sched.` / `kjfs.` /
+    // `kprog.` prefixes plus the torn-write device site. Its TRACE_HASH
+    // is therefore byte-identical across PRs iff the exercised sites keep
+    // exactly these indices — new sites must land under a skipped prefix
+    // or be appended after every exercised index.
+    let exercised: Vec<(usize, &str)> = sites::ALL
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            !(s.starts_with("sched.")
+                || s.starts_with("kjfs.")
+                || s.starts_with("kprog.")
+                || **s == sites::KVFS_BLOCKDEV_TORN)
+        })
+        .map(|(i, &s)| (i, s))
+        .collect();
+    assert_eq!(
+        exercised,
+        vec![
+            (0, "ksim.frame_alloc"),
+            (1, "ksim.tlb_fill"),
+            (2, "ksim.preempt_tick"),
+            (3, "kalloc.vmalloc"),
+            (4, "kalloc.slab"),
+            (5, "kvfs.blockdev.read"),
+            (6, "kvfs.blockdev.write"),
+            (7, "kvfs.nospc"),
+            (8, "kevents.ring_full"),
+            (9, "net.accept_overflow"),
+            (10, "net.send_again"),
+            (11, "net.peer_reset"),
+            (12, "uring.cq_overflow"),
+        ],
+        "A8 seed indices shifted — its TRACE_HASH is no longer comparable across PRs"
+    );
+    // The pipelined journal's checkpoint site rides under the skipped
+    // `kjfs.` prefix, appended at the very end.
+    assert_eq!(*sites::ALL.last().unwrap(), sites::KJFS_CHECKPOINT);
 }
 
 #[test]

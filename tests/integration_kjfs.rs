@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use kucode::kjfs::harness::SWEEP_SEED;
-use kucode::kvfs::{BlockDev, FileSystem, VfsSnapshot};
+use kucode::kjfs::harness::{apply_op, SWEEP_SEED};
+use kucode::kvfs::{BlockDev, FileSystem, Vfs, VfsError, VfsSnapshot};
 use kucode::prelude::*;
 use proptest::prelude::*;
 
@@ -71,6 +71,41 @@ fn torn_write_sweep_recovers_every_kill_point() {
     assert_eq!(report.sweep_hash, again.sweep_hash, "torn sweep must be deterministic");
 }
 
+// ---- the same sweep under every journal mode -------------------------------
+
+#[test]
+fn single_txn_and_pipelined_sweeps_recover_every_kill_point() {
+    for mode in [JournalMode::SingleTxn, JournalMode::Pipelined] {
+        let h = Harness::new(default_workload(), small().with_mode(mode)).expect("harness builds");
+        for torn in [false, true] {
+            let report = h.sweep(torn);
+            assert_eq!(
+                report.violations,
+                0,
+                "{mode:?} torn={torn}: {:?}",
+                report.outcomes.iter().flat_map(|o| o.violations.iter()).take(5).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+// ---- directory extents across the one-block boundary -----------------------
+
+#[test]
+fn dir_boundary_sweep_recovers_every_kill_point() {
+    let h = Harness::new(dir_boundary_workload(), small()).expect("harness builds");
+    assert!(h.write_points() > 0);
+    for torn in [false, true] {
+        let report = h.sweep(torn);
+        assert_eq!(
+            report.violations,
+            0,
+            "dir-boundary torn={torn}: {:?}",
+            report.outcomes.iter().flat_map(|o| o.violations.iter()).take(5).collect::<Vec<_>>()
+        );
+    }
+}
+
 // ---- crash during replay: recovery must itself be crash-safe ---------------
 
 #[test]
@@ -119,6 +154,58 @@ fn crash_during_replay_then_clean_mount_recovers() {
     assert!(fs3.fsck().is_empty());
 }
 
+// ---- crash during replay of a multi-transaction tail -----------------------
+
+#[test]
+fn double_crash_during_multi_txn_replay_converges() {
+    let cfg = small().with_mode(JournalMode::Pipelined);
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let dev = Arc::new(BlockDev::new(machine.clone()));
+    let fs = Kjfs::mount(machine.clone(), dev.clone(), cfg.clone()).unwrap();
+
+    // Three committed-but-uncheckpointed transactions, overlapping on the
+    // same hot blocks (itable, header, the file's first pages), then an
+    // instant power cut: the journal holds a multi-txn tail.
+    let f = fs.create(fs.root(), "layered").unwrap();
+    for round in 1..=3u8 {
+        fs.write(f, 0, &vec![round; 6000]).unwrap();
+        fs.fsync(f, false).unwrap();
+    }
+    assert!(fs.stats().live_txns >= 3, "tail must hold several txns");
+    fs.power_cut();
+    drop(fs);
+    dev.drop_caches();
+
+    // Kill every recovery attempt mid-replay at increasing write points:
+    // partial replays land prefixes of the tail (older txns' images, some
+    // retirements), so each retry starts from a different on-disk state.
+    for n in 1..=6u64 {
+        machine.faults.arm(SWEEP_SEED);
+        machine.faults.add_policy(Some("kjfs.journal.replay"), Policy::FailNth(n));
+        let res = Kjfs::mount(machine.clone(), dev.clone(), cfg.clone());
+        machine.faults.disarm();
+        machine.faults.clear_policies();
+        assert!(res.is_err(), "replay write {n} was killed; mount must fail");
+        dev.drop_caches();
+    }
+
+    // Txid-ordered physical redo is idempotent: the clean mount converges
+    // to the newest committed state no matter which prefix already landed.
+    let fs2 = Kjfs::mount(machine.clone(), dev.clone(), cfg.clone()).unwrap();
+    assert!(fs2.fsck().is_empty(), "{:?}", fs2.fsck());
+    let ino = fs2.lookup(fs2.root(), "layered").unwrap();
+    let mut back = vec![0u8; 6000];
+    assert_eq!(fs2.read(ino, 0, &mut back).unwrap(), 6000);
+    assert_eq!(back, vec![3u8; 6000], "newest committed txn wins");
+    let first = VfsSnapshot::capture(&fs2).unwrap().hash();
+
+    drop(fs2);
+    dev.drop_caches();
+    let fs3 = Kjfs::mount(machine, dev, cfg).unwrap();
+    assert_eq!(VfsSnapshot::capture(&fs3).unwrap().hash(), first, "tail fully retired");
+    assert!(fs3.fsck().is_empty());
+}
+
 // ---- random workloads, random kill points ----------------------------------
 
 fn paths() -> &'static [&'static str] {
@@ -138,6 +225,52 @@ fn arb_op() -> impl Strategy<Value = WOp> {
         p().prop_map(WOp::Rmdir),
         (p(), p()).prop_map(|(from, to)| WOp::Rename { from, to }),
     ]
+}
+
+// ---- journal modes are fsync-observably equivalent --------------------------
+
+/// Run `ops` to completion under one journal mode; return the per-op errno
+/// stream, the snapshot hash after every acknowledged fsync, and the final
+/// in-memory tree hash.
+fn run_under_mode(ops: &[WOp], mode: JournalMode) -> (Vec<Option<VfsError>>, Vec<u64>, u64) {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let dev = Arc::new(BlockDev::new(machine.clone()));
+    let fs =
+        Arc::new(Kjfs::mount(machine.clone(), dev.clone(), small().with_mode(mode)).unwrap());
+    let vfs = Vfs::new(machine.clone(), fs.clone() as Arc<dyn FileSystem>);
+    let mut errs = Vec::new();
+    let mut fsync_hashes = Vec::new();
+    for op in ops {
+        let r = apply_op(&vfs, fs.as_ref(), op);
+        let ok = r.is_ok();
+        errs.push(r.err());
+        if ok && matches!(op, WOp::Fsync { .. }) {
+            fsync_hashes.push(VfsSnapshot::capture(fs.as_ref()).unwrap().hash());
+        }
+    }
+    let end = VfsSnapshot::capture(fs.as_ref()).unwrap().hash();
+    (errs, fsync_hashes, end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pipelined and group-commit journals must be *observably*
+    /// identical to the conservative single-txn journal: same errno for
+    /// every op, same tree after every acknowledged fsync, same end state.
+    /// Only the durability schedule may differ.
+    #[test]
+    fn journal_modes_are_fsync_observably_equivalent(
+        ops in proptest::collection::vec(arb_op(), 5..40),
+    ) {
+        let base = run_under_mode(&ops, JournalMode::SingleTxn);
+        for mode in [JournalMode::Pipelined, JournalMode::GroupCommit] {
+            let other = run_under_mode(&ops, mode);
+            prop_assert_eq!(&base.0, &other.0, "errno divergence under {:?}", mode);
+            prop_assert_eq!(&base.1, &other.1, "post-fsync snapshot divergence under {:?}", mode);
+            prop_assert_eq!(base.2, other.2, "end-state divergence under {:?}", mode);
+        }
+    }
 }
 
 proptest! {
@@ -165,4 +298,112 @@ proptest! {
         );
         prop_assert!(out.matched_prefix.unwrap() >= out.fsync_floor);
     }
+}
+
+// ---- fsync through the upper layers: syscalls, kuring, Cosy -----------------
+
+fn reap_all(ring: &Uring) -> Vec<(u64, i64)> {
+    let mut out = Vec::new();
+    while let Some(c) = ring.reap_cqe() {
+        out.push((c.user_data, c.res));
+    }
+    out
+}
+
+#[test]
+fn syscall_fsync_and_fdatasync_commit_through_kjfs() {
+    let rig = Rig::kjfs();
+    let p = rig.user(1 << 16);
+    let kjfs = rig.kjfs.as_ref().expect("kjfs root").clone();
+
+    let fd = rig.sys.sys_open(p.pid, "/mail", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+    assert!(fd >= 0);
+    p.stage(&rig, &vec![0x5au8; 4096]);
+    assert_eq!(rig.sys.sys_write(p.pid, fd, p.buf, 4096), 4096);
+
+    let before = kjfs.stats().commits;
+    assert_eq!(rig.sys.sys_fsync(p.pid, fd), 0);
+    let after = kjfs.stats().commits;
+    assert!(after > before, "fsync(2) forces a journal commit");
+
+    // Nothing dirtied since: fdatasync's essential-state check returns
+    // durable without issuing another commit record.
+    assert_eq!(rig.sys.sys_fdatasync(p.pid, fd), 0);
+    assert_eq!(kjfs.stats().commits, after, "clean fdatasync is commit-free");
+    assert_eq!(rig.sys.sys_close(p.pid, fd), 0);
+}
+
+#[test]
+fn uring_write_batch_with_single_ring_fsync_commits_once() {
+    let rig = Rig::kjfs();
+    let p = rig.user(1 << 16);
+    let kjfs = rig.kjfs.as_ref().expect("kjfs root").clone();
+    let fd = rig.sys.sys_open(p.pid, "/spool", OpenFlags::RDWR | OpenFlags::CREAT) as i32;
+    assert!(fd >= 0);
+    assert_eq!(rig.sys.sys_ring_setup(p.pid, 16, 16), 0);
+    let ring = rig.sys.uring(p.pid).unwrap();
+    p.stage(&rig, &vec![0x6bu8; 1024]);
+
+    // The advisor's remedy for the write…write…fsync tail: pile the writes
+    // up as SQEs and ride ONE ring-borne fsync behind them.
+    let before = kjfs.stats().commits;
+    for i in 0..8u64 {
+        ring.push_sqe(Sqe::write(fd, p.buf, 1024, i * 1024, i)).unwrap();
+    }
+    ring.push_sqe(Sqe::fsync(fd, false, 99)).unwrap();
+    assert_eq!(rig.sys.sys_ring_enter(p.pid, 9, 9), 9);
+    let cqes = reap_all(&ring);
+    assert_eq!(cqes.len(), 9);
+    for (ud, res) in &cqes[..8] {
+        assert_eq!(*res, 1024, "ring write {ud}");
+    }
+    assert_eq!(cqes[8], (99, 0), "ring-borne fsync");
+    let batched = kjfs.stats().commits - before;
+    assert_eq!(batched, 1, "eight ring writes + one ring fsync = one commit");
+
+    // The naive discipline — fsync after every write — pays one commit per
+    // barrier for the same bytes. That gap is the durability tax A15 bills.
+    let before = kjfs.stats().commits;
+    for i in 0..8u64 {
+        ring.push_sqe(Sqe::write(fd, p.buf, 1024, i * 1024, 2 * i)).unwrap();
+        ring.push_sqe(Sqe::fsync(fd, false, 2 * i + 1)).unwrap();
+    }
+    assert_eq!(rig.sys.sys_ring_enter(p.pid, 16, 16), 16);
+    assert!(reap_all(&ring).iter().all(|&(_, res)| res >= 0));
+    let naive = kjfs.stats().commits - before;
+    assert_eq!(naive, 8, "per-write fsync pays the full tax");
+    assert!(naive > batched);
+}
+
+#[test]
+fn cosy_compound_fsync_is_durable_in_one_commit() {
+    let rig = Rig::kjfs();
+    let p = rig.user(1 << 16);
+    let kjfs = rig.kjfs.as_ref().expect("kjfs root").clone();
+
+    // open + write + fsync + close in ONE crossing: the compound's fsync
+    // rides the same group-commit path as a direct syscall.
+    let cb = SharedRegion::new(rig.machine.clone(), p.pid, 1, 0).unwrap();
+    let db = SharedRegion::new(rig.machine.clone(), p.pid, 2, 1).unwrap();
+    let mut b = CompoundBuilder::new(&cb, &db);
+    let path = b.stage_path("/journal.dat").unwrap();
+    let data = b.stage_bytes(&[0x7cu8; 512]).unwrap();
+    let fd = b.syscall(CosyCall::Open, vec![path, CompoundBuilder::lit(0x42)]);
+    b.syscall(
+        CosyCall::Write,
+        vec![CompoundBuilder::result_of(fd), data, CompoundBuilder::lit(512)],
+    );
+    b.syscall(
+        CosyCall::Fsync,
+        vec![CompoundBuilder::result_of(fd), CompoundBuilder::lit(0)],
+    );
+    b.syscall(CosyCall::Close, vec![CompoundBuilder::result_of(fd)]);
+    b.finish().unwrap();
+
+    let before = kjfs.stats().commits;
+    let results = rig.cosy.submit(p.pid, &cb, &db, &CosyOptions::default()).unwrap();
+    assert_eq!(results[1], 512, "compound write");
+    assert_eq!(results[2], 0, "in-compound fsync");
+    assert_eq!(kjfs.stats().commits, before + 1, "whole compound = one commit");
+    assert_eq!(rig.sys.k_stat("/journal.dat").unwrap().size, 512);
 }
